@@ -1,0 +1,49 @@
+// Command leasebench regenerates the evaluation artifacts of the thesis
+// "Online Resource Leasing": one table per experiment E1..E16 (theorems,
+// lower bounds, tight examples; see DESIGN.md for the index).
+//
+// Usage:
+//
+//	leasebench -list
+//	leasebench -experiment E1 [-quick] [-seed 42]
+//	leasebench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leasebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leasebench", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment id (E1..E16) or 'all'")
+		quick      = fs.Bool("quick", false, "shrink sweeps and trial counts")
+		seed       = fs.Int64("seed", 2015, "base random seed")
+		list       = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range leasing.Experiments() {
+			fmt.Printf("%-4s %-24s %s\n", e.ID, e.Paper, e.Summary)
+		}
+		return nil
+	}
+	cfg := leasing.ExperimentConfig{Quick: *quick, Seed: *seed}
+	if *experiment == "all" {
+		return leasing.RunAllExperiments(cfg, os.Stdout)
+	}
+	return leasing.RunExperiment(*experiment, cfg, os.Stdout)
+}

@@ -1,0 +1,70 @@
+// Command leasegen generates synthetic demand traces in the repository's
+// JSON trace format, for use with leasesim.
+//
+// Usage:
+//
+//	leasegen -kind days     -horizon 365 -p 0.3 [-bursty] > days.json
+//	leasegen -kind deadline -horizon 365 -p 0.3 -dmax 14  > deadline.json
+//	leasegen -kind elements -horizon 365 -p 0.5 -n 50 -pmax 2 > elems.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leasegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leasegen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "days", "trace kind: days, deadline, or elements")
+		horizon = fs.Int64("horizon", 365, "number of time steps")
+		p       = fs.Float64("p", 0.3, "per-step demand probability")
+		bursty  = fs.Bool("bursty", false, "days: use the bursty Markov stream (stay=0.92)")
+		dmax    = fs.Int64("dmax", 7, "deadline: maximum slack")
+		n       = fs.Int("n", 20, "elements: universe size")
+		pmax    = fs.Int("pmax", 1, "elements: maximum multicover multiplicity")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	tr := &workload.Trace{Kind: *kind}
+	switch *kind {
+	case workload.KindDays:
+		if *bursty {
+			tr.Days = workload.BurstyDays(rng, *horizon, 0.92)
+		} else {
+			tr.Days = workload.DemandDays(rng, *horizon, *p)
+		}
+	case workload.KindDeadline:
+		tr.Deadline = workload.DeadlineStream(rng, *horizon, *p, *dmax)
+	case workload.KindElements:
+		if *n < 1 {
+			return fmt.Errorf("need -n >= 1, got %d", *n)
+		}
+		tr.Elements = workload.ElementStream(rng, *horizon, *p,
+			func() int { return rng.Intn(*n) },
+			func() int {
+				if *pmax <= 1 {
+					return 1
+				}
+				return 1 + rng.Intn(*pmax)
+			},
+		)
+	default:
+		return fmt.Errorf("unknown kind %q (want days, deadline, or elements)", *kind)
+	}
+	return workload.WriteTrace(os.Stdout, tr)
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"leasing/internal/workload"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestGenerateKinds(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{"days", []string{"-kind", "days", "-horizon", "60", "-p", "0.4", "-seed", "2"}},
+		{"bursty days", []string{"-kind", "days", "-horizon", "60", "-bursty", "-seed", "2"}},
+		{"deadline", []string{"-kind", "deadline", "-horizon", "60", "-p", "0.4", "-dmax", "5"}},
+		{"elements", []string{"-kind", "elements", "-horizon", "60", "-p", "0.5", "-n", "9", "-pmax", "2"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			out, err := captureStdout(t, func() error { return run(tt.args) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := workload.ReadTrace(strings.NewReader(out))
+			if err != nil {
+				t.Fatalf("generated trace does not parse: %v", err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Errorf("generated trace invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := captureStdout(t, func() error { return run([]string{"-kind", "bogus"}) }); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := captureStdout(t, func() error { return run([]string{"-kind", "elements", "-n", "0"}) }); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,169 @@
+// Command leasesim replays a demand trace (see leasegen) through one of
+// the thesis' online algorithms and reports its cost next to the offline
+// optimum and the resulting empirical competitive ratio.
+//
+// Usage:
+//
+//	leasesim -trace days.json -algorithm det  -k 4
+//	leasesim -trace days.json -algorithm rand -k 4 -seed 7
+//	leasesim -trace deadline.json -k 3
+//	leasesim -trace elems.json -k 2 -sets 30 -delta 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing"
+	"leasing/internal/setcover"
+	"leasing/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leasesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leasesim", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "path to a trace file written by leasegen")
+		algorithm = fs.String("algorithm", "det", "days traces: det or rand")
+		k         = fs.Int("k", 3, "number of lease types (power config, base 4, gamma 0.55)")
+		sets      = fs.Int("sets", 20, "elements traces: number of sets")
+		delta     = fs.Int("delta", 3, "elements traces: sets per element")
+		seed      = fs.Int64("seed", 1, "seed for randomized algorithms")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("missing -trace")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	cfg := leasing.PowerLeaseConfig(*k, 4, 0.55)
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch tr.Kind {
+	case workload.KindDays:
+		return simDays(cfg, tr.Days, *algorithm, rng)
+	case workload.KindDeadline:
+		return simDeadline(cfg, tr.Deadline)
+	case workload.KindElements:
+		return simElements(cfg, tr.Elements, *sets, *delta, rng)
+	default:
+		return fmt.Errorf("unsupported trace kind %q", tr.Kind)
+	}
+}
+
+func simDays(cfg *leasing.LeaseConfig, days []int64, algorithm string, rng *rand.Rand) error {
+	var (
+		alg leasing.ParkingPermitAlgorithm
+		err error
+	)
+	switch algorithm {
+	case "det":
+		alg, err = leasing.NewDeterministicParkingPermit(cfg)
+	case "rand":
+		alg, err = leasing.NewRandomizedParkingPermit(cfg, rng)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want det or rand)", algorithm)
+	}
+	if err != nil {
+		return err
+	}
+	cost, err := leasing.RunParkingPermit(alg, days)
+	if err != nil {
+		return err
+	}
+	opt, _, err := leasing.ParkingPermitOptimal(cfg, days)
+	if err != nil {
+		return err
+	}
+	report(cost, opt, len(days))
+	return nil
+}
+
+func simDeadline(cfg *leasing.LeaseConfig, clients []leasing.DeadlineClient) error {
+	in, err := leasing.NewDeadlineInstance(cfg, clients)
+	if err != nil {
+		return err
+	}
+	alg, err := leasing.NewDeadlineLeaser(cfg)
+	if err != nil {
+		return err
+	}
+	if err := alg.Run(in); err != nil {
+		return err
+	}
+	if err := leasing.VerifyDeadline(in, alg.Leases()); err != nil {
+		return err
+	}
+	opt, err := leasing.DeadlineOptimal(in, 0)
+	if err != nil {
+		return fmt.Errorf("offline optimum: %w (instance may be too large for exact search)", err)
+	}
+	report(alg.TotalCost(), opt, len(clients))
+	return nil
+}
+
+func simElements(cfg *leasing.LeaseConfig, arrivals []leasing.ElementArrival, sets, delta int, rng *rand.Rand) error {
+	n := 0
+	for _, a := range arrivals {
+		if a.Elem >= n {
+			n = a.Elem + 1
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("trace has no arrivals")
+	}
+	fam, err := setcover.RandomFamily(rng, n, sets, delta)
+	if err != nil {
+		return err
+	}
+	costs := setcover.RandomCosts(rng, sets, cfg, 0.5)
+	inst, err := leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
+	if err != nil {
+		return err
+	}
+	alg, err := leasing.NewSetCoverLeaser(inst, rng)
+	if err != nil {
+		return err
+	}
+	if err := alg.Run(); err != nil {
+		return err
+	}
+	if err := leasing.VerifySetCover(inst, alg.Bought()); err != nil {
+		return err
+	}
+	opt, exact, err := leasing.SetCoverOptimal(inst, 50000)
+	if err != nil {
+		return err
+	}
+	if !exact {
+		fmt.Println("(offline optimum not proven; reporting best bound)")
+	}
+	report(alg.TotalCost(), opt, len(arrivals))
+	return nil
+}
+
+func report(online, opt float64, demands int) {
+	fmt.Printf("demands: %d\n", demands)
+	fmt.Printf("online cost:  %.3f\n", online)
+	fmt.Printf("offline OPT:  %.3f\n", opt)
+	if opt > 0 {
+		fmt.Printf("ratio:        %.3f\n", online/opt)
+	}
+}

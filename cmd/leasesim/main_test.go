@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leasing/internal/workload"
+)
+
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func writeTrace(t *testing.T, tr *workload.Trace) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSimulateDays(t *testing.T) {
+	path := writeTrace(t, &workload.Trace{Kind: workload.KindDays, Days: []int64{0, 1, 2, 9, 10}})
+	for _, algo := range []string{"det", "rand"} {
+		out, err := captureStdout(t, func() error {
+			return run([]string{"-trace", path, "-algorithm", algo, "-k", "2"})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		for _, want := range []string{"online cost", "offline OPT", "ratio"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s output missing %q:\n%s", algo, want, out)
+			}
+		}
+	}
+}
+
+func TestSimulateDeadline(t *testing.T) {
+	path := writeTrace(t, &workload.Trace{
+		Kind:     workload.KindDeadline,
+		Deadline: []workload.DeadlineClient{{T: 0, D: 4}, {T: 3, D: 0}, {T: 9, D: 2}},
+	})
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-trace", path, "-k", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demands: 3") {
+		t.Errorf("output missing demand count:\n%s", out)
+	}
+}
+
+func TestSimulateElements(t *testing.T) {
+	path := writeTrace(t, &workload.Trace{
+		Kind: workload.KindElements,
+		Elements: []workload.ElementArrival{
+			{T: 0, Elem: 0, P: 1}, {T: 2, Elem: 1, P: 1}, {T: 5, Elem: 2, P: 1},
+		},
+	})
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-trace", path, "-k", "2", "-sets", "6", "-delta", "2", "-seed", "4"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ratio") {
+		t.Errorf("output missing ratio:\n%s", out)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "/nonexistent/file.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := writeTrace(t, &workload.Trace{Kind: workload.KindDays, Days: []int64{1}})
+	if err := run([]string{"-trace", path, "-algorithm", "bogus"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

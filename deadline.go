@@ -1,0 +1,74 @@
+package leasing
+
+import (
+	"math/rand"
+
+	"leasing/internal/deadline"
+	"leasing/internal/workload"
+)
+
+// DeadlineClient is a flexible demand: it arrives at T and may be served on
+// any day of [T, T+D].
+type DeadlineClient = workload.DeadlineClient
+
+// DeadlineInstance is an OnlineLeasingWithDeadlines input.
+type DeadlineInstance = deadline.Instance
+
+// DeadlineLeaser is the deterministic primal-dual algorithm of thesis
+// Section 5.3, Θ(K + d_max/l_min)-competitive (O(K) for uniform slacks).
+type DeadlineLeaser = deadline.Online
+
+// SCLDInstance is a SetCoverLeasingWithDeadlines input (thesis Section
+// 5.5).
+type SCLDInstance = deadline.SCLDInstance
+
+// SCLDArrival is one SCLD demand.
+type SCLDArrival = deadline.SCLDArrival
+
+// SCLDLeaser is the randomized algorithm of thesis Algorithm 5.
+type SCLDLeaser = deadline.SCLDOnline
+
+// NewDeadlineInstance validates an OLD input (interval-model configuration
+// and a client stream sorted by arrival).
+func NewDeadlineInstance(cfg *LeaseConfig, clients []DeadlineClient) (*DeadlineInstance, error) {
+	return deadline.NewInstance(cfg, clients)
+}
+
+// NewDeadlineLeaser returns the OLD primal-dual algorithm.
+func NewDeadlineLeaser(cfg *LeaseConfig) (*DeadlineLeaser, error) {
+	return deadline.NewOnline(cfg)
+}
+
+// DeadlineOptimal computes the exact offline OLD optimum.
+func DeadlineOptimal(in *DeadlineInstance, nodeLimit int) (float64, error) {
+	return deadline.Optimal(in, nodeLimit)
+}
+
+// DeadlineTightInstance builds the Proposition 5.4 lower-bound instance on
+// which the online ratio is Θ(d_max/l_min) while OPT pays 1+eps.
+func DeadlineTightInstance(lmin, dmax int64, eps float64) (*DeadlineInstance, error) {
+	return deadline.TightInstance(lmin, dmax, eps)
+}
+
+// VerifyDeadline checks every client of the instance is served by sol
+// within its window.
+func VerifyDeadline(in *DeadlineInstance, sol []Lease) error {
+	return deadline.VerifyFeasible(in, sol)
+}
+
+// NewSCLDInstance validates a SetCoverLeasingWithDeadlines input.
+func NewSCLDInstance(fam *SetFamily, cfg *LeaseConfig, costs [][]float64, arrivals []SCLDArrival) (*SCLDInstance, error) {
+	return deadline.NewSCLDInstance(fam, cfg, costs, arrivals)
+}
+
+// NewSCLDLeaser returns the randomized SCLD algorithm (Theorem 5.7); with
+// all slacks zero it is the time-independent SetCoverLeasing algorithm of
+// Corollary 5.8.
+func NewSCLDLeaser(inst *SCLDInstance, rng *rand.Rand) (*SCLDLeaser, error) {
+	return deadline.NewSCLDOnline(inst, rng)
+}
+
+// SCLDOptimal computes the exact offline SCLD optimum.
+func SCLDOptimal(inst *SCLDInstance, nodeLimit int) (cost float64, exact bool, err error) {
+	return deadline.SCLDOptimal(inst, nodeLimit)
+}

@@ -1,0 +1,47 @@
+// Package leasing is a from-scratch Go implementation of the online
+// resource-leasing algorithms of Christine Markarian's thesis "Online
+// Resource Leasing" (PODC 2015): the Parking Permit Problem, Set
+// (Multi)Cover Leasing, Facility Leasing, and Online Leasing with
+// Deadlines, together with exact offline optima, lower-bound adversaries,
+// and an experiment harness that regenerates every bound in the thesis.
+//
+// # The model
+//
+// Time is a sequence of discrete steps. A resource is not bought once but
+// leased: a lease configuration (LeaseConfig) declares K lease types, each
+// with a duration l_k and a price c_k, where longer leases cost less per
+// step but more up front. Demands arrive online; algorithms must commit to
+// leases without knowing the future, and are measured by their competitive
+// ratio against the offline optimum.
+//
+// All online algorithms operate in the interval model (thesis Def. 2.5):
+// lease lengths are powers of two and a type-k lease starts at a multiple
+// of l_k. RoundToIntervalModel and ExpandToGeneral implement the
+// 4-competitive transformation between the general and interval models
+// (thesis Lemma 2.6).
+//
+// # Problems
+//
+//   - Parking permit (Chapter 2): one resource, demands are days that need
+//     a valid lease. NewDeterministicParkingPermit is O(K)-competitive;
+//     NewRandomizedParkingPermit is O(log K) in expectation;
+//     ParkingPermitOptimal is the exact offline DP.
+//   - Set multicover leasing (Chapter 3): elements arrive and must be
+//     covered by p distinct leased sets. NewSetCoverLeaser implements the
+//     O(log(δK) log n)-competitive randomized algorithm.
+//   - Facility leasing (Chapter 4): clients arrive in batches and connect
+//     to leased facilities in a metric. NewFacilityLeaser implements the
+//     (3+K)·H_lmax-competitive two-phase primal-dual algorithm.
+//   - Leasing with deadlines (Chapter 5): demands may wait until their
+//     deadline. NewDeadlineLeaser is Θ(K + d_max/l_min)-competitive;
+//     NewSCLDLeaser handles set cover leasing with deadlines.
+//
+// # Experiments
+//
+// RunExperiment regenerates any of the sixteen experiments E1..E16 indexed
+// in DESIGN.md; EXPERIMENTS.md records paper-predicted versus measured
+// results. The cmd/leasebench tool prints the same tables from the command
+// line.
+//
+// Everything is stdlib-only and deterministic per seed.
+package leasing

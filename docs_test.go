@@ -1,0 +1,59 @@
+package leasing
+
+// Documentation-consistency tests: the repository's promise is that every
+// experiment is indexed in DESIGN.md and recorded in EXPERIMENTS.md; these
+// tests keep the docs from drifting as experiments are added.
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(name)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return string(b)
+}
+
+func TestDesignIndexesEveryExperiment(t *testing.T) {
+	design := readDoc(t, "DESIGN.md")
+	for _, id := range ExperimentIDs() {
+		if !strings.Contains(design, id+" ") && !strings.Contains(design, "| "+id+" |") {
+			t.Errorf("DESIGN.md does not index experiment %s", id)
+		}
+	}
+}
+
+func TestExperimentsRecordsEveryExperiment(t *testing.T) {
+	record := readDoc(t, "EXPERIMENTS.md")
+	for _, id := range ExperimentIDs() {
+		if !strings.Contains(record, id) {
+			t.Errorf("EXPERIMENTS.md does not record experiment %s", id)
+		}
+	}
+}
+
+func TestReadmeMentionsDeliverables(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	for _, want := range []string{
+		"cmd/leasebench", "examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
+		"go test", "PODC 2015",
+	} {
+		if !strings.Contains(readme, want) {
+			t.Errorf("README.md missing %q", want)
+		}
+	}
+}
+
+func TestBenchmarksExistForEveryExperiment(t *testing.T) {
+	bench := readDoc(t, "bench_test.go")
+	for _, id := range ExperimentIDs() {
+		if !strings.Contains(bench, `"`+id+`"`) {
+			t.Errorf("bench_test.go has no benchmark for %s", id)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package leasing_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing"
+)
+
+// Example_parkingPermit runs the deterministic parking-permit algorithm on
+// a fixed rainy-day stream and compares it with the exact offline optimum.
+func Example_parkingPermit() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	rainy := []int64{0, 1, 2, 3, 9, 10, 11, 12}
+	alg, err := leasing.NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		fmt.Println("alg:", err)
+		return
+	}
+	online, err := leasing.RunParkingPermit(alg, rainy)
+	if err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	opt, _, err := leasing.ParkingPermitOptimal(cfg, rainy)
+	if err != nil {
+		fmt.Println("opt:", err)
+		return
+	}
+	fmt.Printf("online $%.2f, offline $%.2f\n", online, opt)
+	// Output:
+	// online $16.00, offline $6.00
+}
+
+// Example_deadlines serves flexible demands: the second client's window
+// contains the first one's deadline day, so it is served for free.
+func Example_deadlines() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 2, Cost: 1},
+		leasing.LeaseType{Length: 16, Cost: 4},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	alg, err := leasing.NewDeadlineLeaser(cfg)
+	if err != nil {
+		fmt.Println("alg:", err)
+		return
+	}
+	if err := alg.Arrive(0, 6); err != nil { // window [0, 6]
+		fmt.Println("arrive:", err)
+		return
+	}
+	if err := alg.Arrive(4, 5); err != nil { // window [4, 9] contains day 6
+		fmt.Println("arrive:", err)
+		return
+	}
+	fmt.Printf("cost $%.2f, %d clients pre-served\n", alg.TotalCost(), alg.Skips())
+	// Output:
+	// cost $2.00, 1 clients pre-served
+}
+
+// Example_setCoverLeasing leases sets online to cover arriving elements.
+func Example_setCoverLeasing() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 4, Cost: 2},
+		leasing.LeaseType{Length: 16, Cost: 5},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	fam, err := leasing.NewSetFamily(3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		fmt.Println("family:", err)
+		return
+	}
+	costs := [][]float64{{2, 5}, {2, 5}, {2, 5}}
+	arrivals := []leasing.ElementArrival{
+		{T: 0, Elem: 0, P: 1},
+		{T: 1, Elem: 2, P: 2},
+	}
+	inst, err := leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
+	if err != nil {
+		fmt.Println("instance:", err)
+		return
+	}
+	alg, err := leasing.NewSetCoverLeaser(inst, rand.New(rand.NewSource(7)))
+	if err != nil {
+		fmt.Println("alg:", err)
+		return
+	}
+	if err := alg.Run(); err != nil {
+		fmt.Println("run:", err)
+		return
+	}
+	if err := leasing.VerifySetCover(inst, alg.Bought()); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Println("all demands covered by distinct leased sets")
+	// Output:
+	// all demands covered by distinct leased sets
+}

@@ -1,0 +1,116 @@
+// File servers (thesis Chapter 3, SetMulticoverLeasing).
+//
+// A number of servers each host a subset of files. Users arrive over time
+// requesting a file with a replication requirement: the file must be
+// available from p distinct active servers at that moment. Activating
+// (leasing) a server costs money, longer activations cost less per day.
+// The randomized O(log(δK) log n) online algorithm decides which servers
+// to activate, for how long, and when.
+//
+// Run with: go run ./examples/fileservers
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fileservers:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Server activations: 2 days $2, 8 days $5, 32 days $11.
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 2, Cost: 2},
+		leasing.LeaseType{Length: 8, Cost: 5},
+		leasing.LeaseType{Length: 32, Cost: 11},
+	)
+	if err != nil {
+		return err
+	}
+
+	// 8 files hosted across 6 servers (file -> servers hosting it is the
+	// "element -> sets containing it" relation).
+	hosting := [][]int{
+		{0, 1, 2, 3}, // server 0
+		{0, 4, 5},    // server 1
+		{1, 4, 6, 7}, // server 2
+		{2, 5, 6},    // server 3
+		{3, 6, 7},    // server 4
+		{0, 1, 5, 7}, // server 5
+	}
+	fam, err := leasing.NewSetFamily(8, hosting)
+	if err != nil {
+		return err
+	}
+
+	// Per-server pricing: servers 1 and 4 run older hardware at a discount.
+	costs := make([][]float64, fam.M())
+	for s := range costs {
+		factor := 1.0
+		if s == 1 || s == 4 {
+			factor = 0.8
+		}
+		costs[s] = []float64{2 * factor, 5 * factor, 11 * factor}
+	}
+
+	// A month of user requests: popular files follow a Zipf-like skew, and
+	// a third of requests demand 2-replication.
+	rng := rand.New(rand.NewSource(99))
+	popular := []int{0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7}
+	var arrivals []leasing.ElementArrival
+	for day := int64(0); day < 30; day++ {
+		if rng.Float64() < 0.6 {
+			p := 1
+			if rng.Float64() < 0.33 {
+				p = 2
+			}
+			arrivals = append(arrivals, leasing.ElementArrival{
+				T: day, Elem: popular[rng.Intn(len(popular))], P: p,
+			})
+		}
+	}
+
+	inst, err := leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d file requests over 30 days (δ = %d servers per file)\n\n", len(arrivals), fam.Delta())
+
+	alg, err := leasing.NewSetCoverLeaser(inst, rng)
+	if err != nil {
+		return err
+	}
+	if err := alg.Run(); err != nil {
+		return err
+	}
+	if err := leasing.VerifySetCover(inst, alg.Bought()); err != nil {
+		return err
+	}
+	fmt.Printf("online activations: $%.2f over %d server leases\n", alg.TotalCost(), len(alg.Bought()))
+
+	gCost, _, err := leasing.SetCoverGreedy(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline greedy:     $%.2f\n", gCost)
+
+	opt, exact, err := leasing.SetCoverOptimal(inst, 60000)
+	if err != nil {
+		return err
+	}
+	label := "offline optimum"
+	if !exact {
+		label = "offline bound"
+	}
+	fmt.Printf("%s:    $%.2f\n", label, opt)
+	fmt.Printf("competitive ratio:  %.2f\n", alg.TotalCost()/opt)
+	return nil
+}

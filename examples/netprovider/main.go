@@ -1,0 +1,88 @@
+// Network provider (SteinerTreeLeasing, the companion problem Meyerson
+// introduced with the parking permit problem; thesis Section 5.1).
+//
+// A service provider does not own the network: links must be leased to
+// keep communicating branch offices connected, and leases expire. Pairs of
+// offices announce sessions day by day; the provider routes each session
+// over a mix of already-leased links (free) and new leases (paid), letting
+// a per-link parking-permit strategy choose lease durations — heavily used
+// links graduate to long leases on their own.
+//
+// Run with: go run ./examples/netprovider
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netprovider:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Link leases: per unit link weight, 1 day x1.0, 8 days x4.0, 32 days x10.
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 8, Cost: 4},
+		leasing.LeaseType{Length: 32, Cost: 10},
+	)
+	if err != nil {
+		return err
+	}
+
+	// A 12-office network with some redundancy.
+	rng := rand.New(rand.NewSource(33))
+	g, err := leasing.RandomConnectedGraph(rng, 12, 22, 1, 3)
+	if err != nil {
+		return err
+	}
+
+	// A month of sessions: two chatty office pairs plus background traffic.
+	var reqs []leasing.SteinerRequest
+	for day := int64(0); day < 30; day++ {
+		reqs = append(reqs, leasing.SteinerRequest{Time: day, S: 0, T: 7})
+		if day%2 == 0 {
+			reqs = append(reqs, leasing.SteinerRequest{Time: day, S: 3, T: 11})
+		}
+		if rng.Float64() < 0.3 {
+			s, t := rng.Intn(12), rng.Intn(12)
+			if s != t {
+				reqs = append(reqs, leasing.SteinerRequest{Time: day, S: s, T: t})
+			}
+		}
+	}
+	inst, err := leasing.NewSteinerInstance(g, cfg, reqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d sessions over 30 days on a %d-office / %d-link network\n\n",
+		len(reqs), g.N(), g.M())
+
+	alg, err := leasing.NewSteinerLeaser(inst)
+	if err != nil {
+		return err
+	}
+	if err := alg.Run(); err != nil {
+		return err
+	}
+	if err := alg.VerifyFeasible(); err != nil {
+		return err
+	}
+	fmt.Printf("online link leasing:    $%.2f\n", alg.TotalCost())
+
+	baseline, err := leasing.SteinerOfflineBaseline(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hindsight static plan:  $%.2f\n", baseline)
+	fmt.Printf("price of leasing online: %.2fx (per-link guarantee: at most %dx the plan)\n",
+		alg.TotalCost()/baseline, cfg.K())
+	return nil
+}

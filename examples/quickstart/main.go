@@ -1,0 +1,77 @@
+// Quickstart: the Parking Permit Problem (thesis Fig. 1.1).
+//
+// On rainy days you must hold a valid parking permit; permits come in
+// several durations, longer ones cheaper per day. The online algorithm
+// must decide which permit to buy without a weather forecast. This example
+// runs the deterministic O(K) primal-dual algorithm on a month of weather
+// and compares it with the exact offline optimum.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Three permit types: 1 day for $1, 4 days for $2.50, 16 days for $6.
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		return err
+	}
+
+	// A month of weather: rainy with probability 0.45, in streaks.
+	rng := rand.New(rand.NewSource(7))
+	var rainy []int64
+	wet := false
+	for day := int64(0); day < 30; day++ {
+		if rng.Float64() < 0.25 {
+			wet = !wet
+		}
+		if wet {
+			rainy = append(rainy, day)
+		}
+	}
+	fmt.Printf("rainy days: %v\n\n", rainy)
+
+	alg, err := leasing.NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		return err
+	}
+	for _, day := range rainy {
+		before := alg.TotalCost()
+		if err := alg.Arrive(day); err != nil {
+			return err
+		}
+		if spent := alg.TotalCost() - before; spent > 0 {
+			fmt.Printf("day %2d: rain — bought $%.2f of permits (total $%.2f)\n", day, spent, alg.TotalCost())
+		} else {
+			fmt.Printf("day %2d: rain — already covered\n", day)
+		}
+	}
+
+	opt, sol, err := leasing.ParkingPermitOptimal(cfg, rainy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nonline total:  $%.2f over %d permits\n", alg.TotalCost(), len(alg.Leases()))
+	fmt.Printf("offline OPT:   $%.2f over %d permits (with hindsight)\n", opt, len(sol))
+	fmt.Printf("price of not knowing the future: %.2fx (theory: at most %dx)\n",
+		alg.TotalCost()/opt, cfg.K())
+	return nil
+}

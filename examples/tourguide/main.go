@@ -1,0 +1,95 @@
+// Tour guide hiring (thesis Chapter 5, OnlineLeasingWithDeadlines).
+//
+// A travel agency hires guides for city tours. Tourists announce a window:
+// "any day before I leave works". Guides are hired for blocks of days —
+// longer blocks cost less per day — and a tourist is happy if a guide is
+// working on at least one day of their window. The Chapter 5 primal-dual
+// algorithm decides when to hire and for how long; patient tourists are
+// batched onto shared guide days via the deadline mirror trick.
+//
+// Run with: go run ./examples/tourguide
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tourguide:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Guide contracts: 2 days $5, 8 days $14, 32 days $40.
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 2, Cost: 5},
+		leasing.LeaseType{Length: 8, Cost: 14},
+		leasing.LeaseType{Length: 32, Cost: 40},
+	)
+	if err != nil {
+		return err
+	}
+
+	// A season of tourists; most can wait a few days, some leave same-day.
+	rng := rand.New(rand.NewSource(12))
+	var tourists []leasing.DeadlineClient
+	for day := int64(0); day < 60; day++ {
+		if rng.Float64() < 0.4 {
+			stay := rng.Int63n(8) // leaves within a week
+			tourists = append(tourists, leasing.DeadlineClient{T: day, D: stay})
+		}
+	}
+	in, err := leasing.NewDeadlineInstance(cfg, tourists)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d tourists over 60 days (max patience %d days)\n\n", len(tourists), in.DMax())
+
+	alg, err := leasing.NewDeadlineLeaser(cfg)
+	if err != nil {
+		return err
+	}
+	if err := alg.Run(in); err != nil {
+		return err
+	}
+	if err := leasing.VerifyDeadline(in, alg.Leases()); err != nil {
+		return err
+	}
+	fmt.Printf("online hiring:   $%.2f over %d contracts (%d tourists pre-served free)\n",
+		alg.TotalCost(), len(alg.Leases()), alg.Skips())
+
+	opt, err := leasing.DeadlineOptimal(in, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("offline optimum: $%.2f\n", opt)
+	fmt.Printf("ratio: %.2f (theory: at most K + dmax/lmin = %.1f)\n",
+		alg.TotalCost()/opt, float64(cfg.K())+float64(in.DMax())/float64(cfg.LMin()))
+
+	// The flip side: the Proposition 5.4 tight example, where flexibility
+	// backfires for ANY online strategy of this type.
+	tight, err := leasing.DeadlineTightInstance(2, 64, 0.01)
+	if err != nil {
+		return err
+	}
+	talg, err := leasing.NewDeadlineLeaser(tight.Cfg)
+	if err != nil {
+		return err
+	}
+	if err := talg.Run(tight); err != nil {
+		return err
+	}
+	topt, err := leasing.DeadlineOptimal(tight, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntight example (Prop 5.4): online $%.2f vs OPT $%.2f — ratio %.1f ≈ dmax/lmin = %d\n",
+		talg.TotalCost(), topt, talg.TotalCost()/topt, 64/tight.Cfg.LMin())
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package coverext implements the covering-problem reductions that the
+// Chapter 3 outlook proposes: VertexCoverLeasing (edges arrive over time
+// and must be covered by a leased endpoint — δ = 2, so the Chapter 3
+// algorithm is O(log(2K) log n)-competitive) and EdgeCoverLeasing
+// (vertices arrive and must be covered by a leased incident edge — δ is
+// the maximum degree). Both reduce to SetMulticoverLeasing over families
+// derived from a graph, reusing the full Chapter 3 machinery (online
+// algorithm, greedy, exact ILP).
+package coverext
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing/internal/graph"
+	"leasing/internal/lease"
+	"leasing/internal/setcover"
+	"leasing/internal/workload"
+)
+
+// VertexCoverFamily builds the set system of VertexCoverLeasing: the
+// universe is the edge set (element e = edge index), and set v contains
+// the edges incident to vertex v. Every element is in exactly two sets
+// (its endpoints), so δ = 2. Isolated vertices yield empty sets and are
+// rejected by the family validator, so the graph must have no isolated
+// vertices.
+func VertexCoverFamily(g *graph.Graph) (*setcover.Family, error) {
+	sets := make([][]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		sets[v] = g.Incident(v)
+		if len(sets[v]) == 0 {
+			return nil, fmt.Errorf("coverext: vertex %d is isolated (empty covering set)", v)
+		}
+	}
+	return setcover.NewFamily(g.M(), sets)
+}
+
+// EdgeCoverFamily builds the set system of EdgeCoverLeasing: the universe
+// is the vertex set, and set e contains the two endpoints of edge e.
+// δ equals the maximum degree.
+func EdgeCoverFamily(g *graph.Graph) (*setcover.Family, error) {
+	sets := make([][]int, g.M())
+	for e := 0; e < g.M(); e++ {
+		ed := g.Edge(e)
+		sets[e] = []int{ed.U, ed.V}
+	}
+	return setcover.NewFamily(g.N(), sets)
+}
+
+// VertexCoverInstance assembles a full VertexCoverLeasing instance: a
+// random stream of edge arrivals (each edge demand must be covered by one
+// leased endpoint at its arrival time) with vertex leasing costs
+// vertexCost[v] * cfg.Cost(k).
+func VertexCoverInstance(rng *rand.Rand, g *graph.Graph, cfg *lease.Config, horizon int64, pArrive float64) (*setcover.Instance, error) {
+	fam, err := VertexCoverFamily(g)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([][]float64, g.N())
+	for v := range costs {
+		row := make([]float64, cfg.K())
+		f := 1 + rng.Float64()*0.5
+		for k := range row {
+			row[k] = cfg.Cost(k) * f
+		}
+		costs[v] = row
+	}
+	arrivals := workload.ElementStream(rng, horizon, pArrive,
+		func() int { return rng.Intn(g.M()) },
+		func() int { return 1 },
+	)
+	return setcover.NewInstance(fam, cfg, costs, arrivals, setcover.PerArrival)
+}
+
+// EdgeCoverInstance assembles an EdgeCoverLeasing instance: vertices
+// arrive and must be covered by a leased incident edge; edge lease prices
+// scale with the edge weight.
+func EdgeCoverInstance(rng *rand.Rand, g *graph.Graph, cfg *lease.Config, horizon int64, pArrive float64) (*setcover.Instance, error) {
+	fam, err := EdgeCoverFamily(g)
+	if err != nil {
+		return nil, err
+	}
+	costs := make([][]float64, g.M())
+	for e := range costs {
+		row := make([]float64, cfg.K())
+		w := g.Edge(e).Weight
+		for k := range row {
+			row[k] = cfg.Cost(k) * w
+		}
+		costs[e] = row
+	}
+	arrivals := workload.ElementStream(rng, horizon, pArrive,
+		func() int { return rng.Intn(g.N()) },
+		func() int { return 1 },
+	)
+	return setcover.NewInstance(fam, cfg, costs, arrivals, setcover.PerArrival)
+}

@@ -1,0 +1,141 @@
+package coverext
+
+import (
+	"math/rand"
+	"testing"
+
+	"leasing/internal/graph"
+	"leasing/internal/lease"
+	"leasing/internal/setcover"
+)
+
+func coverConfig() *lease.Config {
+	return lease.MustConfig(
+		lease.Type{Length: 2, Cost: 1},
+		lease.Type{Length: 8, Cost: 2.5},
+	)
+}
+
+func triangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New(3, []graph.Edge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 2},
+		{U: 0, V: 2, Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestVertexCoverFamilyStructure(t *testing.T) {
+	g := triangle(t)
+	fam, err := VertexCoverFamily(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.N() != g.M() || fam.M() != g.N() {
+		t.Fatalf("family dims (%d,%d), want (%d,%d)", fam.N(), fam.M(), g.M(), g.N())
+	}
+	// Every edge belongs to exactly its 2 endpoints: δ = 2.
+	if fam.Delta() != 2 {
+		t.Errorf("delta = %d, want 2", fam.Delta())
+	}
+	for e := 0; e < fam.N(); e++ {
+		if got := len(fam.Containing(e)); got != 2 {
+			t.Errorf("edge %d covered by %d vertices, want 2", e, got)
+		}
+	}
+	// Isolated vertex rejected.
+	iso, err := graph.New(3, []graph.Edge{{U: 0, V: 1, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VertexCoverFamily(iso); err == nil {
+		t.Error("isolated vertex accepted")
+	}
+}
+
+func TestEdgeCoverFamilyStructure(t *testing.T) {
+	g := triangle(t)
+	fam, err := EdgeCoverFamily(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.N() != g.N() || fam.M() != g.M() {
+		t.Fatalf("family dims (%d,%d), want (%d,%d)", fam.N(), fam.M(), g.N(), g.M())
+	}
+	// In a triangle every vertex has degree 2: δ = 2.
+	if fam.Delta() != 2 {
+		t.Errorf("delta = %d, want 2 for triangle", fam.Delta())
+	}
+	if fam.MaxSetSize() != 2 {
+		t.Errorf("sets must have exactly the 2 endpoints, got max %d", fam.MaxSetSize())
+	}
+}
+
+func TestVertexCoverLeasingEndToEnd(t *testing.T) {
+	cfg := coverConfig()
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.RandomConnected(rng, 8, 14, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := VertexCoverInstance(rng, g, cfg, 24, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.Arrivals) == 0 {
+			continue
+		}
+		alg, err := setcover.NewOnline(inst, rng, setcover.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alg.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := setcover.Optimal(inst, 20000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Exact && alg.TotalCost() < opt.Cost-1e-6 {
+			t.Errorf("seed %d: online %v below OPT %v", seed, alg.TotalCost(), opt.Cost)
+		}
+	}
+}
+
+func TestEdgeCoverLeasingEndToEnd(t *testing.T) {
+	cfg := coverConfig()
+	rng := rand.New(rand.NewSource(11))
+	g, err := graph.RandomConnected(rng, 8, 12, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := EdgeCoverInstance(rng, g, cfg, 20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := setcover.NewOnline(inst, rng, setcover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
+		t.Error(err)
+	}
+	// Edge lease costs must scale with the edge weight.
+	for e := 0; e < g.M(); e++ {
+		if inst.Costs[e][0] != cfg.Cost(0)*g.Edge(e).Weight {
+			t.Errorf("edge %d cost %v, want weight-scaled %v", e, inst.Costs[e][0], cfg.Cost(0)*g.Edge(e).Weight)
+			break
+		}
+	}
+}

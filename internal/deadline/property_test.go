@@ -1,0 +1,108 @@
+package deadline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"leasing/internal/lease"
+	"leasing/internal/workload"
+)
+
+// clientsFromMask turns a bitmask into a deadline-client stream: bit b set
+// means a client arrives on day 2b with slack (b mod 5).
+func clientsFromMask(mask uint32) []workload.DeadlineClient {
+	var out []workload.DeadlineClient
+	for b := 0; b < 32; b++ {
+		if mask&(1<<b) != 0 {
+			out = append(out, workload.DeadlineClient{T: int64(2 * b), D: int64(b % 5)})
+		}
+	}
+	return out
+}
+
+// Property (Theorem 5.3): for arbitrary client masks the OLD primal-dual
+// is feasible, dual-feasible, weakly dominated by OPT, and within the
+// K + dmax/lmin bound.
+func TestQuickOLDInvariants(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 2, Cost: 1},
+		lease.Type{Length: 16, Cost: 4},
+	)
+	f := func(mask uint32) bool {
+		clients := clientsFromMask(mask)
+		if len(clients) == 0 {
+			return true
+		}
+		in, err := NewInstance(cfg, clients)
+		if err != nil {
+			return false
+		}
+		alg, err := NewOnline(cfg)
+		if err != nil {
+			return false
+		}
+		if err := alg.Run(in); err != nil {
+			return false
+		}
+		if err := VerifyFeasible(in, alg.Leases()); err != nil {
+			return false
+		}
+		if !alg.DualFeasible() {
+			return false
+		}
+		opt, err := Optimal(in, 0)
+		if err != nil {
+			return false
+		}
+		if alg.DualTotal() > opt+1e-6 {
+			return false
+		}
+		bound := float64(cfg.K()) + float64(in.DMax())/float64(cfg.LMin()) + 1
+		return alg.TotalCost() >= opt-1e-6 && alg.TotalCost() <= bound*opt+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening a client's window can only help — OPT with slack d+1
+// everywhere is at most OPT with slack d.
+func TestQuickSlackMonotone(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 2, Cost: 1},
+		lease.Type{Length: 16, Cost: 4},
+	)
+	f := func(mask uint16, d uint8) bool {
+		slack := int64(d % 6)
+		var tight, loose []workload.DeadlineClient
+		for b := 0; b < 16; b++ {
+			if mask&(1<<b) != 0 {
+				tight = append(tight, workload.DeadlineClient{T: int64(3 * b), D: slack})
+				loose = append(loose, workload.DeadlineClient{T: int64(3 * b), D: slack + 2})
+			}
+		}
+		if len(tight) == 0 {
+			return true
+		}
+		inTight, err := NewInstance(cfg, tight)
+		if err != nil {
+			return false
+		}
+		inLoose, err := NewInstance(cfg, loose)
+		if err != nil {
+			return false
+		}
+		optTight, err := Optimal(inTight, 0)
+		if err != nil {
+			return false
+		}
+		optLoose, err := Optimal(inLoose, 0)
+		if err != nil {
+			return false
+		}
+		return optLoose <= optTight+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

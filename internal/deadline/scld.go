@@ -1,0 +1,321 @@
+package deadline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"leasing/internal/ilp"
+	"leasing/internal/lease"
+	"leasing/internal/lp"
+	"leasing/internal/setcover"
+)
+
+// SCLDArrival is one demand of SetCoverLeasingWithDeadlines: element Elem
+// arrives at day T and must be covered by a set leased over some day of
+// [T, T+D].
+type SCLDArrival struct {
+	T    int64
+	Elem int
+	D    int64
+}
+
+// SCLDInstance bundles a set system, lease configuration, per-set leasing
+// costs, and a deadline demand stream (Section 5.5, Figure 5.4).
+type SCLDInstance struct {
+	Fam      *setcover.Family
+	Cfg      *lease.Config
+	Costs    [][]float64
+	Arrivals []SCLDArrival
+}
+
+// NewSCLDInstance validates the input.
+func NewSCLDInstance(fam *setcover.Family, cfg *lease.Config, costs [][]float64, arrivals []SCLDArrival) (*SCLDInstance, error) {
+	if !cfg.IsIntervalModel() {
+		return nil, ErrNotIntervalModel
+	}
+	if len(costs) != fam.M() {
+		return nil, fmt.Errorf("deadline: %d cost rows for %d sets", len(costs), fam.M())
+	}
+	for s, row := range costs {
+		if len(row) != cfg.K() {
+			return nil, fmt.Errorf("deadline: cost row %d has %d entries, want %d", s, len(row), cfg.K())
+		}
+		for k, c := range row {
+			if !(c > 0) {
+				return nil, fmt.Errorf("deadline: cost[%d][%d] = %v, want > 0", s, k, c)
+			}
+		}
+	}
+	var lastT int64
+	for i, a := range arrivals {
+		if a.Elem < 0 || a.Elem >= fam.N() {
+			return nil, fmt.Errorf("deadline: arrival %d element %d outside universe", i, a.Elem)
+		}
+		if a.D < 0 {
+			return nil, fmt.Errorf("deadline: arrival %d negative slack", i)
+		}
+		if i > 0 && a.T < lastT {
+			return nil, fmt.Errorf("deadline: arrival %d out of order", i)
+		}
+		lastT = a.T
+	}
+	return &SCLDInstance{Fam: fam, Cfg: cfg, Costs: costs, Arrivals: arrivals}, nil
+}
+
+// candidates returns the triples (S, k, start) with Elem in S whose windows
+// intersect [t, t+d].
+func (in *SCLDInstance) candidates(e int, t, d int64) []setcover.SetLease {
+	var out []setcover.SetLease
+	for _, s := range in.Fam.Containing(e) {
+		for k := 0; k < in.Cfg.K(); k++ {
+			for _, l := range in.Cfg.Intersecting(k, t, t+d) {
+				out = append(out, setcover.SetLease{Set: s, K: k, Start: l.Start})
+			}
+		}
+	}
+	return out
+}
+
+// SCLDOnline is Algorithm 5: fractional multiplicative increments over the
+// deadline-widened candidate list, randomized rounding with per-triple
+// min-of-2⌈log2(l_max)⌉-uniform thresholds, and a cheapest-candidate
+// fallback. Setting every slack to zero recovers the time-independent
+// SetCoverLeasing algorithm of Corollary 5.8.
+type SCLDOnline struct {
+	inst      *SCLDInstance
+	rng       *rand.Rand
+	draws     int
+	frac      map[setcover.SetLease]float64
+	mu        map[setcover.SetLease]float64
+	bought    map[setcover.SetLease]struct{}
+	total     float64
+	fracCost  float64
+	fallbacks int
+	lastT     int64
+	started   bool
+}
+
+// NewSCLDOnline builds the algorithm; rng supplies threshold draws.
+func NewSCLDOnline(inst *SCLDInstance, rng *rand.Rand) (*SCLDOnline, error) {
+	if rng == nil {
+		return nil, errors.New("deadline: nil rng")
+	}
+	draws := 2 * int(math.Ceil(math.Log2(float64(inst.Cfg.LMax()+1))))
+	if draws < 1 {
+		draws = 1
+	}
+	return &SCLDOnline{
+		inst:   inst,
+		rng:    rng,
+		draws:  draws,
+		frac:   make(map[setcover.SetLease]float64),
+		mu:     make(map[setcover.SetLease]float64),
+		bought: make(map[setcover.SetLease]struct{}),
+	}, nil
+}
+
+func (o *SCLDOnline) threshold(sl setcover.SetLease) float64 {
+	if mu, ok := o.mu[sl]; ok {
+		return mu
+	}
+	mu := 1.0
+	for i := 0; i < o.draws; i++ {
+		if u := o.rng.Float64(); u < mu {
+			mu = u
+		}
+	}
+	o.mu[sl] = mu
+	return mu
+}
+
+// Arrive processes the demand (element e, window [t, t+d]).
+func (o *SCLDOnline) Arrive(t int64, e int, d int64) error {
+	if o.started && t < o.lastT {
+		return fmt.Errorf("deadline: arrival at %d precedes %d", t, o.lastT)
+	}
+	o.started, o.lastT = true, t
+	if e < 0 || e >= o.inst.Fam.N() {
+		return fmt.Errorf("deadline: element %d outside universe", e)
+	}
+	if d < 0 {
+		return fmt.Errorf("deadline: negative slack %d", d)
+	}
+	cands := o.inst.candidates(e, t, d)
+	if len(cands) == 0 {
+		return fmt.Errorf("deadline: element %d in no set", e)
+	}
+
+	sum := 0.0
+	for _, c := range cands {
+		sum += o.frac[c]
+	}
+	for sum < 1 {
+		sum = 0
+		for _, c := range cands {
+			cost := o.inst.Costs[c.Set][c.K]
+			f := o.frac[c]
+			nf := f*(1+1/cost) + 1/(float64(len(cands))*cost)
+			o.frac[c] = nf
+			o.fracCost += (nf - f) * cost
+			sum += nf
+		}
+	}
+
+	covered := false
+	for _, c := range cands {
+		if _, ok := o.bought[c]; ok {
+			covered = true
+			continue
+		}
+		if o.frac[c] > o.threshold(c) {
+			o.bought[c] = struct{}{}
+			o.total += o.inst.Costs[c.Set][c.K]
+			covered = true
+		}
+	}
+	if covered {
+		return nil
+	}
+	o.fallbacks++
+	best := cands[0]
+	bestCost := o.inst.Costs[best.Set][best.K]
+	for _, c := range cands[1:] {
+		if cc := o.inst.Costs[c.Set][c.K]; cc < bestCost {
+			best, bestCost = c, cc
+		}
+	}
+	o.bought[best] = struct{}{}
+	o.total += bestCost
+	return nil
+}
+
+// Run feeds the whole instance through the algorithm.
+func (o *SCLDOnline) Run() error {
+	for _, a := range o.inst.Arrivals {
+		if err := o.Arrive(a.T, a.Elem, a.D); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TotalCost returns the integral solution cost.
+func (o *SCLDOnline) TotalCost() float64 { return o.total }
+
+// FractionalCost returns the accumulated fractional cost (Lemma 5.5).
+func (o *SCLDOnline) FractionalCost() float64 { return o.fracCost }
+
+// Fallbacks returns how often the cheapest-candidate fallback fired.
+func (o *SCLDOnline) Fallbacks() int { return o.fallbacks }
+
+// Bought returns the leased triples (unordered).
+func (o *SCLDOnline) Bought() []setcover.SetLease {
+	out := make([]setcover.SetLease, 0, len(o.bought))
+	for sl := range o.bought {
+		out = append(out, sl)
+	}
+	return out
+}
+
+// VerifySCLDFeasible checks every arrival has a bought triple of a
+// containing set whose window intersects the arrival's window.
+func VerifySCLDFeasible(inst *SCLDInstance, bought []setcover.SetLease) error {
+	owned := make(map[setcover.SetLease]struct{}, len(bought))
+	for _, sl := range bought {
+		owned[sl] = struct{}{}
+	}
+	for i, a := range inst.Arrivals {
+		ok := false
+		for _, c := range inst.candidates(a.Elem, a.T, a.D) {
+			if _, got := owned[c]; got {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("deadline: arrival %d (elem %d, window [%d,%d]) unserved", i, a.Elem, a.T, a.T+a.D)
+		}
+	}
+	return nil
+}
+
+// SCLDLPLowerBound returns the LP-relaxation lower bound on the SCLD
+// optimum, used for instances too large for exact branch and bound (the
+// time-independence experiment of Corollary 5.8 grows the horizon far past
+// what exact search handles).
+func SCLDLPLowerBound(inst *SCLDInstance) (float64, error) {
+	if len(inst.Arrivals) == 0 {
+		return 0, nil
+	}
+	candIdx := map[setcover.SetLease]int{}
+	var cands []setcover.SetLease
+	for _, a := range inst.Arrivals {
+		for _, c := range inst.candidates(a.Elem, a.T, a.D) {
+			if _, ok := candIdx[c]; !ok {
+				candIdx[c] = len(cands)
+				cands = append(cands, c)
+			}
+		}
+	}
+	costs := make([]float64, len(cands))
+	for i, c := range cands {
+		costs[i] = inst.Costs[c.Set][c.K]
+	}
+	prob := lp.NewMinimize(costs)
+	for _, a := range inst.Arrivals {
+		row := map[int]float64{}
+		for _, c := range inst.candidates(a.Elem, a.T, a.D) {
+			row[candIdx[c]] = 1
+		}
+		if err := prob.Add(row, lp.GE, 1); err != nil {
+			return 0, err
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("deadline: SCLD LP status %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// SCLDOptimal computes the exact offline optimum of an SCLD instance by
+// branch and bound. nodeLimit <= 0 uses the solver default.
+func SCLDOptimal(inst *SCLDInstance, nodeLimit int) (float64, bool, error) {
+	if len(inst.Arrivals) == 0 {
+		return 0, true, nil
+	}
+	candIdx := map[setcover.SetLease]int{}
+	var cands []setcover.SetLease
+	for _, a := range inst.Arrivals {
+		for _, c := range inst.candidates(a.Elem, a.T, a.D) {
+			if _, ok := candIdx[c]; !ok {
+				candIdx[c] = len(cands)
+				cands = append(cands, c)
+			}
+		}
+	}
+	costs := make([]float64, len(cands))
+	for i, c := range cands {
+		costs[i] = inst.Costs[c.Set][c.K]
+	}
+	prob := ilp.NewBinaryMinimize(costs)
+	for _, a := range inst.Arrivals {
+		row := map[int]float64{}
+		for _, c := range inst.candidates(a.Elem, a.T, a.D) {
+			row[candIdx[c]] = 1
+		}
+		if err := prob.Add(row, lp.GE, 1); err != nil {
+			return 0, false, err
+		}
+	}
+	res, err := prob.Solve(ilp.Options{NodeLimit: nodeLimit})
+	if err != nil {
+		return 0, false, fmt.Errorf("deadline: SCLD ILP: %w", err)
+	}
+	return res.Objective, res.Proven, nil
+}

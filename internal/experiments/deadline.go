@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing/internal/deadline"
+	"leasing/internal/lease"
+	"leasing/internal/setcover"
+	"leasing/internal/sim"
+	"leasing/internal/stats"
+	"leasing/internal/workload"
+)
+
+func oldLeaseConfig(k int) *lease.Config {
+	return lease.PowerConfig(k, 4, 0.55)
+}
+
+// e10Deadlines measures OLD ratios in both regimes of Theorem 5.3: uniform
+// slacks (O(K)) sweeping K, and non-uniform slacks (O(K + dmax/lmin))
+// sweeping dmax.
+func e10Deadlines(cfg Config) (*sim.Table, error) {
+	ks := []int{1, 2, 3, 4}
+	dmaxes := []int64{0, 4, 8, 16, 32}
+	trials := 8
+	horizon := int64(96)
+	if cfg.Quick {
+		ks = []int{2}
+		dmaxes = []int64{0, 8}
+		trials = 3
+		horizon = 48
+	}
+	tb := &sim.Table{
+		Title:   "E10 online leasing with deadlines (Thm 5.3)",
+		Columns: []string{"mode", "K", "dmax", "trials", "mean_ratio", "max_ratio", "bound"},
+		Note:    "uniform bound 2K; non-uniform bound K + dmax/lmin",
+	}
+	// Uniform sweep over K with fixed slack 4.
+	for _, k := range ks {
+		lcfg := oldLeaseConfig(k)
+		s, err := sim.Ratios(trials, cfg.Seed+int64(k)*17, func(rng *rand.Rand) (float64, float64, error) {
+			clients := workload.UniformDeadlineStream(rng, horizon, 0.35, 4)
+			return oldTrial(lcfg, clients)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow("uniform", sim.D(k), "4", sim.D(s.N), sim.F(s.Mean), sim.F(s.Max), sim.F(2*float64(k)))
+	}
+	// Non-uniform sweep over dmax with fixed K=2.
+	lcfg := oldLeaseConfig(2)
+	for _, dmax := range dmaxes {
+		s, err := sim.Ratios(trials, cfg.Seed+dmax*29+1, func(rng *rand.Rand) (float64, float64, error) {
+			clients := workload.DeadlineStream(rng, horizon, 0.35, dmax)
+			return oldTrial(lcfg, clients)
+		})
+		if err != nil {
+			return nil, err
+		}
+		bound := float64(lcfg.K()) + float64(dmax)/float64(lcfg.LMin())
+		tb.MustAddRow("non-uniform", sim.D(lcfg.K()), sim.D64(dmax), sim.D(s.N), sim.F(s.Mean), sim.F(s.Max), sim.F(bound))
+	}
+	return tb, nil
+}
+
+func oldTrial(lcfg *lease.Config, clients []workload.DeadlineClient) (float64, float64, error) {
+	if len(clients) == 0 {
+		return 0, 0, nil
+	}
+	in, err := deadline.NewInstance(lcfg, clients)
+	if err != nil {
+		return 0, 0, err
+	}
+	alg, err := deadline.NewOnline(lcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := alg.Run(in); err != nil {
+		return 0, 0, err
+	}
+	if err := deadline.VerifyFeasible(in, alg.Leases()); err != nil {
+		return 0, 0, err
+	}
+	opt, err := deadline.Optimal(in, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	return alg.TotalCost(), opt, nil
+}
+
+// e11TightExample replays the literal Proposition 5.4 instance for growing
+// dmax: the online cost grows like dmax/lmin while OPT stays 1+eps.
+func e11TightExample(cfg Config) (*sim.Table, error) {
+	dmaxes := []int64{8, 16, 32, 64, 128}
+	if cfg.Quick {
+		dmaxes = []int64{8, 16}
+	}
+	const lmin = 2
+	const eps = 0.01
+	tb := &sim.Table{
+		Title:   "E11 tight example (Prop 5.4 / Fig 5.3)",
+		Columns: []string{"dmax", "dmax/lmin", "online", "opt", "ratio"},
+	}
+	var xs, ys []float64
+	for _, dmax := range dmaxes {
+		in, err := deadline.TightInstance(lmin, dmax, eps)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := deadline.NewOnline(in.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := alg.Run(in); err != nil {
+			return nil, err
+		}
+		if err := deadline.VerifyFeasible(in, alg.Leases()); err != nil {
+			return nil, err
+		}
+		opt, err := deadline.Optimal(in, 0)
+		if err != nil {
+			return nil, err
+		}
+		ratio := alg.TotalCost() / opt
+		tb.MustAddRow(sim.D64(dmax), sim.F(float64(dmax)/float64(in.Cfg.LMin())), sim.F(alg.TotalCost()), sim.F(opt), sim.F(ratio))
+		xs = append(xs, float64(dmax)/float64(in.Cfg.LMin()))
+		ys = append(ys, ratio)
+	}
+	if fit, err := stats.LinearFit(xs, ys); err == nil {
+		tb.Note = fmt.Sprintf("linear fit of ratio on dmax/lmin: slope %.3f, R2 %.3f (paper: Theta(dmax/lmin))", fit.Slope, fit.R2)
+	}
+	return tb, nil
+}
+
+func scldInstance(rng *rand.Rand, lcfg *lease.Config, n int, horizon, dmax int64) (*deadline.SCLDInstance, error) {
+	fam, err := setcover.RandomFamily(rng, n, n, 3)
+	if err != nil {
+		return nil, err
+	}
+	costs := setcover.RandomCosts(rng, fam.M(), lcfg, 0.5)
+	var arrivals []deadline.SCLDArrival
+	for day := int64(0); day < horizon; day++ {
+		if rng.Float64() < 0.4 {
+			d := int64(0)
+			if dmax > 0 {
+				d = rng.Int63n(dmax + 1)
+			}
+			arrivals = append(arrivals, deadline.SCLDArrival{T: day, Elem: rng.Intn(n), D: d})
+		}
+	}
+	return deadline.NewSCLDInstance(fam, lcfg, costs, arrivals)
+}
+
+// e12SCLD measures the SCLD randomized algorithm against exact OPT while
+// sweeping the slack budget (Theorem 5.7).
+func e12SCLD(cfg Config) (*sim.Table, error) {
+	dmaxes := []int64{0, 4, 8}
+	trials := 5
+	horizon := int64(32)
+	n := 10
+	if cfg.Quick {
+		dmaxes = []int64{0, 4}
+		trials = 2
+		horizon = 16
+	}
+	lcfg := oldLeaseConfig(2)
+	tb := &sim.Table{
+		Title:   "E12 set cover leasing with deadlines (Thm 5.7)",
+		Columns: []string{"dmax", "trials", "mean_ratio", "max_ratio", "bound"},
+		Note:    "bound shape log2(m*(K + dmax/lmin)) * log2(lmax), constant factors omitted",
+	}
+	for _, dmax := range dmaxes {
+		s, err := sim.Ratios(trials, cfg.Seed+dmax*41+3, func(rng *rand.Rand) (float64, float64, error) {
+			inst, err := scldInstance(rng, lcfg, n, horizon, dmax)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(inst.Arrivals) == 0 {
+				return 0, 0, nil
+			}
+			alg, err := deadline.NewSCLDOnline(inst, rng)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := alg.Run(); err != nil {
+				return 0, 0, err
+			}
+			if err := deadline.VerifySCLDFeasible(inst, alg.Bought()); err != nil {
+				return 0, 0, err
+			}
+			opt, proven, err := deadline.SCLDOptimal(inst, 30000)
+			if err != nil {
+				return 0, 0, err
+			}
+			if !proven {
+				if opt, err = deadline.SCLDLPLowerBound(inst); err != nil {
+					return 0, 0, err
+				}
+			}
+			return alg.TotalCost(), opt, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bound := log2(float64(n)*(float64(lcfg.K())+float64(dmax)/float64(lcfg.LMin()))) * log2(float64(lcfg.LMax()))
+		tb.MustAddRow(sim.D64(dmax), sim.D(s.N), sim.F(s.Mean), sim.F(s.Max), sim.F(bound))
+	}
+	return tb, nil
+}
+
+// e13TimeIndependence grows the horizon with everything else fixed: the
+// Corollary 5.8 algorithm's ratio must stay flat (its bound depends on
+// l_max, not on time), in contrast to the Chapter 3 analysis whose bound
+// grows with n.
+func e13TimeIndependence(cfg Config) (*sim.Table, error) {
+	horizons := []int64{32, 64, 128, 256}
+	trials := 4
+	if cfg.Quick {
+		horizons = []int64{32, 64}
+		trials = 2
+	}
+	lcfg := oldLeaseConfig(2)
+	const n = 10
+	tb := &sim.Table{
+		Title:   "E13 time-independent set cover leasing (Cor 5.8): ratio vs horizon",
+		Columns: []string{"horizon", "trials", "mean_ratio", "max_ratio"},
+	}
+	var xs, ys []float64
+	for _, h := range horizons {
+		s, err := sim.Ratios(trials, cfg.Seed+h*3+9, func(rng *rand.Rand) (float64, float64, error) {
+			inst, err := scldInstance(rng, lcfg, n, h, 0)
+			if err != nil {
+				return 0, 0, err
+			}
+			if len(inst.Arrivals) == 0 {
+				return 0, 0, nil
+			}
+			alg, err := deadline.NewSCLDOnline(inst, rng)
+			if err != nil {
+				return 0, 0, err
+			}
+			if err := alg.Run(); err != nil {
+				return 0, 0, err
+			}
+			if err := deadline.VerifySCLDFeasible(inst, alg.Bought()); err != nil {
+				return 0, 0, err
+			}
+			lb, err := deadline.SCLDLPLowerBound(inst)
+			if err != nil {
+				return 0, 0, err
+			}
+			return alg.TotalCost(), lb, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow(sim.D64(h), sim.D(s.N), sim.F(s.Mean), sim.F(s.Max))
+		xs = append(xs, float64(h))
+		ys = append(ys, s.Mean)
+	}
+	if fit, err := stats.LogFit(xs, ys); err == nil {
+		tb.Note = fmt.Sprintf("log fit of ratio on horizon: slope %.3f (paper: flat, i.e. ~0; ratio vs LP lower bound)", fit.Slope)
+	}
+	return tb, nil
+}

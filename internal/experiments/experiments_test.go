@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every registered experiment in quick
+// mode and checks it produces a non-empty, well-formed table.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, info := range List() {
+		info := info
+		t.Run(info.ID, func(t *testing.T) {
+			t.Parallel()
+			tb, err := info.Run(Config{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", info.ID, err)
+			}
+			if tb.Title == "" || len(tb.Columns) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table %+v", info.ID, tb)
+			}
+			for i, row := range tb.Rows {
+				if len(row) != len(tb.Columns) {
+					t.Errorf("%s row %d has %d cells, want %d", info.ID, i, len(row), len(tb.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tb.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), info.ID) {
+				t.Errorf("%s: printed table missing its id:\n%s", info.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	tb, err := Run("E1", Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("E1 produced no rows")
+	}
+	if _, err := Run("E99", Config{Quick: true}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestIDsAndList(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 20 {
+		t.Errorf("got %d experiments, want 20", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+	for _, info := range List() {
+		if info.Paper == "" || info.Summary == "" || info.Run == nil {
+			t.Errorf("experiment %s has incomplete metadata", info.ID)
+		}
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll covered by per-experiment tests")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Config{Quick: true, Seed: 5}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range IDs() {
+		if !strings.Contains(out, id+" ") {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if log2(0) != 0 || log2(1) != 0 {
+		t.Error("log2 of <=1 should clamp to 0")
+	}
+	if log2(8) != 3 {
+		t.Errorf("log2(8) = %v", log2(8))
+	}
+}

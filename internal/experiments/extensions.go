@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"leasing/internal/coverext"
+	"leasing/internal/facility"
+	"leasing/internal/graph"
+	"leasing/internal/lease"
+	"leasing/internal/parking"
+	"leasing/internal/setcover"
+	"leasing/internal/sim"
+	"leasing/internal/stats"
+	"leasing/internal/steiner"
+	"leasing/internal/workload"
+)
+
+// steinerRequest aliases the steiner demand for the sweep tables.
+type steinerRequest = steiner.Request
+
+// steinerTrial runs the composed online algorithm against the hindsight
+// static-route baseline on one instance.
+func steinerTrial(g *graph.Graph, lcfg *lease.Config, reqs []steiner.Request) (float64, float64, error) {
+	inst, err := steiner.NewInstance(g, lcfg, reqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	alg, err := steiner.NewOnline(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := alg.Run(); err != nil {
+		return 0, 0, err
+	}
+	if err := alg.VerifyFeasible(); err != nil {
+		return 0, 0, err
+	}
+	baseline, err := steiner.OfflineTreeBaseline(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return alg.TotalCost(), baseline, nil
+}
+
+// e17SteinerTreeLeasing exercises SteinerTreeLeasing (the problem Meyerson
+// introduced next to the parking permit problem): the composed online
+// algorithm (marginal-price routing + per-edge parking permits) against
+// the hindsight static-tree baseline.
+func e17SteinerTreeLeasing(cfg Config) (*sim.Table, error) {
+	type point struct {
+		nodes int
+		k     int
+	}
+	points := []point{{8, 1}, {8, 2}, {16, 2}, {16, 3}, {24, 3}}
+	trials := 6
+	horizon := int64(48)
+	if cfg.Quick {
+		points = []point{{8, 2}}
+		trials = 2
+		horizon = 16
+	}
+	tb := &sim.Table{
+		Title:   "E17 Steiner tree leasing (extension; Meyerson's companion problem)",
+		Columns: []string{"nodes", "K", "trials", "mean_ratio", "max_ratio", "K_bound"},
+		Note:    "ratio vs the hindsight static-route baseline with per-edge DP-optimal leases; per-edge primal-dual keeps it within K of that baseline",
+	}
+	for _, pt := range points {
+		lcfg := lease.PowerConfig(pt.k, 4, 0.5)
+		s, err := sim.Ratios(trials, cfg.Seed+int64(pt.nodes*10+pt.k), func(rng *rand.Rand) (float64, float64, error) {
+			g, err := graph.RandomConnected(rng, pt.nodes, 2*pt.nodes, 1, 4)
+			if err != nil {
+				return 0, 0, err
+			}
+			var reqs []steinerRequest
+			for day := int64(0); day < horizon; day++ {
+				if rng.Float64() < 0.5 {
+					s, t := rng.Intn(pt.nodes), rng.Intn(pt.nodes)
+					if s == t {
+						continue
+					}
+					reqs = append(reqs, steinerRequest{Time: day, S: s, T: t})
+				}
+			}
+			if len(reqs) == 0 {
+				return 0, 0, nil
+			}
+			return steinerTrial(g, lcfg, reqs)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow(sim.D(pt.nodes), sim.D(pt.k), sim.D(s.N), sim.F(s.Mean), sim.F(s.Max), sim.D(pt.k))
+	}
+	return tb, nil
+}
+
+// e18CoverReductions exercises the Chapter 3 outlook reductions: vertex
+// cover leasing (δ = 2) and edge cover leasing (δ = max degree) through
+// the SetMulticoverLeasing machinery.
+func e18CoverReductions(cfg Config) (*sim.Table, error) {
+	sizes := []int{8, 12, 16}
+	trials := 5
+	horizon := int64(24)
+	if cfg.Quick {
+		sizes = []int{8}
+		trials = 2
+		horizon = 12
+	}
+	lcfg := lease.PowerConfig(2, 4, 0.5)
+	tb := &sim.Table{
+		Title:   "E18 covering reductions (Ch 3 outlook): vertex & edge cover leasing",
+		Columns: []string{"problem", "vertices", "delta", "trials", "mean_ratio", "bound"},
+		Note:    "both reduce to SetMulticoverLeasing; vertex cover has δ = 2 so its bound is O(log(2K) log n)",
+	}
+	for _, n := range sizes {
+		for _, kind := range []string{"vertex-cover", "edge-cover"} {
+			kind := kind
+			var deltaSeen int
+			s, err := sim.Ratios(trials, cfg.Seed+int64(n)*13+int64(len(kind)), func(rng *rand.Rand) (float64, float64, error) {
+				g, err := graph.RandomConnected(rng, n, 2*n, 1, 3)
+				if err != nil {
+					return 0, 0, err
+				}
+				var inst *setcover.Instance
+				if kind == "vertex-cover" {
+					inst, err = coverext.VertexCoverInstance(rng, g, lcfg, horizon, 0.5)
+				} else {
+					inst, err = coverext.EdgeCoverInstance(rng, g, lcfg, horizon, 0.5)
+				}
+				if err != nil {
+					return 0, 0, err
+				}
+				if len(inst.Arrivals) == 0 {
+					return 0, 0, nil
+				}
+				deltaSeen = inst.Fam.Delta()
+				alg, err := setcover.NewOnline(inst, rng, setcover.Options{})
+				if err != nil {
+					return 0, 0, err
+				}
+				if err := alg.Run(); err != nil {
+					return 0, 0, err
+				}
+				if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
+					return 0, 0, err
+				}
+				opt, err := setcover.Optimal(inst, 20000)
+				if err != nil {
+					return 0, 0, err
+				}
+				baseline := opt.Cost
+				if !opt.Exact {
+					if baseline, err = setcover.LPLowerBound(inst); err != nil {
+						return 0, 0, err
+					}
+				}
+				return alg.TotalCost(), baseline, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			universe := 2 * n // edges for vertex cover (m≈2n), vertices otherwise
+			if kind == "edge-cover" {
+				universe = n
+			}
+			bound := log2(float64(deltaSeen*lcfg.K())) * log2(float64(universe))
+			tb.MustAddRow(kind, sim.D(n), sim.D(deltaSeen), sim.D(s.N), sim.F(s.Mean), sim.F(bound))
+		}
+	}
+	return tb, nil
+}
+
+// e19CapacitatedFacility measures the price of per-step facility
+// capacities (Ch 4 outlook): exact capacitated OPT and the online greedy
+// across a capacity sweep.
+func e19CapacitatedFacility(cfg Config) (*sim.Table, error) {
+	caps := []int{1, 2, 4}
+	trials := 4
+	base := 2
+	if cfg.Quick {
+		caps = []int{2}
+		trials = 2
+	}
+	lcfg := facilityLeaseConfig()
+	tb := &sim.Table{
+		Title:   "E19 capacitated facility leasing (Ch 4 outlook)",
+		Columns: []string{"capacity", "trials", "opt_cost", "greedy_rate_ratio", "greedy_short_ratio"},
+		Note:    "capacitated OPT falls as capacity grows; the best-rate greedy commits to long leases, the shortest-type greedy rents daily",
+	}
+	for _, capU := range caps {
+		var optAcc, rateAcc, shortAcc stats.Accumulator
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(capU*100+i)))
+			inst, err := facility.RandomInstance(rng, lcfg, facility.GenParams{
+				Sites: 3, Steps: 5, Pattern: workload.PatternConstant,
+				Base: base, MaxPerStep: base, WorldSize: 30, CostSpread: 0.3,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Capacity rows make these the hardest facility ILPs; a small
+			// node budget with the proven lower bound as fallback keeps the
+			// sweep fast (ratios become conservative over-estimates).
+			res, err := facility.OptimalCapacitated(inst, capU, 800)
+			if err != nil {
+				return nil, err
+			}
+			baseline := res.Cost
+			if !res.Exact {
+				baseline = res.Lower
+			}
+			if baseline <= 0 {
+				continue
+			}
+			optAcc.Add(baseline)
+			for _, pol := range []facility.TypePolicy{facility.BestRateType, facility.ShortestType} {
+				gCost, leases, assigns, err := facility.CapacitatedGreedy(inst, capU, pol)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := facility.VerifyCapacitated(inst, leases, assigns, capU); err != nil {
+					return nil, err
+				}
+				if pol == facility.BestRateType {
+					rateAcc.Add(gCost / baseline)
+				} else {
+					shortAcc.Add(gCost / baseline)
+				}
+			}
+		}
+		tb.MustAddRow(sim.D(capU), sim.D(optAcc.N()), sim.F(optAcc.Mean()), sim.F(rateAcc.Mean()), sim.F(shortAcc.Mean()))
+	}
+	return tb, nil
+}
+
+// e20StochasticDemand studies the Chapter 5 outlook question — what if
+// demands follow a known distribution? A distribution-aware policy beats
+// the worst-case algorithm when its prior is right and loses the guarantee
+// when the prior is wrong.
+func e20StochasticDemand(cfg Config) (*sim.Table, error) {
+	ps := []float64{0.05, 0.2, 0.5, 0.9}
+	trials := 10
+	horizon := int64(512)
+	if cfg.Quick {
+		ps = []float64{0.2}
+		trials = 3
+		horizon = 128
+	}
+	lcfg := lease.PowerConfig(3, 4, 0.5)
+	tb := &sim.Table{
+		Title:   "E20 stochastic demand (Ch 5 outlook): prior-aware vs worst-case",
+		Columns: []string{"stream", "true_p", "believed_p", "trials", "pred_ratio", "det_ratio"},
+		Note:    "an accurate prior beats the worst-case algorithm; a wrong prior on bursty streams loses the guarantee the primal-dual keeps",
+	}
+	row := func(stream string, trueP, believedP float64, gen func(*rand.Rand) []int64) error {
+		var pred, det stats.Accumulator
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31 + int64(trueP*1000) + int64(believedP*7)))
+			days := gen(rng)
+			if len(days) == 0 {
+				continue
+			}
+			opt, _, err := parking.Optimal(lcfg, days)
+			if err != nil {
+				return err
+			}
+			p, err := parking.NewPredictive(lcfg, believedP)
+			if err != nil {
+				return err
+			}
+			pCost, err := parking.Run(p, days)
+			if err != nil {
+				return err
+			}
+			d, err := parking.NewDeterministic(lcfg)
+			if err != nil {
+				return err
+			}
+			dCost, err := parking.Run(d, days)
+			if err != nil {
+				return err
+			}
+			pred.Add(pCost / opt)
+			det.Add(dCost / opt)
+		}
+		tb.MustAddRow(stream, sim.F(trueP), sim.F(believedP), sim.D(pred.N()), sim.F(pred.Mean()), sim.F(det.Mean()))
+		return nil
+	}
+	for _, p := range ps {
+		p := p
+		if err := row("bernoulli", p, p, func(rng *rand.Rand) []int64 {
+			return workload.DemandDays(rng, horizon, p)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Misprediction: bursty reality, overconfident sparse prior and vice
+	// versa.
+	burst := func(rng *rand.Rand) []int64 { return workload.BurstyDays(rng, horizon, 0.95) }
+	if err := row("bursty", 0.5, 0.05, burst); err != nil {
+		return nil, err
+	}
+	if err := row("bursty", 0.5, 0.9, burst); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"leasing/internal/facility"
+	"leasing/internal/lease"
+	"leasing/internal/metric"
+	"leasing/internal/sim"
+	"leasing/internal/stats"
+	"leasing/internal/workload"
+)
+
+func facilityLeaseConfig() *lease.Config {
+	return lease.MustConfig(
+		lease.Type{Length: 1, Cost: 3},
+		lease.Type{Length: 4, Cost: 7},
+		lease.Type{Length: 8, Cost: 10},
+	)
+}
+
+// facilityTrial runs the primal-dual algorithm on a random instance and
+// compares against the exact optimum (or its proven lower bound when the
+// search is truncated).
+func facilityTrial(rng *rand.Rand, lcfg *lease.Config, p facility.GenParams) (float64, float64, float64, error) {
+	inst, err := facility.RandomInstance(rng, lcfg, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	alg, err := facility.NewOnline(inst, facility.Options{})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := alg.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	leases, assigns := alg.Solution()
+	if _, err := facility.VerifySolution(inst, leases, assigns); err != nil {
+		return 0, 0, 0, err
+	}
+	opt, err := facility.Optimal(inst, 4000)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	baseline := opt.Cost
+	if !opt.Exact {
+		baseline = opt.Lower
+	}
+	h := workload.HSeries(inst.BatchCounts())
+	return alg.TotalCost(), baseline, h, nil
+}
+
+// e9FacilityLeasing sweeps the arrival patterns of Corollary 4.7 and the
+// conjectured-hard exponential pattern, reporting the measured ratio next
+// to the (3+K)*H_lmax guide of Theorem 4.5.
+func e9FacilityLeasing(cfg Config) (*sim.Table, error) {
+	patterns := []workload.ArrivalPattern{
+		workload.PatternConstant,
+		workload.PatternNonIncreasing,
+		workload.PatternPolynomial,
+		workload.PatternExponential,
+	}
+	trials := 4
+	steps := 8
+	maxPerStep := 12
+	if cfg.Quick {
+		patterns = patterns[:2]
+		trials = 2
+		steps = 4
+		maxPerStep = 4
+	}
+	lcfg := facilityLeaseConfig()
+	tb := &sim.Table{
+		Title:   "E9 facility leasing (Thm 4.5 / Cor 4.7): ratio per arrival pattern",
+		Columns: []string{"pattern", "trials", "H_lmax", "mean_ratio", "max_ratio", "(3+K)*H"},
+		Note:    "natural patterns stay near (3+K)*H_lmax with small H; the exponential pattern inflates H toward Theta(lmax)",
+	}
+	for _, pat := range patterns {
+		var hAcc stats.Accumulator
+		s, err := sim.Ratios(trials, cfg.Seed+int64(pat)*101, func(rng *rand.Rand) (float64, float64, error) {
+			online, baseline, h, err := facilityTrial(rng, lcfg, facility.GenParams{
+				Sites: 3, Steps: steps, Pattern: pat, Base: 1,
+				MaxPerStep: maxPerStep, WorldSize: 40, CostSpread: 0.3,
+			})
+			if err != nil {
+				return 0, 0, err
+			}
+			hAcc.Add(h)
+			return online, baseline, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		h := hAcc.Mean()
+		bound := float64(3+lcfg.K()) * h
+		tb.MustAddRow(pat.String(), sim.D(s.N), sim.F(h), sim.F(s.Mean), sim.F(s.Max), sim.F(bound))
+	}
+	return tb, nil
+}
+
+// e14CloudSubcontractor plays the Section 1.3 narrative: a subcontractor
+// leasing cloud machines (facilities) for calling clients. Two demand
+// regimes expose the naive strategies — steady demand punishes rent-daily,
+// sparse demand punishes buy-longest — while the primal-dual algorithm
+// stays robust in both.
+func e14CloudSubcontractor(cfg Config) (*sim.Table, error) {
+	steps := 32
+	if cfg.Quick {
+		steps = 8
+	}
+	lcfg := facilityLeaseConfig() // 1 day $3, 4 days $7, 8 days $10
+	rng := rand.New(rand.NewSource(cfg.Seed + 14))
+	sites := []struct{ x, y float64 }{{5, 5}, {30, 8}, {18, 28}}
+
+	makeInstance := func(busy func(t int) int) (*facility.Instance, error) {
+		siteP := make([]metric.Point, len(sites))
+		for i, s := range sites {
+			siteP[i] = metric.Point{X: s.x, Y: s.y}
+		}
+		batches := make([][]metric.Point, steps)
+		for t := 0; t < steps; t++ {
+			for c := 0; c < busy(t); c++ {
+				s := siteP[rng.Intn(len(siteP))]
+				batches[t] = append(batches[t], metric.Point{
+					X: s.X + rng.NormFloat64(),
+					Y: s.Y + rng.NormFloat64(),
+				})
+			}
+		}
+		costs := make([][]float64, len(siteP))
+		for i := range costs {
+			costs[i] = []float64{lcfg.Cost(0), lcfg.Cost(1), lcfg.Cost(2)}
+		}
+		return facility.NewInstance(lcfg, siteP, costs, batches)
+	}
+
+	scenarios := []struct {
+		name string
+		busy func(t int) int
+	}{
+		{"steady (2 calls/day)", func(t int) int { return 2 }},
+		{"sparse (1 call/8 days)", func(t int) int {
+			if t%8 == 0 {
+				return 1
+			}
+			return 0
+		}},
+	}
+
+	tb := &sim.Table{
+		Title:   "E14 cloud subcontractor (Fig 1.2): strategy robustness across demand regimes",
+		Columns: []string{"scenario", "strategy", "cost", "ratio_vs_opt"},
+		Note:    "each naive strategy is near-optimal in one regime and pays for it in the other (and its worst case grows with l_max); the Chapter 4 algorithm pays a bounded constant-factor premium in both, which is exactly what a worst-case guarantee buys",
+	}
+	for _, sc := range scenarios {
+		inst, err := makeInstance(sc.busy)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := facility.NewOnline(inst, facility.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if err := alg.Run(); err != nil {
+			return nil, err
+		}
+		leases, assigns := alg.Solution()
+		if _, err := facility.VerifySolution(inst, leases, assigns); err != nil {
+			return nil, err
+		}
+		daily, dl, da, err := facility.RentDaily(inst)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := facility.VerifySolution(inst, dl, da); err != nil {
+			return nil, err
+		}
+		long, ll, la, err := facility.BuyLongest(inst)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := facility.VerifySolution(inst, ll, la); err != nil {
+			return nil, err
+		}
+		opt, err := facility.Optimal(inst, 6000)
+		if err != nil {
+			return nil, err
+		}
+		baseline := opt.Cost
+		if !opt.Exact {
+			baseline = opt.Lower
+		}
+		tb.MustAddRow(sc.name, "primal-dual (Ch 4)", sim.F(alg.TotalCost()), sim.F(alg.TotalCost()/baseline))
+		tb.MustAddRow(sc.name, "rent-daily", sim.F(daily), sim.F(daily/baseline))
+		tb.MustAddRow(sc.name, "buy-longest", sim.F(long), sim.F(long/baseline))
+		tb.MustAddRow(sc.name, "offline optimum", sim.F(baseline), "1.000")
+	}
+	return tb, nil
+}
+
+// e15MISAblation compares the two phase-2 orderings: opening-time order
+// (what the analysis assumes) against arbitrary site-index order.
+func e15MISAblation(cfg Config) (*sim.Table, error) {
+	trials := 8
+	steps := 8
+	if cfg.Quick {
+		trials = 3
+		steps = 4
+	}
+	lcfg := facilityLeaseConfig()
+	variants := []struct {
+		name string
+		opts facility.Options
+	}{
+		{"by-opening-time", facility.Options{MISOrder: facility.ByOpeningTime}},
+		{"by-site-index", facility.Options{MISOrder: facility.ByIndex}},
+		{"round-reset history", facility.Options{MISOrder: facility.ByOpeningTime, ResetEachRound: true}},
+	}
+	accs := make([]stats.Accumulator, len(variants))
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*271))
+		inst, err := facility.RandomInstance(rng, lcfg, facility.GenParams{
+			Sites: 4, Steps: steps, Pattern: workload.PatternConstant, Base: 2,
+			MaxPerStep: 3, WorldSize: 40, CostSpread: 0.4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for vi, v := range variants {
+			alg, err := facility.NewOnline(inst, v.opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := alg.Run(); err != nil {
+				return nil, err
+			}
+			leases, assigns := alg.Solution()
+			if _, err := facility.VerifySolution(inst, leases, assigns); err != nil {
+				return nil, err
+			}
+			accs[vi].Add(alg.TotalCost())
+		}
+	}
+	tb := &sim.Table{
+		Title:   "E15 ablation: phase-2 MIS ordering and bidding-history scope",
+		Columns: []string{"variant", "trials", "mean_cost"},
+		Note:    "all variants stay feasible; opening-time order is what the dual-fitting analysis charges, and resetting history at round boundaries matches the analysis' decomposition",
+	}
+	for vi, v := range variants {
+		tb.MustAddRow(v.name, sim.D(accs[vi].N()), sim.F(accs[vi].Mean()))
+	}
+	return tb, nil
+}

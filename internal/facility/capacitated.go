@@ -1,0 +1,253 @@
+package facility
+
+import (
+	"fmt"
+	"math"
+
+	"leasing/internal/core"
+	"leasing/internal/ilp"
+	"leasing/internal/lease"
+	"leasing/internal/lp"
+	"leasing/internal/metric"
+)
+
+// The capacitated variant the Chapter 4 outlook proposes: a leased
+// facility can serve at most `capacity` clients per time step (machines
+// running bounded jobs). The thesis leaves the online side open; this
+// file provides a greedy online heuristic and the exact capacitated
+// offline optimum so the cost of capacity can be measured (experiment
+// E19).
+
+// TypePolicy selects which lease type the capacitated greedy buys when it
+// must open a facility.
+type TypePolicy int
+
+// Type policies.
+const (
+	// ShortestType always buys the shortest lease (pure rental).
+	ShortestType TypePolicy = iota + 1
+	// BestRateType buys the type with the lowest per-step price,
+	// committing to long leases under steady demand.
+	BestRateType
+)
+
+// CapacitatedGreedy serves clients online under a per-step capacity: each
+// client takes the cheapest option among (a) an active facility lease
+// with spare capacity this step (connection cost only) and (b) leasing
+// any facility according to the type policy (lease plus connection cost).
+// It returns the total cost and the solution for verification.
+func CapacitatedGreedy(inst *Instance, capacity int, policy TypePolicy) (float64, []FacilityLease, []Assignment, error) {
+	if capacity < 1 {
+		return 0, nil, nil, fmt.Errorf("facility: capacity %d < 1", capacity)
+	}
+	kChoice := make([]int, len(inst.Sites))
+	switch policy {
+	case ShortestType:
+		// zero value of each entry is already type 0
+	case BestRateType:
+		for i := range kChoice {
+			best := 0
+			bestRate := inst.FacCosts[i][0] / float64(inst.Cfg.Length(0))
+			for k := 1; k < inst.Cfg.K(); k++ {
+				if r := inst.FacCosts[i][k] / float64(inst.Cfg.Length(k)); r < bestRate {
+					best, bestRate = k, r
+				}
+			}
+			kChoice[i] = best
+		}
+	default:
+		return 0, nil, nil, fmt.Errorf("facility: unknown type policy %d", int(policy))
+	}
+
+	store, err := core.NewItemStore(inst.Cfg, inst.FacCosts)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var (
+		assigns  []Assignment
+		connCost float64
+	)
+	for t, batch := range inst.Batches {
+		used := make(map[int]int) // facility -> clients served this step
+		for _, p := range batch {
+			bestCost := math.Inf(1)
+			bestI, bestK := -1, -1
+			for i := range inst.Sites {
+				d := metric.Dist(inst.Sites[i], p)
+				// Option (a): an active lease of any type with spare room.
+				if used[i] >= capacity {
+					continue // the facility is saturated this step
+				}
+				for k := 0; k < inst.Cfg.K(); k++ {
+					il := core.ItemLease{Item: i, K: k, Start: inst.Cfg.AlignedStart(k, int64(t))}
+					if !store.Has(il) {
+						continue
+					}
+					if d < bestCost {
+						bestCost, bestI, bestK = d, i, k
+					}
+				}
+				// Option (b): lease i with the policy type.
+				k := kChoice[i]
+				il := core.ItemLease{Item: i, K: k, Start: inst.Cfg.AlignedStart(k, int64(t))}
+				if store.Has(il) {
+					continue // already counted as option (a)
+				}
+				if c := d + inst.FacCosts[i][k]; c < bestCost {
+					bestCost, bestI, bestK = c, i, k
+				}
+			}
+			if bestI < 0 {
+				return 0, nil, nil, fmt.Errorf("facility: no feasible capacitated option at step %d", t)
+			}
+			il := core.ItemLease{Item: bestI, K: bestK, Start: inst.Cfg.AlignedStart(bestK, int64(t))}
+			if _, err := store.Buy(il); err != nil {
+				return 0, nil, nil, err
+			}
+			used[bestI]++
+			d := metric.Dist(inst.Sites[bestI], p)
+			assigns = append(assigns, Assignment{Facility: bestI, K: bestK, Dist: d})
+			connCost += d
+		}
+	}
+	var leases []FacilityLease
+	for _, il := range store.Leases() {
+		leases = append(leases, FacilityLease{Facility: il.Item, K: il.K, Start: il.Start})
+	}
+	return store.TotalCost() + connCost, leases, assigns, nil
+}
+
+// VerifyCapacitated extends VerifySolution with the per-step capacity
+// check: no facility may serve more than capacity clients in one step.
+func VerifyCapacitated(inst *Instance, leases []FacilityLease, assigns []Assignment, capacity int) (float64, error) {
+	cost, err := VerifySolution(inst, leases, assigns)
+	if err != nil {
+		return 0, err
+	}
+	clients := inst.Clients()
+	type facStep struct {
+		fac int
+		t   int64
+	}
+	load := map[facStep]int{}
+	for j, a := range assigns {
+		key := facStep{a.Facility, clients[j].Arrived}
+		load[key]++
+		if load[key] > capacity {
+			return 0, fmt.Errorf("facility: facility %d over capacity at step %d", a.Facility, clients[j].Arrived)
+		}
+	}
+	return cost, nil
+}
+
+// OptimalCapacitated computes the exact capacitated offline optimum: the
+// uncapacitated formulation plus, per (facility, arrival step), a row
+// bounding the clients assigned through any covering lease by capacity.
+// For fixed lease variables each assignment variable appears in one client
+// row and one facility-step row, a transportation structure with integral
+// vertices, so branching on leases alone remains exact.
+func OptimalCapacitated(inst *Instance, capacity int, nodeLimit int) (*OptimalResult, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("facility: capacity %d < 1", capacity)
+	}
+	clients := inst.Clients()
+	if len(clients) == 0 {
+		return &OptimalResult{Cost: 0, Exact: true}, nil
+	}
+	m := len(inst.Sites)
+	k := inst.Cfg.K()
+
+	candIdx := map[FacilityLease]int{}
+	var cands []FacilityLease
+	for t, b := range inst.Batches {
+		if len(b) == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			for kk := 0; kk < k; kk++ {
+				fl := FacilityLease{Facility: i, K: kk, Start: inst.Cfg.AlignedStart(kk, int64(t))}
+				if _, ok := candIdx[fl]; !ok {
+					candIdx[fl] = len(cands)
+					cands = append(cands, fl)
+				}
+			}
+		}
+	}
+
+	type yKey struct{ client, cand int }
+	yIdx := map[yKey]int{}
+	next := len(cands)
+	var yCosts []float64
+	for j, cl := range clients {
+		for ci, fl := range cands {
+			if inst.Cfg.Covers(lease.Lease{K: fl.K, Start: fl.Start}, cl.Arrived) {
+				yIdx[yKey{j, ci}] = next
+				yCosts = append(yCosts, metric.Dist(inst.Sites[fl.Facility], cl.Pos))
+				next++
+			}
+		}
+	}
+	costs := make([]float64, next)
+	for ci, fl := range cands {
+		costs[ci] = inst.FacCosts[fl.Facility][fl.K]
+	}
+	copy(costs[len(cands):], yCosts)
+
+	prob := ilp.NewBinaryMinimize(costs)
+	for v := len(cands); v < next; v++ {
+		if err := prob.SetContinuous(v); err != nil {
+			return nil, err
+		}
+	}
+	for j := range clients {
+		row := map[int]float64{}
+		for ci := range cands {
+			if y, ok := yIdx[yKey{j, ci}]; ok {
+				row[y] = 1
+				if err := prob.Add(map[int]float64{ci: 1, y: -1}, lp.GE, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(row) == 0 {
+			return nil, fmt.Errorf("facility: client %d has no covering candidate", j)
+		}
+		if err := prob.Add(row, lp.GE, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Capacity rows: per facility and step, the step's clients assigned to
+	// that facility (through any covering lease) fit in capacity.
+	for t, b := range inst.Batches {
+		if len(b) <= capacity {
+			continue // cannot be violated at this step
+		}
+		for i := 0; i < m; i++ {
+			row := map[int]float64{}
+			for ci, fl := range cands {
+				if fl.Facility != i || !inst.Cfg.Covers(lease.Lease{K: fl.K, Start: fl.Start}, int64(t)) {
+					continue
+				}
+				for j, cl := range clients {
+					if cl.Arrived != int64(t) {
+						continue
+					}
+					if y, ok := yIdx[yKey{j, ci}]; ok {
+						row[y] = 1
+					}
+				}
+			}
+			if len(row) > capacity {
+				if err := prob.Add(row, lp.LE, float64(capacity)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res, err := prob.Solve(ilp.Options{NodeLimit: nodeLimit})
+	if err != nil {
+		return nil, fmt.Errorf("facility: capacitated ILP: %w", err)
+	}
+	return &OptimalResult{Cost: res.Objective, Exact: res.Proven, Lower: res.LowerBound}, nil
+}

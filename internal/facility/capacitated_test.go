@@ -1,0 +1,158 @@
+package facility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/lease"
+	"leasing/internal/metric"
+	"leasing/internal/workload"
+)
+
+func capInstance(t *testing.T, seed int64, base int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := RandomInstance(rng, facConfig(), GenParams{
+		Sites: 3, Steps: 5, Pattern: workload.PatternConstant,
+		Base: base, MaxPerStep: base, WorldSize: 25, CostSpread: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestCapacitatedGreedyRespectsCapacity(t *testing.T) {
+	// 4 clients per step over 3 sites: capacity >= 2 keeps it feasible.
+	inst := capInstance(t, 1, 4)
+	if _, _, _, err := CapacitatedGreedy(inst, 1, ShortestType); err == nil {
+		t.Error("capacity 1 with 4 clients per step over 3 sites must be infeasible")
+	}
+	for _, capU := range []int{2, 3, 4} {
+		for _, pol := range []TypePolicy{ShortestType, BestRateType} {
+			cost, leases, assigns, err := CapacitatedGreedy(inst, capU, pol)
+			if err != nil {
+				t.Fatalf("cap=%d pol=%d: %v", capU, pol, err)
+			}
+			vCost, err := VerifyCapacitated(inst, leases, assigns, capU)
+			if err != nil {
+				t.Fatalf("cap=%d pol=%d: %v", capU, pol, err)
+			}
+			if math.Abs(cost-vCost) > 1e-6 {
+				t.Errorf("cap=%d pol=%d: cost %v != verified %v", capU, pol, cost, vCost)
+			}
+		}
+	}
+	if _, _, _, err := CapacitatedGreedy(inst, 0, ShortestType); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	if _, _, _, err := CapacitatedGreedy(inst, 1, TypePolicy(9)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestVerifyCapacitatedRejectsOverload(t *testing.T) {
+	cfg := facConfig()
+	// Two clients on one facility in one step with capacity 1.
+	inst, err := NewInstance(cfg, []metric.Point{{}}, [][]float64{{2, 5}},
+		[][]metric.Point{{{X: 1}, {X: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leases := []FacilityLease{{Facility: 0, K: 0, Start: 0}}
+	assigns := []Assignment{{Facility: 0, K: 0, Dist: 1}, {Facility: 0, K: 0, Dist: 2}}
+	if _, err := VerifyCapacitated(inst, leases, assigns, 1); err == nil {
+		t.Error("overloaded facility accepted")
+	}
+	if _, err := VerifyCapacitated(inst, leases, assigns, 2); err != nil {
+		t.Errorf("capacity-2 rejected a feasible solution: %v", err)
+	}
+}
+
+func TestOptimalCapacitatedMonotoneInCapacity(t *testing.T) {
+	inst := capInstance(t, 2, 3)
+	var prev float64 = math.Inf(1)
+	for _, capU := range []int{1, 2, 3} {
+		res, err := OptimalCapacitated(inst, capU, 0)
+		if err != nil {
+			t.Fatalf("cap=%d: %v", capU, err)
+		}
+		if !res.Exact {
+			t.Skipf("cap=%d: search truncated, skipping monotonicity check", capU)
+		}
+		if res.Cost > prev+1e-6 {
+			t.Errorf("capacitated OPT increased with capacity: cap=%d cost=%v prev=%v", capU, res.Cost, prev)
+		}
+		prev = res.Cost
+	}
+	// Unconstrained capacity equals the uncapacitated OPT.
+	unc, err := Optimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := OptimalCapacitated(inst, inst.NumClients(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unc.Exact && loose.Exact && math.Abs(unc.Cost-loose.Cost) > 1e-6 {
+		t.Errorf("loose capacity OPT %v != uncapacitated OPT %v", loose.Cost, unc.Cost)
+	}
+	if _, err := OptimalCapacitated(inst, 0, 0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestCapacityOneForcesSpread(t *testing.T) {
+	cfg := lease.MustConfig(lease.Type{Length: 4, Cost: 2})
+	// Two co-located facilities, three co-located clients in one step.
+	// Capacity 1 forces at least 3 facility-uses but only 2 sites exist:
+	// infeasible; with capacity 2 it is feasible with both sites leased.
+	sites := []metric.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	batch := [][]metric.Point{{{X: 0, Y: 0}, {X: 0, Y: 0}, {X: 0, Y: 0}}}
+	inst, err := NewInstance(cfg, sites, [][]float64{{2}, {2}}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OptimalCapacitated(inst, 1, 0); err == nil {
+		t.Error("infeasible capacity-1 instance solved")
+	}
+	res, err := OptimalCapacitated(inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both facilities leased: 2 + 2 = 4 plus one unit of connection.
+	if !res.Exact || math.Abs(res.Cost-5) > 1e-6 {
+		t.Errorf("capacity-2 OPT = %+v, want exact 5", res)
+	}
+	gCost, leases, assigns, err := CapacitatedGreedy(inst, 2, ShortestType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyCapacitated(inst, leases, assigns, 2); err != nil {
+		t.Fatal(err)
+	}
+	if gCost < res.Cost-1e-6 {
+		t.Errorf("greedy %v below OPT %v", gCost, res.Cost)
+	}
+}
+
+func TestCapacitatedGreedyAboveCapacitatedOPT(t *testing.T) {
+	inst := capInstance(t, 3, 3)
+	res, err := OptimalCapacitated(inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Skip("OPT not proven")
+	}
+	for _, pol := range []TypePolicy{ShortestType, BestRateType} {
+		cost, _, _, err := CapacitatedGreedy(inst, 2, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < res.Cost-1e-6 {
+			t.Errorf("policy %d: greedy %v below OPT %v", pol, cost, res.Cost)
+		}
+	}
+}

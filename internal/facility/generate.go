@@ -1,0 +1,61 @@
+package facility
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing/internal/lease"
+	"leasing/internal/metric"
+	"leasing/internal/workload"
+)
+
+// GenParams configures RandomInstance.
+type GenParams struct {
+	Sites         int                     // number of facility sites
+	Steps         int                     // time steps
+	Pattern       workload.ArrivalPattern // batch-size pattern (Cor 4.7)
+	Base          int                     // base batch size
+	MaxPerStep    int                     // batch size cap
+	WorldSize     float64                 // side of the square world
+	ClusterSpread float64                 // client scatter around sites
+	CostSpread    float64                 // facility cost jitter in [0, spread)
+}
+
+// RandomInstance builds a facility-leasing instance: uniformly placed
+// sites, per-site lease costs jittered around the configuration's type
+// costs, and client batches clustered near the sites with batch sizes
+// following the requested arrival pattern.
+func RandomInstance(rng *rand.Rand, cfg *lease.Config, p GenParams) (*Instance, error) {
+	if p.Sites < 1 {
+		return nil, fmt.Errorf("facility: need at least one site, got %d", p.Sites)
+	}
+	if p.WorldSize <= 0 {
+		p.WorldSize = 100
+	}
+	if p.ClusterSpread <= 0 {
+		p.ClusterSpread = p.WorldSize / 10
+	}
+	sites := metric.RandomPoints(rng, p.Sites, p.WorldSize)
+	counts, err := workload.BatchSizes(p.Pattern, p.Steps, p.Base, p.MaxPerStep)
+	if err != nil {
+		return nil, err
+	}
+	batches := make([][]metric.Point, p.Steps)
+	for t, c := range counts {
+		pts, err := metric.ClusteredPoints(rng, sites, c, p.ClusterSpread)
+		if err != nil {
+			return nil, err
+		}
+		batches[t] = pts
+	}
+	facCosts := make([][]float64, p.Sites)
+	for i := range facCosts {
+		row := make([]float64, cfg.K())
+		f := 1 + rng.Float64()*p.CostSpread
+		for k := range row {
+			row[k] = cfg.Cost(k) * f
+		}
+		facCosts[i] = row
+	}
+	return NewInstance(cfg, sites, facCosts, batches)
+}

@@ -1,0 +1,141 @@
+// Package facility implements Chapter 4 of the thesis: FacilityLeasing.
+// Clients arrive over time in batches and must each be connected, at their
+// arrival step, to a facility holding an active lease; leasing facility i
+// with type k costs c_ik, connecting client j to facility i costs their
+// metric distance.
+//
+// The package provides the two-phase primal-dual online algorithm of
+// Section 4.3 (continuous bid raising with invariant INV1, per-type
+// conflict graphs and maximal independent sets, dual fitting per
+// Theorem 4.5), an exact offline ILP optimum, naive online baselines for
+// the cloud-subcontractor narrative, and instance generators for the
+// arrival patterns of Corollary 4.7.
+package facility
+
+import (
+	"errors"
+	"fmt"
+
+	"leasing/internal/lease"
+	"leasing/internal/metric"
+)
+
+// Instance is a facility-leasing input: facility sites with per-type lease
+// costs, and a timeline of client batches (Batches[t] arrives at step t).
+type Instance struct {
+	Cfg      *lease.Config
+	Sites    []metric.Point
+	FacCosts [][]float64 // FacCosts[i][k] = c_ik
+	Batches  [][]metric.Point
+}
+
+// NewInstance validates dimensions and costs.
+func NewInstance(cfg *lease.Config, sites []metric.Point, facCosts [][]float64, batches [][]metric.Point) (*Instance, error) {
+	if !cfg.IsIntervalModel() {
+		return nil, errors.New("facility: configuration is not in the interval model")
+	}
+	if len(sites) == 0 {
+		return nil, errors.New("facility: need at least one facility site")
+	}
+	if len(facCosts) != len(sites) {
+		return nil, fmt.Errorf("facility: %d cost rows for %d sites", len(facCosts), len(sites))
+	}
+	for i, row := range facCosts {
+		if len(row) != cfg.K() {
+			return nil, fmt.Errorf("facility: cost row %d has %d entries, want %d", i, len(row), cfg.K())
+		}
+		for k, c := range row {
+			if !(c > 0) {
+				return nil, fmt.Errorf("facility: cost[%d][%d] = %v, want > 0", i, k, c)
+			}
+		}
+	}
+	return &Instance{Cfg: cfg, Sites: sites, FacCosts: facCosts, Batches: batches}, nil
+}
+
+// NumClients returns the total number of clients across all batches.
+func (in *Instance) NumClients() int {
+	n := 0
+	for _, b := range in.Batches {
+		n += len(b)
+	}
+	return n
+}
+
+// Steps returns the number of time steps.
+func (in *Instance) Steps() int { return len(in.Batches) }
+
+// Client is a flattened client with its arrival step.
+type Client struct {
+	Arrived int64
+	Pos     metric.Point
+}
+
+// Clients returns the flattened clients in arrival order.
+func (in *Instance) Clients() []Client {
+	out := make([]Client, 0, in.NumClients())
+	for t, b := range in.Batches {
+		for _, p := range b {
+			out = append(out, Client{Arrived: int64(t), Pos: p})
+		}
+	}
+	return out
+}
+
+// BatchCounts returns |D_t| for each step, the input of the H-series of
+// Theorem 4.5.
+func (in *Instance) BatchCounts() []int {
+	out := make([]int, len(in.Batches))
+	for t, b := range in.Batches {
+		out[t] = len(b)
+	}
+	return out
+}
+
+// Assignment records where one client was connected.
+type Assignment struct {
+	Facility int
+	K        int
+	Dist     float64
+}
+
+// VerifySolution checks that every client is assigned to a facility whose
+// bought lease covers the client's arrival step, and recomputes the total
+// cost (lease costs of `leases` plus connection distances). It is the
+// feasibility oracle shared by tests and the experiment harness.
+func VerifySolution(inst *Instance, leases []FacilityLease, assigns []Assignment) (float64, error) {
+	clients := inst.Clients()
+	if len(assigns) != len(clients) {
+		return 0, fmt.Errorf("facility: %d assignments for %d clients", len(assigns), len(clients))
+	}
+	owned := make(map[FacilityLease]struct{}, len(leases))
+	var cost float64
+	for _, fl := range leases {
+		if fl.Facility < 0 || fl.Facility >= len(inst.Sites) || fl.K < 0 || fl.K >= inst.Cfg.K() {
+			return 0, fmt.Errorf("facility: lease %+v out of range", fl)
+		}
+		if _, dup := owned[fl]; dup {
+			return 0, fmt.Errorf("facility: duplicate lease %+v", fl)
+		}
+		owned[fl] = struct{}{}
+		cost += inst.FacCosts[fl.Facility][fl.K]
+	}
+	for j, a := range assigns {
+		cl := clients[j]
+		fl := FacilityLease{Facility: a.Facility, K: a.K, Start: inst.Cfg.AlignedStart(a.K, cl.Arrived)}
+		if _, ok := owned[fl]; !ok {
+			return 0, fmt.Errorf("facility: client %d assigned to %+v with no covering lease", j, a)
+		}
+		d := metric.Dist(inst.Sites[a.Facility], cl.Pos)
+		cost += d
+	}
+	return cost, nil
+}
+
+// FacilityLease is the triple (i, k, t): facility Facility leased with type
+// K starting at Start.
+type FacilityLease struct {
+	Facility int
+	K        int
+	Start    int64
+}

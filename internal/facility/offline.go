@@ -1,0 +1,153 @@
+package facility
+
+import (
+	"fmt"
+	"math"
+
+	"leasing/internal/core"
+	"leasing/internal/ilp"
+	"leasing/internal/lease"
+	"leasing/internal/lp"
+	"leasing/internal/metric"
+)
+
+// OptimalResult is the outcome of the exact offline computation.
+type OptimalResult struct {
+	Cost  float64
+	Exact bool
+	Lower float64
+}
+
+// Optimal computes the exact offline optimum (lease plus connection cost)
+// by branch and bound. One binary variable per aligned candidate facility
+// lease; one continuous assignment variable per (client, covering lease)
+// pair (integral automatically once the lease variables are fixed, since
+// each client then simply takes its cheapest open lease). nodeLimit <= 0
+// uses the solver default.
+func Optimal(inst *Instance, nodeLimit int) (*OptimalResult, error) {
+	clients := inst.Clients()
+	if len(clients) == 0 {
+		return &OptimalResult{Cost: 0, Exact: true}, nil
+	}
+	m := len(inst.Sites)
+	k := inst.Cfg.K()
+
+	// Candidate leases: aligned windows covering steps with arrivals.
+	candIdx := map[FacilityLease]int{}
+	var cands []FacilityLease
+	for t, b := range inst.Batches {
+		if len(b) == 0 {
+			continue
+		}
+		for i := 0; i < m; i++ {
+			for kk := 0; kk < k; kk++ {
+				fl := FacilityLease{Facility: i, K: kk, Start: inst.Cfg.AlignedStart(kk, int64(t))}
+				if _, ok := candIdx[fl]; !ok {
+					candIdx[fl] = len(cands)
+					cands = append(cands, fl)
+				}
+			}
+		}
+	}
+
+	// Variable layout: lease vars, then one assignment var per (client,
+	// covering candidate).
+	type yKey struct {
+		client int
+		cand   int
+	}
+	yIdx := map[yKey]int{}
+	next := len(cands)
+	var yCosts []float64
+	for j, cl := range clients {
+		for ci, fl := range cands {
+			if inst.Cfg.Covers(lease.Lease{K: fl.K, Start: fl.Start}, cl.Arrived) {
+				yIdx[yKey{j, ci}] = next
+				yCosts = append(yCosts, metric.Dist(inst.Sites[fl.Facility], cl.Pos))
+				next++
+			}
+		}
+	}
+
+	costs := make([]float64, next)
+	for ci, fl := range cands {
+		costs[ci] = inst.FacCosts[fl.Facility][fl.K]
+	}
+	copy(costs[len(cands):], yCosts)
+
+	prob := ilp.NewBinaryMinimize(costs)
+	for v := len(cands); v < next; v++ {
+		if err := prob.SetContinuous(v); err != nil {
+			return nil, err
+		}
+	}
+	for j := range clients {
+		row := map[int]float64{}
+		for ci := range cands {
+			if y, ok := yIdx[yKey{j, ci}]; ok {
+				row[y] = 1
+				// y_{j,c} <= x_c.
+				if err := prob.Add(map[int]float64{ci: 1, y: -1}, lp.GE, 0); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(row) == 0 {
+			return nil, fmt.Errorf("facility: client %d has no covering candidate", j)
+		}
+		if err := prob.Add(row, lp.GE, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := prob.Solve(ilp.Options{NodeLimit: nodeLimit})
+	if err != nil {
+		return nil, fmt.Errorf("facility: offline ILP: %w", err)
+	}
+	return &OptimalResult{Cost: res.Objective, Exact: res.Proven, Lower: res.LowerBound}, nil
+}
+
+// RentDaily is the naive baseline that never commits: each client is served
+// by the nearest facility with a shortest-type lease bought on demand. It
+// returns the total cost together with the solution for verification.
+func RentDaily(inst *Instance) (float64, []FacilityLease, []Assignment, error) {
+	return naive(inst, 0)
+}
+
+// BuyLongest is the opposite naive baseline: the first time a facility is
+// needed it is leased with the longest type.
+func BuyLongest(inst *Instance) (float64, []FacilityLease, []Assignment, error) {
+	return naive(inst, inst.Cfg.K()-1)
+}
+
+func naive(inst *Instance, kk int) (float64, []FacilityLease, []Assignment, error) {
+	store, err := core.NewItemStore(inst.Cfg, inst.FacCosts)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	var (
+		assigns  []Assignment
+		connCost float64
+	)
+	for t, batch := range inst.Batches {
+		for _, p := range batch {
+			best, bestD := -1, math.Inf(1)
+			for i, s := range inst.Sites {
+				if d := metric.Dist(s, p); d < bestD {
+					best, bestD = i, d
+				}
+			}
+			il := core.ItemLease{Item: best, K: kk, Start: inst.Cfg.AlignedStart(kk, int64(t))}
+			if _, err := store.Buy(il); err != nil {
+				return 0, nil, nil, err
+			}
+			assigns = append(assigns, Assignment{Facility: best, K: kk, Dist: bestD})
+			connCost += bestD
+		}
+	}
+	var leases []FacilityLease
+	for _, il := range store.Leases() {
+		leases = append(leases, FacilityLease{Facility: il.Item, K: il.K, Start: il.Start})
+	}
+	return store.TotalCost() + connCost, leases, assigns, nil
+}

@@ -1,0 +1,235 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(2, []Edge{{U: 0, V: 2, Weight: 1}}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := New(2, []Edge{{U: 1, V: 1, Weight: 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := New(2, []Edge{{U: 0, V: 1, Weight: 0}}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := New(2, []Edge{{U: 0, V: 1, Weight: math.NaN()}}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := New(2, []Edge{{U: 0, V: 1, Weight: 1}, {U: 1, V: 0, Weight: 2}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	g, err := New(3, []Edge{{U: 2, V: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := g.Edge(0); e.U != 0 || e.V != 2 {
+		t.Errorf("endpoints not normalized: %+v", e)
+	}
+}
+
+func pathGraph(t *testing.T) *Graph {
+	t.Helper()
+	// 0 -1- 1 -1- 2 -1- 3 with a costly shortcut 0-3.
+	g, err := New(4, []Edge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 1},
+		{U: 2, V: 3, Weight: 1},
+		{U: 0, V: 3, Weight: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestShortestPath(t *testing.T) {
+	g := pathGraph(t)
+	p, err := g.ShortestPath(0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Cost-3) > 1e-12 {
+		t.Errorf("cost = %v, want 3", p.Cost)
+	}
+	if len(p.Edges) != 3 || p.Edges[0] != 0 || p.Edges[1] != 1 || p.Edges[2] != 2 {
+		t.Errorf("edges = %v, want [0 1 2]", p.Edges)
+	}
+	// Zero-length path.
+	p0, err := g.ShortestPath(2, 2, nil)
+	if err != nil || p0.Cost != 0 || len(p0.Edges) != 0 {
+		t.Errorf("self path = %+v, %v", p0, err)
+	}
+}
+
+func TestShortestPathWithCostOverride(t *testing.T) {
+	g := pathGraph(t)
+	// Discount the shortcut to zero: it becomes the best route.
+	p, err := g.ShortestPath(0, 3, func(e int) float64 {
+		if e == 3 {
+			return 0
+		}
+		return g.Edge(e).Weight
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 0 || len(p.Edges) != 1 || p.Edges[0] != 3 {
+		t.Errorf("path = %+v, want free shortcut", p)
+	}
+	// Invalid override values are rejected.
+	if _, err := g.ShortestPath(0, 3, func(e int) float64 { return -1 }); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := g.ShortestPath(0, 9, nil); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g, err := New(4, []Edge{{U: 0, V: 1, Weight: 1}, {U: 2, V: 3, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	if _, err := g.ShortestPath(0, 3, nil); !errors.Is(err, ErrDisconnected) {
+		t.Errorf("error = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestDegreeAndIncident(t *testing.T) {
+	g := pathGraph(t)
+	if g.Degree(0) != 2 || g.Degree(1) != 2 || g.MaxDegree() != 2 {
+		t.Errorf("degrees wrong: %d %d max %d", g.Degree(0), g.Degree(1), g.MaxDegree())
+	}
+	inc := g.Incident(3)
+	if len(inc) != 2 {
+		t.Errorf("Incident(3) = %v", inc)
+	}
+	if g.N() != 4 || g.M() != 4 {
+		t.Errorf("N,M = %d,%d", g.N(), g.M())
+	}
+	if len(g.Edges()) != 4 {
+		t.Error("Edges() wrong length")
+	}
+}
+
+func TestRandomConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		m := n - 1 + rng.Intn(2*n)
+		g, err := RandomConnected(rng, n, m, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("trial %d: not connected (n=%d m=%d)", trial, n, g.M())
+		}
+		if g.M() < n-1 {
+			t.Fatalf("trial %d: too few edges", trial)
+		}
+		for _, e := range g.Edges() {
+			if e.Weight < 1 || e.Weight >= 5 {
+				t.Fatalf("weight %v outside [1,5)", e.Weight)
+			}
+		}
+	}
+	if _, err := RandomConnected(rng, 0, 0, 1, 2); err == nil {
+		t.Error("n=0 accepted")
+	}
+	// Degenerate weight range is repaired, excessive m clamped.
+	g, err := RandomConnected(rng, 4, 100, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() > 6 {
+		t.Errorf("m = %d exceeds complete graph", g.M())
+	}
+}
+
+func TestGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := Grid(rng, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Errorf("N = %d, want 12", g.N())
+	}
+	// Grid edges: 3*(4-1) horizontal + (3-1)*4 vertical = 17.
+	if g.M() != 17 {
+		t.Errorf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Error("grid not connected")
+	}
+	if _, err := Grid(rng, 0, 3); err == nil {
+		t.Error("bad grid accepted")
+	}
+}
+
+// Dijkstra against Floyd–Warshall on random graphs.
+func TestShortestPathMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(10)
+		g, err := RandomConnected(rng, n, n+rng.Intn(n), 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Floyd–Warshall.
+		d := make([][]float64, n)
+		for i := range d {
+			d[i] = make([]float64, n)
+			for j := range d[i] {
+				if i != j {
+					d[i][j] = math.Inf(1)
+				}
+			}
+		}
+		for _, e := range g.Edges() {
+			if e.Weight < d[e.U][e.V] {
+				d[e.U][e.V] = e.Weight
+				d[e.V][e.U] = e.Weight
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if d[i][k]+d[k][j] < d[i][j] {
+						d[i][j] = d[i][k] + d[k][j]
+					}
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p, err := g.ShortestPath(i, j, nil)
+				if err != nil {
+					t.Fatalf("trial %d: %v", trial, err)
+				}
+				if math.Abs(p.Cost-d[i][j]) > 1e-9 {
+					t.Fatalf("trial %d: dijkstra %v != FW %v for (%d,%d)", trial, p.Cost, d[i][j], i, j)
+				}
+				// Path edges must form a route of the reported cost.
+				var sum float64
+				for _, e := range p.Edges {
+					sum += g.Edge(e).Weight
+				}
+				if math.Abs(sum-p.Cost) > 1e-9 {
+					t.Fatalf("trial %d: path edges sum %v != cost %v", trial, sum, p.Cost)
+				}
+			}
+		}
+	}
+}

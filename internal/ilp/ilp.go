@@ -1,0 +1,275 @@
+// Package ilp implements a 0/1 integer-program solver via LP-based branch
+// and bound, built on leasing/internal/lp. It computes the exact offline
+// optima (OPT) that the experiment harness divides online costs by: set
+// cover leasing, facility leasing, and leasing-with-deadlines instances are
+// all expressed as small binary covering programs.
+//
+// Variables are binary by default; individual variables may be declared
+// continuous in [0,1] (used for the auxiliary "distinct set" counters of
+// the multicover formulation, which are automatically integral once the
+// binary variables are fixed).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"leasing/internal/lp"
+)
+
+// Problem is a 0/1 minimization problem under construction.
+type Problem struct {
+	c          []float64
+	continuous []bool
+	relax      *lp.Problem
+}
+
+// NewBinaryMinimize creates a minimization problem over len(c) binary
+// variables with objective coefficients c.
+func NewBinaryMinimize(c []float64) *Problem {
+	cp := make([]float64, len(c))
+	copy(cp, c)
+	p := &Problem{
+		c:          cp,
+		continuous: make([]bool, len(c)),
+		relax:      lp.NewMinimize(cp),
+	}
+	return p
+}
+
+// SetContinuous declares variable j continuous in [0,1] instead of binary.
+func (p *Problem) SetContinuous(j int) error {
+	if j < 0 || j >= len(p.c) {
+		return fmt.Errorf("ilp: variable %d out of range [0,%d)", j, len(p.c))
+	}
+	p.continuous[j] = true
+	return nil
+}
+
+// Add appends a sparse constraint sum(coeffs[j]*x_j) op rhs.
+func (p *Problem) Add(coeffs map[int]float64, op lp.Op, rhs float64) error {
+	return p.relax.Add(coeffs, op, rhs)
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.c) }
+
+// Options tunes Solve.
+type Options struct {
+	// NodeLimit bounds the number of branch-and-bound nodes explored.
+	// 0 means the default (200000).
+	NodeLimit int
+	// Incumbent optionally provides a known feasible 0/1 solution used as
+	// the initial upper bound (for example from a greedy heuristic).
+	Incumbent []float64
+}
+
+// Result reports the outcome of Solve.
+type Result struct {
+	// X is the best 0/1 assignment found (nil if none).
+	X []float64
+	// Objective is c·X.
+	Objective float64
+	// Proven is true when the search space was exhausted, making X an exact
+	// optimum; false when the node limit was hit first.
+	Proven bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// LowerBound is the best proven lower bound on the optimum (the root
+	// LP relaxation value if the search was truncated).
+	LowerBound float64
+}
+
+// ErrInfeasible is returned when no feasible 0/1 assignment exists.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+const intTol = 1e-6
+
+type node struct {
+	fixed map[int]float64
+	depth int
+}
+
+// Solve runs best-effort depth-first branch and bound and returns the best
+// integral solution found.
+func (p *Problem) Solve(opts Options) (*Result, error) {
+	limit := opts.NodeLimit
+	if limit <= 0 {
+		limit = 200000
+	}
+	n := len(p.c)
+
+	// The [0,1] box is enforced with per-variable <= 1 rows on a copy of the
+	// relaxation so repeated Solve calls do not accumulate rows.
+	base := lp.NewMinimize(p.c)
+	if err := copyConstraints(p.relax, base); err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		if err := base.Add(map[int]float64{j: 1}, lp.LE, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	incumbentObj := math.Inf(1)
+	var incumbentX []float64
+	if opts.Incumbent != nil {
+		if len(opts.Incumbent) != n {
+			return nil, fmt.Errorf("ilp: incumbent has %d values, want %d", len(opts.Incumbent), n)
+		}
+		if err := p.relax.Verify(opts.Incumbent, 1e-6); err == nil {
+			incumbentX = roundCopy(opts.Incumbent)
+			incumbentObj = dot(p.c, incumbentX)
+		}
+	}
+
+	stack := []node{{fixed: map[int]float64{}}}
+	nodes := 0
+	rootBound := math.Inf(-1)
+	proven := true
+
+	for len(stack) > 0 {
+		if nodes >= limit {
+			proven = false
+			break
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+
+		sol, err := p.solveRelaxation(base, nd.fixed)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			continue // infeasible subtree
+		}
+		if nodes == 1 {
+			rootBound = sol.Objective
+		}
+		if sol.Objective >= incumbentObj-1e-9 {
+			continue // bound prune
+		}
+		branchVar := p.mostFractional(sol.X, nd.fixed)
+		if branchVar < 0 {
+			// Integral on all binary variables: new incumbent.
+			x := roundCopy(sol.X)
+			obj := dot(p.c, x)
+			if obj < incumbentObj-1e-12 {
+				incumbentObj = obj
+				incumbentX = x
+			}
+			continue
+		}
+		// Depth-first, exploring x=1 first: covering problems reach
+		// feasible incumbents much faster that way.
+		f0 := cloneFixed(nd.fixed)
+		f0[branchVar] = 0
+		f1 := cloneFixed(nd.fixed)
+		f1[branchVar] = 1
+		stack = append(stack, node{fixed: f0, depth: nd.depth + 1})
+		stack = append(stack, node{fixed: f1, depth: nd.depth + 1})
+	}
+
+	if incumbentX == nil {
+		if !proven {
+			return &Result{Proven: false, Nodes: nodes, LowerBound: rootBound}, fmt.Errorf("%w within %d nodes", ErrInfeasible, nodes)
+		}
+		return nil, ErrInfeasible
+	}
+	lb := rootBound
+	if proven {
+		lb = incumbentObj
+	}
+	return &Result{
+		X:          incumbentX,
+		Objective:  incumbentObj,
+		Proven:     proven,
+		Nodes:      nodes,
+		LowerBound: lb,
+	}, nil
+}
+
+// solveRelaxation solves base plus equality fixings, pushing the fixing
+// rows onto base and truncating them afterwards (cheaper than rebuilding
+// the problem per branch-and-bound node).
+func (p *Problem) solveRelaxation(base *lp.Problem, fixed map[int]float64) (*lp.Solution, error) {
+	mark := base.NumConstraints()
+	defer func() {
+		// Truncating back to the recorded mark cannot fail.
+		if err := base.TruncateConstraints(mark); err != nil {
+			panic(fmt.Sprintf("ilp: truncate to %d: %v", mark, err))
+		}
+	}()
+	for j, v := range fixed {
+		if err := base.Add(map[int]float64{j: 1}, lp.EQ, v); err != nil {
+			return nil, err
+		}
+	}
+	return base.Solve()
+}
+
+// mostFractional returns the unfixed binary variable whose relaxation value
+// is closest to 1/2, or -1 if all binary variables are integral.
+func (p *Problem) mostFractional(x []float64, fixed map[int]float64) int {
+	best := -1
+	bestDist := math.Inf(1)
+	for j, v := range x {
+		if p.continuous[j] {
+			continue
+		}
+		if _, ok := fixed[j]; ok {
+			continue
+		}
+		frac := math.Abs(v - math.Round(v))
+		if frac <= intTol {
+			continue
+		}
+		d := math.Abs(v - 0.5)
+		if d < bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+func cloneFixed(m map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func roundCopy(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		r := math.Round(v)
+		if math.Abs(v-r) <= 1e-4 {
+			out[i] = r
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// copyConstraints replays src's constraints onto dst.
+func copyConstraints(src, dst *lp.Problem) error {
+	for _, c := range src.Snapshot() {
+		if err := dst.Add(c.Coeffs, c.Op, c.RHS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

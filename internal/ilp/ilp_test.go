@@ -1,0 +1,230 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/lp"
+)
+
+func mustAdd(t *testing.T, p *Problem, coeffs map[int]float64, op lp.Op, rhs float64) {
+	t.Helper()
+	if err := p.Add(coeffs, op, rhs); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}
+
+func TestSetCoverExact(t *testing.T) {
+	// Elements {a,b,c}; S0={a,b} cost 2, S1={b,c} cost 2, S2={a,b,c} cost 3.5,
+	// S3={c} cost 1. Optimum: S0+S3 = 3.
+	p := NewBinaryMinimize([]float64{2, 2, 3.5, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, lp.GE, 1)       // a
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1, 2: 1}, lp.GE, 1) // b
+	mustAdd(t, p, map[int]float64{1: 1, 2: 1, 3: 1}, lp.GE, 1) // c
+	r, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Proven {
+		t.Error("small problem should be proven optimal")
+	}
+	if math.Abs(r.Objective-3) > 1e-9 {
+		t.Errorf("objective = %v, want 3", r.Objective)
+	}
+	if r.X[0] != 1 || r.X[3] != 1 || r.X[1] != 0 || r.X[2] != 0 {
+		t.Errorf("X = %v, want [1 0 0 1]", r.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x0 + x1 >= 3 with binary vars is infeasible.
+	p := NewBinaryMinimize([]float64{1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, lp.GE, 3)
+	_, err := p.Solve(Options{})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("error = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestFractionalLPGapForced(t *testing.T) {
+	// Odd-cycle vertex cover: LP relaxation gives 1.5, ILP optimum is 2.
+	p := NewBinaryMinimize([]float64{1, 1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, lp.GE, 1)
+	mustAdd(t, p, map[int]float64{1: 1, 2: 1}, lp.GE, 1)
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, lp.GE, 1)
+	r, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-2) > 1e-9 || !r.Proven {
+		t.Errorf("objective = %v proven=%v, want 2 proven", r.Objective, r.Proven)
+	}
+}
+
+func TestContinuousVariables(t *testing.T) {
+	// min x0 + 0.1*z: z >= 0.5 (continuous), x0 binary >= z - 0.4 → x0 can be
+	// ... simpler: z continuous in [0,1] with z >= 0.7; x0 binary with
+	// x0 >= z - 1 (vacuous). Optimum: x0=0, z=0.7 → 0.07.
+	p := NewBinaryMinimize([]float64{1, 0.1})
+	if err := p.SetContinuous(1); err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, p, map[int]float64{1: 1}, lp.GE, 0.7)
+	r, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-0.07) > 1e-6 {
+		t.Errorf("objective = %v, want 0.07", r.Objective)
+	}
+	if r.X[0] != 0 {
+		t.Errorf("binary var = %v, want 0", r.X[0])
+	}
+	if err := p.SetContinuous(5); err == nil {
+		t.Error("SetContinuous out of range accepted")
+	}
+}
+
+func TestIncumbentSpeedsButDoesNotChangeOptimum(t *testing.T) {
+	p := NewBinaryMinimize([]float64{3, 2, 2})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, lp.GE, 1)
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, lp.GE, 1)
+	// Feasible incumbent: all ones, cost 7. Optimum: x1=x2=1 cost 4 or x0=1 cost 3.
+	r, err := p.Solve(Options{Incumbent: []float64{1, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective-3) > 1e-9 {
+		t.Errorf("objective = %v, want 3 (x0 alone)", r.Objective)
+	}
+	// Malformed incumbent length must error.
+	if _, err := p.Solve(Options{Incumbent: []float64{1}}); err == nil {
+		t.Error("wrong-length incumbent accepted")
+	}
+	// Infeasible incumbent is ignored, not fatal.
+	r2, err := p.Solve(Options{Incumbent: []float64{0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r2.Objective-3) > 1e-9 {
+		t.Errorf("objective with bad incumbent = %v, want 3", r2.Objective)
+	}
+}
+
+func TestNodeLimitTruncates(t *testing.T) {
+	// A problem needing more than one node, truncated at 1 node: no proof.
+	p := NewBinaryMinimize([]float64{1, 1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, lp.GE, 1)
+	mustAdd(t, p, map[int]float64{1: 1, 2: 1}, lp.GE, 1)
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, lp.GE, 1)
+	r, err := p.Solve(Options{NodeLimit: 1})
+	if err == nil && r.Proven {
+		t.Error("1-node search claimed proof on a fractional-root problem")
+	}
+}
+
+func TestKnapsackStyle(t *testing.T) {
+	// min -profit subject to weight <= capacity:
+	// items (profit, weight): (6,4) (5,3) (4,2), capacity 5 → best profit 9 = items 2+3.
+	p := NewBinaryMinimize([]float64{-6, -5, -4})
+	mustAdd(t, p, map[int]float64{0: 4, 1: 3, 2: 2}, lp.LE, 5)
+	r, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Objective+9) > 1e-9 {
+		t.Errorf("objective = %v, want -9", r.Objective)
+	}
+	if r.X[1] != 1 || r.X[2] != 1 || r.X[0] != 0 {
+		t.Errorf("X = %v, want [0 1 1]", r.X)
+	}
+}
+
+// Exhaustive cross-check: on random small covering instances the B&B optimum
+// must equal brute-force enumeration.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(8) // up to 10 vars → 1024 assignments
+		m := 1 + rng.Intn(6)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = float64(1+rng.Intn(20)) / 2
+		}
+		type row struct {
+			coeffs map[int]float64
+			rhs    float64
+		}
+		rows := make([]row, m)
+		p := NewBinaryMinimize(c)
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.4 {
+					coeffs[j] = 1
+				}
+			}
+			coeffs[rng.Intn(n)] = 1
+			rhs := 1.0
+			if len(coeffs) > 2 && rng.Float64() < 0.3 {
+				rhs = 2
+			}
+			rows[i] = row{coeffs, rhs}
+			mustAdd(t, p, coeffs, lp.GE, rhs)
+		}
+		// Brute force.
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for _, r := range rows {
+				var lhs float64
+				for j := range r.coeffs {
+					if mask&(1<<j) != 0 {
+						lhs++
+					}
+				}
+				if lhs < r.rhs {
+					feasible = false
+					break
+				}
+			}
+			if !feasible {
+				continue
+			}
+			var cost float64
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					cost += c[j]
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+		}
+		r, err := p.Solve(Options{})
+		if math.IsInf(best, 1) {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("trial %d: brute force infeasible but solver said %v, err %v", trial, r, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !r.Proven {
+			t.Fatalf("trial %d: not proven", trial)
+		}
+		if math.Abs(r.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: B&B %v != brute force %v", trial, r.Objective, best)
+		}
+	}
+}
+
+func TestNumVars(t *testing.T) {
+	p := NewBinaryMinimize([]float64{1, 2, 3})
+	if p.NumVars() != 3 {
+		t.Errorf("NumVars = %d, want 3", p.NumVars())
+	}
+}

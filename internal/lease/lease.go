@@ -1,0 +1,339 @@
+// Package lease implements the leasing timeline model that underlies every
+// problem in the thesis "Online Resource Leasing" (Markarian, 2015): lease
+// types with lengths and costs, the interval model of Definition 2.5, the
+// general-to-interval transformation of Lemma 2.6, purchase stores with cost
+// accounting, and pricing generators used by the experiments.
+//
+// Time is a discrete sequence of steps ("days") represented as int64. A lease
+// of type k bought at start time t covers the half-open window [t, t+l_k).
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Type describes a single lease type: its duration in time steps and the
+// one-time cost of buying one lease of this type.
+type Type struct {
+	// Length is the lease duration l_k in time steps. Must be >= 1.
+	Length int64
+	// Cost is the purchase cost c_k. Must be > 0.
+	Cost float64
+}
+
+// PerStep returns the cost per covered time step, the economy-of-scale
+// quantity the thesis refers to when it says "longer leases cost less per
+// unit time".
+func (t Type) PerStep() float64 { return t.Cost / float64(t.Length) }
+
+// Lease identifies one concrete purchasable lease: a type index (0-based)
+// and a start time. It covers [Start, Start+Length_K).
+type Lease struct {
+	K     int   // type index into the Config, 0-based
+	Start int64 // first covered time step
+}
+
+// Config is an immutable, validated ordered collection of lease types,
+// sorted by strictly increasing length. Type indices used throughout the
+// repository refer to positions in this ordering (0 = shortest).
+type Config struct {
+	types    []Type
+	interval bool // all lengths are powers of two
+}
+
+// Errors returned by NewConfig.
+var (
+	ErrNoTypes          = errors.New("lease: config needs at least one type")
+	ErrBadLength        = errors.New("lease: type length must be >= 1")
+	ErrBadCost          = errors.New("lease: type cost must be > 0")
+	ErrLengthsNotSorted = errors.New("lease: type lengths must be strictly increasing")
+)
+
+// NewConfig validates and builds a lease configuration. The provided types
+// must have positive costs and strictly increasing lengths >= 1.
+func NewConfig(types ...Type) (*Config, error) {
+	if len(types) == 0 {
+		return nil, ErrNoTypes
+	}
+	cp := make([]Type, len(types))
+	copy(cp, types)
+	interval := true
+	for i, t := range cp {
+		if t.Length < 1 {
+			return nil, fmt.Errorf("type %d has length %d: %w", i, t.Length, ErrBadLength)
+		}
+		if !(t.Cost > 0) || math.IsInf(t.Cost, 0) || math.IsNaN(t.Cost) {
+			return nil, fmt.Errorf("type %d has cost %v: %w", i, t.Cost, ErrBadCost)
+		}
+		if i > 0 && cp[i-1].Length >= t.Length {
+			return nil, fmt.Errorf("type %d length %d <= previous %d: %w", i, t.Length, cp[i-1].Length, ErrLengthsNotSorted)
+		}
+		if !isPowerOfTwo(t.Length) {
+			interval = false
+		}
+	}
+	return &Config{types: cp, interval: interval}, nil
+}
+
+// MustConfig is NewConfig for statically known-good inputs; it panics on
+// error and is intended for tests, examples and package-level experiment
+// fixtures only.
+func MustConfig(types ...Type) *Config {
+	c, err := NewConfig(types...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// K returns the number of lease types.
+func (c *Config) K() int { return len(c.types) }
+
+// Type returns the k-th lease type (0-based).
+func (c *Config) Type(k int) Type { return c.types[k] }
+
+// Types returns a copy of all lease types in length order.
+func (c *Config) Types() []Type {
+	cp := make([]Type, len(c.types))
+	copy(cp, c.types)
+	return cp
+}
+
+// Length returns l_k, the length of lease type k.
+func (c *Config) Length(k int) int64 { return c.types[k].Length }
+
+// Cost returns c_k, the cost of lease type k.
+func (c *Config) Cost(k int) float64 { return c.types[k].Cost }
+
+// LMin returns the shortest lease length l_min.
+func (c *Config) LMin() int64 { return c.types[0].Length }
+
+// LMax returns the longest lease length l_max.
+func (c *Config) LMax() int64 { return c.types[len(c.types)-1].Length }
+
+// IsIntervalModel reports whether every lease length is a power of two,
+// the structural requirement of the interval model (Definition 2.5). Note
+// that the second requirement — leases of the same type never overlap — is
+// a property of solutions, enforced by AlignedStart.
+func (c *Config) IsIntervalModel() bool { return c.interval }
+
+// AlignedStart returns the unique interval-model start time of a type-k
+// lease whose window covers time t, i.e. floor(t/l_k)*l_k. It supports
+// negative t (flooring toward negative infinity) so adversarial instances
+// may use any origin.
+func (c *Config) AlignedStart(k int, t int64) int64 {
+	l := c.types[k].Length
+	q := t / l
+	if t%l != 0 && t < 0 {
+		q--
+	}
+	return q * l
+}
+
+// AlignedLease returns the unique type-k interval-model lease covering t.
+func (c *Config) AlignedLease(k int, t int64) Lease {
+	return Lease{K: k, Start: c.AlignedStart(k, t)}
+}
+
+// Covering returns the K interval-model leases (one per type) whose windows
+// cover time t. In the interval model these are exactly the candidates of a
+// demand arriving at t (Section 2.2).
+func (c *Config) Covering(t int64) []Lease {
+	out := make([]Lease, len(c.types))
+	for k := range c.types {
+		out[k] = c.AlignedLease(k, t)
+	}
+	return out
+}
+
+// Window returns the half-open covered window [start, end) of a lease.
+func (c *Config) Window(l Lease) (start, end int64) {
+	return l.Start, l.Start + c.types[l.K].Length
+}
+
+// Covers reports whether lease l covers time t.
+func (c *Config) Covers(l Lease, t int64) bool {
+	return l.Start <= t && t < l.Start+c.types[l.K].Length
+}
+
+// Intersecting returns, for lease type k, all interval-model leases whose
+// windows intersect the inclusive time range [a, b]. These are the type-k
+// candidates of a deadline client with window [a, b] (Chapter 5).
+func (c *Config) Intersecting(k int, a, b int64) []Lease {
+	if b < a {
+		a, b = b, a
+	}
+	first := c.AlignedStart(k, a)
+	last := c.AlignedStart(k, b)
+	l := c.types[k].Length
+	n := (last-first)/l + 1
+	out := make([]Lease, 0, n)
+	for s := first; s <= last; s += l {
+		out = append(out, Lease{K: k, Start: s})
+	}
+	return out
+}
+
+// IntersectingAll returns, across all types, the interval-model leases whose
+// windows intersect [a, b].
+func (c *Config) IntersectingAll(a, b int64) []Lease {
+	var out []Lease
+	for k := range c.types {
+		out = append(out, c.Intersecting(k, a, b)...)
+	}
+	return out
+}
+
+// CheapestCovering returns the cheapest interval-model lease covering t.
+func (c *Config) CheapestCovering(t int64) Lease {
+	best := c.AlignedLease(0, t)
+	bestCost := c.types[0].Cost
+	for k := 1; k < len(c.types); k++ {
+		if c.types[k].Cost < bestCost {
+			bestCost = c.types[k].Cost
+			best = c.AlignedLease(k, t)
+		}
+	}
+	return best
+}
+
+// EconomyOfScale reports whether per-step costs are non-increasing with
+// length, the "longer leases cost less per unit time" assumption. The
+// algorithms do not require it, but most experiments generate such configs.
+func (c *Config) EconomyOfScale() bool {
+	for i := 1; i < len(c.types); i++ {
+		if c.types[i].PerStep() > c.types[i-1].PerStep()+1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// RoundToIntervalModel returns a new configuration whose lengths are the
+// original lengths rounded up to the next power of two, as in the first
+// half of Lemma 2.6. Costs are unchanged. Rounding can merge two types to
+// the same length; in that case only the cheaper is kept, preserving the
+// strictly-increasing length invariant without affecting optimal costs.
+func (c *Config) RoundToIntervalModel() *Config {
+	byLen := map[int64]Type{}
+	var lens []int64
+	for _, t := range c.types {
+		l := nextPowerOfTwo(t.Length)
+		prev, ok := byLen[l]
+		if !ok {
+			byLen[l] = Type{Length: l, Cost: t.Cost}
+			lens = append(lens, l)
+			continue
+		}
+		if t.Cost < prev.Cost {
+			byLen[l] = Type{Length: l, Cost: t.Cost}
+		}
+	}
+	sort.Slice(lens, func(i, j int) bool { return lens[i] < lens[j] })
+	types := make([]Type, 0, len(lens))
+	for _, l := range lens {
+		types = append(types, byLen[l])
+	}
+	cfg, err := NewConfig(types...)
+	if err != nil {
+		// Unreachable: rounding preserves positivity and the lengths are
+		// deduplicated and sorted above.
+		panic(fmt.Sprintf("lease: rounding produced invalid config: %v", err))
+	}
+	return cfg
+}
+
+// TypeMapToRounded returns, for each type index of c, the type index in the
+// rounded configuration produced by RoundToIntervalModel that the type was
+// mapped to (the type with length nextPow2(l_k) in the rounded config).
+func (c *Config) TypeMapToRounded(rounded *Config) []int {
+	m := make([]int, len(c.types))
+	for i, t := range c.types {
+		want := nextPowerOfTwo(t.Length)
+		m[i] = -1
+		for j := range rounded.types {
+			if rounded.types[j].Length == want {
+				m[i] = j
+				break
+			}
+		}
+	}
+	return m
+}
+
+// ExpandToGeneral converts a feasible interval-model solution (a set of
+// leases over the rounded config) into a feasible solution of the original
+// general-model config, per Lemma 2.6: each rounded lease of length l' is
+// replaced by two consecutive original leases of the mapped type (whose
+// combined span 2*l_k >= l' covers the rounded window). The returned cost is
+// exactly twice the original-type cost per rounded lease.
+func ExpandToGeneral(orig, rounded *Config, mapToRounded []int, sol []Lease) []Lease {
+	// Invert the type map: rounded type -> cheapest original type mapping to it.
+	inv := make(map[int]int, len(mapToRounded))
+	for origK, rk := range mapToRounded {
+		if rk < 0 {
+			continue
+		}
+		if cur, ok := inv[rk]; !ok || orig.Cost(origK) < orig.Cost(cur) {
+			inv[rk] = origK
+		}
+	}
+	out := make([]Lease, 0, 2*len(sol))
+	for _, l := range sol {
+		ok, exists := inv[l.K]
+		if !exists {
+			continue
+		}
+		out = append(out,
+			Lease{K: ok, Start: l.Start},
+			Lease{K: ok, Start: l.Start + orig.Length(ok)},
+		)
+	}
+	return out
+}
+
+// SolutionCost sums the costs of a multiset of leases under config c.
+func (c *Config) SolutionCost(sol []Lease) float64 {
+	var sum float64
+	for _, l := range sol {
+		sum += c.types[l.K].Cost
+	}
+	return sum
+}
+
+// CoversAll reports whether every time step in ts is covered by at least one
+// lease in sol.
+func (c *Config) CoversAll(sol []Lease, ts []int64) bool {
+	for _, t := range ts {
+		covered := false
+		for _, l := range sol {
+			if c.Covers(l, t) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+func isPowerOfTwo(v int64) bool { return v > 0 && v&(v-1) == 0 }
+
+// nextPowerOfTwo returns the smallest power of two >= v (v >= 1).
+func nextPowerOfTwo(v int64) int64 {
+	p := int64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// NextPowerOfTwo is the exported form of the rounding helper used by
+// instance generators (e.g. the Chapter 5 tight example chooses the long
+// lease length 2^ceil(log2 d_max)).
+func NextPowerOfTwo(v int64) int64 { return nextPowerOfTwo(v) }

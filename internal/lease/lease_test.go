@@ -1,0 +1,345 @@
+package lease
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		types   []Type
+		wantErr error
+	}{
+		{"empty", nil, ErrNoTypes},
+		{"zero length", []Type{{Length: 0, Cost: 1}}, ErrBadLength},
+		{"negative length", []Type{{Length: -4, Cost: 1}}, ErrBadLength},
+		{"zero cost", []Type{{Length: 1, Cost: 0}}, ErrBadCost},
+		{"negative cost", []Type{{Length: 1, Cost: -2}}, ErrBadCost},
+		{"unsorted", []Type{{Length: 4, Cost: 1}, {Length: 2, Cost: 2}}, ErrLengthsNotSorted},
+		{"duplicate length", []Type{{Length: 4, Cost: 1}, {Length: 4, Cost: 2}}, ErrLengthsNotSorted},
+		{"valid single", []Type{{Length: 1, Cost: 1}}, nil},
+		{"valid multi", []Type{{Length: 1, Cost: 1}, {Length: 8, Cost: 4}}, nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewConfig(tt.types...)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Fatalf("NewConfig() error = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.wantErr) {
+				t.Fatalf("NewConfig() error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	cfg := MustConfig(Type{Length: 1, Cost: 1}, Type{Length: 4, Cost: 2}, Type{Length: 16, Cost: 5})
+	if got := cfg.K(); got != 3 {
+		t.Errorf("K() = %d, want 3", got)
+	}
+	if got := cfg.LMin(); got != 1 {
+		t.Errorf("LMin() = %d, want 1", got)
+	}
+	if got := cfg.LMax(); got != 16 {
+		t.Errorf("LMax() = %d, want 16", got)
+	}
+	if !cfg.IsIntervalModel() {
+		t.Error("IsIntervalModel() = false, want true for power-of-two lengths")
+	}
+	if got := cfg.Length(1); got != 4 {
+		t.Errorf("Length(1) = %d, want 4", got)
+	}
+	if got := cfg.Cost(2); got != 5 {
+		t.Errorf("Cost(2) = %v, want 5", got)
+	}
+	if !cfg.EconomyOfScale() {
+		t.Error("EconomyOfScale() = false, want true (1, 0.5, 0.3125 per step)")
+	}
+}
+
+func TestIsIntervalModelFalse(t *testing.T) {
+	cfg := MustConfig(Type{Length: 3, Cost: 1}, Type{Length: 7, Cost: 2})
+	if cfg.IsIntervalModel() {
+		t.Error("IsIntervalModel() = true for lengths 3 and 7, want false")
+	}
+}
+
+func TestAlignedStart(t *testing.T) {
+	cfg := MustConfig(Type{Length: 4, Cost: 1})
+	tests := []struct {
+		t    int64
+		want int64
+	}{
+		{0, 0}, {1, 0}, {3, 0}, {4, 4}, {7, 4}, {8, 8},
+		{-1, -4}, {-4, -4}, {-5, -8},
+	}
+	for _, tt := range tests {
+		if got := cfg.AlignedStart(0, tt.t); got != tt.want {
+			t.Errorf("AlignedStart(0, %d) = %d, want %d", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestCoveringContainsT(t *testing.T) {
+	cfg := MustConfig(Type{Length: 1, Cost: 1}, Type{Length: 8, Cost: 3}, Type{Length: 64, Cost: 9})
+	for _, tm := range []int64{0, 5, 63, 64, 100, 1023, -3} {
+		cov := cfg.Covering(tm)
+		if len(cov) != cfg.K() {
+			t.Fatalf("Covering(%d) returned %d leases, want %d", tm, len(cov), cfg.K())
+		}
+		for _, l := range cov {
+			if !cfg.Covers(l, tm) {
+				t.Errorf("Covering(%d) lease %+v does not cover %d", tm, l, tm)
+			}
+			if l.Start%cfg.Length(l.K) != 0 {
+				t.Errorf("Covering(%d) lease %+v not aligned", tm, l)
+			}
+		}
+	}
+}
+
+func TestIntersecting(t *testing.T) {
+	cfg := MustConfig(Type{Length: 4, Cost: 1}, Type{Length: 16, Cost: 2})
+	got := cfg.Intersecting(0, 3, 9)
+	want := []Lease{{K: 0, Start: 0}, {K: 0, Start: 4}, {K: 0, Start: 8}}
+	if len(got) != len(want) {
+		t.Fatalf("Intersecting(0,3,9) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intersecting(0,3,9)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := cfg.Intersecting(1, 3, 9); len(got) != 1 || got[0] != (Lease{K: 1, Start: 0}) {
+		t.Errorf("Intersecting(1,3,9) = %v, want single lease at 0", got)
+	}
+	if got := cfg.IntersectingAll(3, 9); len(got) != 4 {
+		t.Errorf("IntersectingAll(3,9) returned %d leases, want 4", len(got))
+	}
+}
+
+func TestIntersectingEveryLeaseTouchesRange(t *testing.T) {
+	cfg := MustConfig(Type{Length: 2, Cost: 1}, Type{Length: 8, Cost: 2}, Type{Length: 32, Cost: 4})
+	f := func(a0 int16, span uint8, k0 uint8) bool {
+		a := int64(a0)
+		b := a + int64(span)
+		k := int(k0) % cfg.K()
+		for _, l := range cfg.Intersecting(k, a, b) {
+			s, e := cfg.Window(l)
+			if e <= a || s > b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundToIntervalModel(t *testing.T) {
+	cfg := MustConfig(Type{Length: 3, Cost: 2}, Type{Length: 5, Cost: 3}, Type{Length: 11, Cost: 4})
+	r := cfg.RoundToIntervalModel()
+	if !r.IsIntervalModel() {
+		t.Fatal("rounded config is not interval model")
+	}
+	// 3 -> 4, 5 -> 8, 11 -> 16.
+	wantLens := []int64{4, 8, 16}
+	if r.K() != len(wantLens) {
+		t.Fatalf("rounded K = %d, want %d", r.K(), len(wantLens))
+	}
+	for i, w := range wantLens {
+		if r.Length(i) != w {
+			t.Errorf("rounded length[%d] = %d, want %d", i, r.Length(i), w)
+		}
+	}
+}
+
+func TestRoundToIntervalModelMerges(t *testing.T) {
+	// 3 and 4 both round to 4; the cheaper must win.
+	cfg := MustConfig(Type{Length: 3, Cost: 7}, Type{Length: 4, Cost: 2})
+	r := cfg.RoundToIntervalModel()
+	if r.K() != 1 {
+		t.Fatalf("rounded K = %d, want 1", r.K())
+	}
+	if r.Length(0) != 4 || r.Cost(0) != 2 {
+		t.Errorf("rounded type = %+v, want {4 2}", r.Type(0))
+	}
+}
+
+func TestExpandToGeneralFeasibleAndTwiceCost(t *testing.T) {
+	orig := MustConfig(Type{Length: 3, Cost: 2}, Type{Length: 10, Cost: 5})
+	rounded := orig.RoundToIntervalModel() // lengths 4 and 16
+	m := orig.TypeMapToRounded(rounded)
+	// An interval-model solution: one lease of each rounded type.
+	sol := []Lease{{K: 0, Start: 4}, {K: 1, Start: 16}}
+	gen := ExpandToGeneral(orig, rounded, m, sol)
+	if len(gen) != 4 {
+		t.Fatalf("expanded %d leases, want 4", len(gen))
+	}
+	wantCost := 2 * rounded.SolutionCost(sol) // costs unchanged by rounding here
+	if got := orig.SolutionCost(gen); got != wantCost {
+		t.Errorf("expanded cost = %v, want %v", got, wantCost)
+	}
+	// Every step covered by the rounded solution must be covered by the
+	// expansion (Lemma 2.6 feasibility direction).
+	for _, l := range sol {
+		s, e := rounded.Window(l)
+		for tm := s; tm < e; tm++ {
+			if !orig.CoversAll(gen, []int64{tm}) {
+				t.Fatalf("expanded solution does not cover step %d", tm)
+			}
+		}
+	}
+}
+
+func TestStoreBuyAndCovers(t *testing.T) {
+	cfg := MustConfig(Type{Length: 2, Cost: 1}, Type{Length: 8, Cost: 3})
+	s := NewStore(cfg)
+	if s.Covers(5) {
+		t.Error("empty store covers 5")
+	}
+	if !s.Buy(Lease{K: 0, Start: 4}) {
+		t.Error("first Buy returned false")
+	}
+	if s.Buy(Lease{K: 0, Start: 4}) {
+		t.Error("duplicate Buy returned true")
+	}
+	if got := s.TotalCost(); got != 1 {
+		t.Errorf("TotalCost = %v, want 1 (duplicate not charged)", got)
+	}
+	if !s.Covers(4) || !s.Covers(5) || s.Covers(6) || s.Covers(3) {
+		t.Errorf("coverage of [4,6) wrong: 4:%v 5:%v 6:%v 3:%v", s.Covers(4), s.Covers(5), s.Covers(6), s.Covers(3))
+	}
+	s.Buy(Lease{K: 1, Start: 8})
+	if !s.CoversWithType(1, 15) || s.CoversWithType(0, 15) {
+		t.Error("CoversWithType wrong after buying type-1 lease at 8")
+	}
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	ls := s.Leases()
+	if len(ls) != 2 || ls[0] != (Lease{K: 0, Start: 4}) || ls[1] != (Lease{K: 1, Start: 8}) {
+		t.Errorf("Leases() = %v, want sorted [{0 4} {1 8}]", ls)
+	}
+}
+
+func TestStoreCoversMatchesBruteForce(t *testing.T) {
+	cfg := MustConfig(Type{Length: 2, Cost: 1}, Type{Length: 8, Cost: 3}, Type{Length: 32, Cost: 6})
+	rng := rand.New(rand.NewSource(7))
+	s := NewStore(cfg)
+	var sol []Lease
+	for i := 0; i < 40; i++ {
+		k := rng.Intn(cfg.K())
+		l := cfg.AlignedLease(k, int64(rng.Intn(256)))
+		s.Buy(l)
+		sol = append(sol, l)
+	}
+	for tm := int64(-8); tm < 300; tm++ {
+		want := false
+		for _, l := range sol {
+			if cfg.Covers(l, tm) {
+				want = true
+				break
+			}
+		}
+		if got := s.Covers(tm); got != want {
+			t.Fatalf("Covers(%d) = %v, want %v", tm, got, want)
+		}
+	}
+}
+
+func TestPricingGenerators(t *testing.T) {
+	t.Run("PowerConfig", func(t *testing.T) {
+		cfg := PowerConfig(5, 4, 0.5)
+		if !cfg.IsIntervalModel() {
+			t.Error("PowerConfig not interval model")
+		}
+		if !cfg.EconomyOfScale() {
+			t.Error("PowerConfig gamma=0.5 should have economy of scale")
+		}
+		if cfg.K() != 5 {
+			t.Errorf("K = %d, want 5", cfg.K())
+		}
+	})
+	t.Run("DoublingConfig", func(t *testing.T) {
+		cfg := DoublingConfig(6, 1, 1.5)
+		if cfg.K() != 6 || !cfg.IsIntervalModel() {
+			t.Errorf("DoublingConfig wrong: K=%d interval=%v", cfg.K(), cfg.IsIntervalModel())
+		}
+		if !cfg.EconomyOfScale() {
+			t.Error("growth 1.5 < 2 must yield economy of scale")
+		}
+	})
+	t.Run("MeyersonLowerBoundConfig", func(t *testing.T) {
+		cfg := MeyersonLowerBoundConfig(4)
+		if !cfg.IsIntervalModel() {
+			t.Error("MeyersonLowerBoundConfig not interval model")
+		}
+		for k := 0; k < cfg.K(); k++ {
+			if want := float64(int64(2) << k); cfg.Cost(k) != want {
+				t.Errorf("cost[%d] = %v, want %v", k, cfg.Cost(k), want)
+			}
+		}
+		// Each window must contain at least 2K windows of the previous type.
+		for k := 1; k < cfg.K(); k++ {
+			if cfg.Length(k)/cfg.Length(k-1) < 8 {
+				t.Errorf("length ratio at %d = %d, want >= 2K = 8", k, cfg.Length(k)/cfg.Length(k-1))
+			}
+		}
+	})
+	t.Run("TwoTypeConfig", func(t *testing.T) {
+		cfg := TwoTypeConfig(4, 100, 0.01)
+		if cfg.K() != 2 || cfg.Length(0) != 4 || cfg.Length(1) != 128 {
+			t.Errorf("TwoTypeConfig = %+v, want lengths 4 and 128", cfg.Types())
+		}
+	})
+	t.Run("SingleTypeConfig", func(t *testing.T) {
+		cfg := SingleTypeConfig(1000, 3)
+		if cfg.K() != 1 || cfg.Length(0) != 1024 {
+			t.Errorf("SingleTypeConfig = %+v, want one type of length 1024", cfg.Types())
+		}
+	})
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	tests := []struct{ in, want int64 }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {17, 32}, {1024, 1024}, {1025, 2048}}
+	for _, tt := range tests {
+		if got := NextPowerOfTwo(tt.in); got != tt.want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCheapestCovering(t *testing.T) {
+	cfg := MustConfig(Type{Length: 1, Cost: 5}, Type{Length: 4, Cost: 2}, Type{Length: 16, Cost: 9})
+	l := cfg.CheapestCovering(7)
+	if l.K != 1 || l.Start != 4 {
+		t.Errorf("CheapestCovering(7) = %+v, want type 1 at 4", l)
+	}
+}
+
+// Property: AlignedLease always covers t and is aligned.
+func TestAlignedLeaseProperty(t *testing.T) {
+	cfg := MustConfig(Type{Length: 2, Cost: 1}, Type{Length: 16, Cost: 3}, Type{Length: 128, Cost: 8})
+	f := func(t0 int32, k0 uint8) bool {
+		k := int(k0) % cfg.K()
+		tm := int64(t0)
+		l := cfg.AlignedLease(k, tm)
+		if !cfg.Covers(l, tm) {
+			return false
+		}
+		mod := l.Start % cfg.Length(k)
+		return mod == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package lease
+
+import "math"
+
+// Pricing generators. Each returns a validated interval-model configuration
+// used by the experiment harness. All follow the thesis' standing
+// assumption that longer leases cost less per time step but more in total.
+
+// PowerConfig builds K lease types with lengths base^0..base^(K-1) scaled by
+// unitLen, and costs l^gamma (0 < gamma < 1 gives a strict economy of
+// scale). base must be a power of two and unitLen >= 1 for the result to be
+// an interval-model config; PowerConfig rounds lengths up to powers of two
+// to guarantee it regardless.
+func PowerConfig(k int, base int64, gamma float64) *Config {
+	if k < 1 {
+		k = 1
+	}
+	if base < 2 {
+		base = 2
+	}
+	types := make([]Type, 0, k)
+	l := int64(1)
+	for i := 0; i < k; i++ {
+		ll := nextPowerOfTwo(l)
+		types = append(types, Type{Length: ll, Cost: math.Pow(float64(ll), gamma)})
+		if l > (1<<40)/base { // avoid overflow for absurd K
+			break
+		}
+		l *= base
+	}
+	return dedupByLength(types)
+}
+
+// DoublingConfig builds K types with l_k = 2^k and c_k = costBase * growth^k.
+// With growth = 2 and lengths quadrupling this is the classic "pay twice,
+// cover four times as long" schedule; with growth < 2 leases are more
+// attractive the longer they are.
+func DoublingConfig(k int, costBase, growth float64) *Config {
+	if k < 1 {
+		k = 1
+	}
+	types := make([]Type, 0, k)
+	l := int64(1)
+	c := costBase
+	for i := 0; i < k; i++ {
+		types = append(types, Type{Length: l, Cost: c})
+		l *= 2
+		c *= growth
+	}
+	return dedupByLength(types)
+}
+
+// MeyersonLowerBoundConfig builds the configuration used by the
+// deterministic Omega(K) adversary of Theorem 2.8: costs c_k = 2^k and
+// lengths l_k = (2K)*l_{k-1}, with the length factor rounded up to a power
+// of two so the interval model applies (the proof only needs l_k to contain
+// at least 2K disjoint type-(k-1) windows, which rounding up preserves).
+func MeyersonLowerBoundConfig(k int) *Config {
+	if k < 1 {
+		k = 1
+	}
+	factor := nextPowerOfTwo(int64(2 * k))
+	types := make([]Type, 0, k)
+	l := int64(1)
+	c := 2.0
+	for i := 0; i < k; i++ {
+		types = append(types, Type{Length: l, Cost: c})
+		l *= factor
+		c *= 2
+	}
+	return dedupByLength(types)
+}
+
+// RandomizedLowerBoundConfig builds the configuration of the randomized
+// Omega(log K) lower bound of Theorem 2.9: c_i = 2^i with lengths growing
+// by a large (power-of-two) factor so each type-i window contains many
+// type-(i-1) sub-windows.
+func RandomizedLowerBoundConfig(k int, lengthFactor int64) *Config {
+	if k < 1 {
+		k = 1
+	}
+	if lengthFactor < 2 {
+		lengthFactor = 2
+	}
+	lengthFactor = nextPowerOfTwo(lengthFactor)
+	types := make([]Type, 0, k)
+	l := int64(1)
+	c := 2.0
+	for i := 0; i < k; i++ {
+		types = append(types, Type{Length: l, Cost: c})
+		l *= lengthFactor
+		c *= 2
+	}
+	return dedupByLength(types)
+}
+
+// TwoTypeConfig builds the two-type configuration of the Chapter 5 tight
+// example (Proposition 5.4): a short lease of length lmin and cost 1, and a
+// long lease of length 2^ceil(log2 span) and cost 1+eps.
+func TwoTypeConfig(lmin, span int64, eps float64) *Config {
+	lmin = nextPowerOfTwo(lmin)
+	long := nextPowerOfTwo(span)
+	if long <= lmin {
+		long = lmin * 2
+	}
+	return MustConfig(
+		Type{Length: lmin, Cost: 1},
+		Type{Length: long, Cost: 1 + eps},
+	)
+}
+
+// SingleTypeConfig builds the K=1 degenerate configuration that reduces a
+// leasing problem to its classical non-leasing variant (Corollary 3.4): one
+// type whose length is a power of two at least horizon, emulating l_1 =
+// infinity over any experiment of that horizon.
+func SingleTypeConfig(horizon int64, cost float64) *Config {
+	return MustConfig(Type{Length: nextPowerOfTwo(horizon), Cost: cost})
+}
+
+func dedupByLength(types []Type) *Config {
+	out := types[:0:0]
+	for _, t := range types {
+		if len(out) > 0 && out[len(out)-1].Length == t.Length {
+			if t.Cost < out[len(out)-1].Cost {
+				out[len(out)-1] = t
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	return MustConfig(out...)
+}

@@ -1,0 +1,486 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {<=,>=,=} b_i   for each constraint i
+//	            x >= 0
+//
+// It is the substrate behind the branch-and-bound ILP solver
+// (leasing/internal/ilp) used to compute exact offline optima for the
+// thesis' covering problems, and it provides LP-relaxation lower bounds for
+// instances too large to solve exactly. Bland's pivoting rule guarantees
+// termination on degenerate problems. Maximization is expressed by negating
+// the objective.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint comparison operator.
+type Op int
+
+// Constraint operators.
+const (
+	LE Op = iota + 1 // a·x <= b
+	GE               // a·x >= b
+	EQ               // a·x == b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Status == Optimal)
+	Objective float64   // c·X (valid when Status == Optimal)
+}
+
+type constraint struct {
+	coeffs map[int]float64
+	op     Op
+	rhs    float64
+}
+
+// Problem is a linear program under construction. Create with NewMinimize,
+// add constraints, then call Solve. A Problem may be solved repeatedly and
+// extended between solves (each Solve works on a fresh tableau).
+type Problem struct {
+	c    []float64
+	cons []constraint
+}
+
+// NewMinimize creates a minimization problem with objective coefficients c.
+// The number of variables is len(c).
+func NewMinimize(c []float64) *Problem {
+	cp := make([]float64, len(c))
+	copy(cp, c)
+	return &Problem{c: cp}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.c) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddDense adds the constraint coeffs·x op rhs with a dense coefficient
+// vector of length NumVars.
+func (p *Problem) AddDense(coeffs []float64, op Op, rhs float64) error {
+	if len(coeffs) != len(p.c) {
+		return fmt.Errorf("lp: constraint has %d coefficients, want %d", len(coeffs), len(p.c))
+	}
+	m := make(map[int]float64)
+	for i, v := range coeffs {
+		if v != 0 {
+			m[i] = v
+		}
+	}
+	return p.addMap(m, op, rhs)
+}
+
+// Add adds the constraint sum(coeffs[j]*x_j) op rhs with sparse
+// coefficients given as a variable-index map.
+func (p *Problem) Add(coeffs map[int]float64, op Op, rhs float64) error {
+	m := make(map[int]float64, len(coeffs))
+	for j, v := range coeffs {
+		if v != 0 {
+			m[j] = v
+		}
+	}
+	return p.addMap(m, op, rhs)
+}
+
+func (p *Problem) addMap(coeffs map[int]float64, op Op, rhs float64) error {
+	if op != LE && op != GE && op != EQ {
+		return fmt.Errorf("lp: invalid operator %v", op)
+	}
+	for j, v := range coeffs {
+		if j < 0 || j >= len(p.c) {
+			return fmt.Errorf("lp: coefficient index %d out of range [0,%d)", j, len(p.c))
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("lp: coefficient for variable %d is %v", j, v)
+		}
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: right-hand side is %v", rhs)
+	}
+	p.cons = append(p.cons, constraint{coeffs: coeffs, op: op, rhs: rhs})
+	return nil
+}
+
+const (
+	pivotEps = 1e-9
+	feasEps  = 1e-7
+)
+
+// Solve runs two-phase primal simplex and returns the solution. Errors are
+// reserved for malformed problems; infeasibility and unboundedness are
+// reported through Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	n := len(p.c)
+	m := len(p.cons)
+	if n == 0 {
+		return &Solution{Status: Optimal, X: nil, Objective: 0}, nil
+	}
+
+	// Column layout: [0,n) structural, [n, n+nSlack) slack/surplus,
+	// [n+nSlack, total) artificial. One extra column for the RHS.
+	nSlack := 0
+	nArt := 0
+	for _, c := range p.cons {
+		// Rows are normalized to b >= 0 below, so the effective operator may
+		// flip; count conservatively (every row gets at most one slack and
+		// at most one artificial).
+		switch c.op {
+		case LE, GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	rhsCol := total
+
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	artCol := make([]bool, total)
+
+	slackNext := n
+	artNext := n + nSlack
+	for i, c := range p.cons {
+		row := make([]float64, total+1)
+		sign := 1.0
+		op := c.op
+		if c.rhs < 0 {
+			sign = -1
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		for j, v := range c.coeffs {
+			row[j] = sign * v
+		}
+		row[rhsCol] = sign * c.rhs
+
+		switch op {
+		case LE:
+			// Slack basic.
+			row[slackNext] = 1
+			basis[i] = slackNext
+			slackNext++
+		case GE:
+			// Surplus plus artificial basic.
+			row[slackNext] = -1
+			slackNext++
+			row[artNext] = 1
+			artCol[artNext] = true
+			basis[i] = artNext
+			artNext++
+		case EQ:
+			row[artNext] = 1
+			artCol[artNext] = true
+			basis[i] = artNext
+			artNext++
+		}
+		tab[i] = row
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, total)
+	for j := n + nSlack; j < artNext; j++ {
+		phase1[j] = 1
+	}
+	banned := make([]bool, total)
+	// Columns allocated but unused (when rows flipped fewer artificials than
+	// reserved) are banned outright.
+	for j := slackNext; j < n+nSlack; j++ {
+		banned[j] = true
+	}
+	for j := artNext; j < total; j++ {
+		banned[j] = true
+	}
+
+	z := buildObjectiveRow(tab, basis, phase1, total)
+	if !pivotToOptimal(tab, basis, z, banned, total) {
+		// Phase 1 is bounded below by 0; unboundedness indicates a numerical
+		// breakdown which we report as infeasible rather than guessing.
+		return &Solution{Status: Infeasible}, nil
+	}
+	if -z[rhsCol] > feasEps {
+		return &Solution{Status: Infeasible}, nil
+	}
+
+	// Drive remaining artificial variables out of the basis.
+	for i := 0; i < len(tab); i++ {
+		if !artCol[basis[i]] {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n+nSlack; j++ {
+			if banned[j] {
+				continue
+			}
+			if math.Abs(tab[i][j]) > pivotEps {
+				pivot(tab, z, i, j, total)
+				basis[i] = j
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: all structural and slack coefficients are zero.
+			// Its artificial basic variable is zero, so drop the row.
+			tab = append(tab[:i], tab[i+1:]...)
+			basis = append(basis[:i], basis[i+1:]...)
+			i--
+		}
+	}
+	// Ban artificial columns from ever entering again.
+	for j := range artCol {
+		if artCol[j] {
+			banned[j] = true
+		}
+	}
+
+	// Phase 2: the real objective.
+	phase2 := make([]float64, total)
+	copy(phase2, p.c)
+	z = buildObjectiveRow(tab, basis, phase2, total)
+	if !pivotToOptimal(tab, basis, z, banned, total) {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][rhsCol]
+		}
+	}
+	var obj float64
+	for j := range x {
+		if x[j] < 0 && x[j] > -feasEps {
+			x[j] = 0
+		}
+		obj += p.c[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// buildObjectiveRow computes the reduced-cost row for cost vector cost given
+// the current basis: z[j] = cost[j] - sum_i cost[basis[i]]*tab[i][j], and
+// z[rhs] = -objective value.
+func buildObjectiveRow(tab [][]float64, basis []int, cost []float64, total int) []float64 {
+	z := make([]float64, total+1)
+	copy(z, cost)
+	for i, b := range basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		row := tab[i]
+		for j := 0; j <= total; j++ {
+			z[j] -= cb * row[j]
+		}
+	}
+	return z
+}
+
+// pivotToOptimal runs Bland-rule simplex iterations until no reduced cost is
+// negative. It returns false if the problem is unbounded in the pivoting
+// direction.
+func pivotToOptimal(tab [][]float64, basis []int, z []float64, banned []bool, total int) bool {
+	rhsCol := total
+	for {
+		// Bland: entering variable is the lowest-index column with negative
+		// reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if banned[j] {
+				continue
+			}
+			if z[j] < -pivotEps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return true
+		}
+		// Ratio test with Bland tie-breaking on the basis variable index.
+		leave := -1
+		var bestRatio float64
+		for i := range tab {
+			a := tab[i][enter]
+			if a <= pivotEps {
+				continue
+			}
+			r := tab[i][rhsCol] / a
+			if leave < 0 || r < bestRatio-pivotEps || (math.Abs(r-bestRatio) <= pivotEps && basis[i] < basis[leave]) {
+				leave = i
+				bestRatio = r
+			}
+		}
+		if leave < 0 {
+			return false
+		}
+		pivot(tab, z, leave, enter, total)
+		basis[leave] = enter
+	}
+}
+
+// pivot performs a full tableau pivot on (row, col), including the z row.
+func pivot(tab [][]float64, z []float64, row, col, total int) {
+	pr := tab[row]
+	pv := pr[col]
+	inv := 1 / pv
+	for j := 0; j <= total; j++ {
+		pr[j] *= inv
+	}
+	pr[col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		r := tab[i]
+		for j := 0; j <= total; j++ {
+			r[j] -= f * pr[j]
+		}
+		r[col] = 0 // exact
+	}
+	if f := z[col]; f != 0 {
+		for j := 0; j <= total; j++ {
+			z[j] -= f * pr[j]
+		}
+		z[col] = 0
+	}
+}
+
+// TruncateConstraints drops every constraint after the first n, enabling
+// cheap push/pop workflows: branch and bound appends fixing rows, solves,
+// and truncates back instead of rebuilding the problem.
+func (p *Problem) TruncateConstraints(n int) error {
+	if n < 0 || n > len(p.cons) {
+		return fmt.Errorf("lp: truncate to %d with %d constraints", n, len(p.cons))
+	}
+	p.cons = p.cons[:n]
+	return nil
+}
+
+// ConstraintView is a read-only copy of one constraint, used by consumers
+// (such as the branch-and-bound solver) that replay a problem's constraints
+// onto derived problems.
+type ConstraintView struct {
+	Coeffs map[int]float64
+	Op     Op
+	RHS    float64
+}
+
+// Snapshot returns copies of all constraints added so far.
+func (p *Problem) Snapshot() []ConstraintView {
+	out := make([]ConstraintView, len(p.cons))
+	for i, c := range p.cons {
+		coeffs := make(map[int]float64, len(c.coeffs))
+		for j, v := range c.coeffs {
+			coeffs[j] = v
+		}
+		out[i] = ConstraintView{Coeffs: coeffs, Op: c.op, RHS: c.rhs}
+	}
+	return out
+}
+
+// Verify checks that x satisfies every constraint of p within tol, returning
+// a descriptive error for the first violation. It is used by tests and by
+// the ILP solver to validate incumbents.
+func (p *Problem) Verify(x []float64, tol float64) error {
+	if len(x) != len(p.c) {
+		return fmt.Errorf("lp: solution has %d values, want %d", len(x), len(p.c))
+	}
+	for j, v := range x {
+		if v < -tol {
+			return fmt.Errorf("lp: variable %d negative: %v", j, v)
+		}
+	}
+	for i, c := range p.cons {
+		var lhs float64
+		for j, v := range c.coeffs {
+			lhs += v * x[j]
+		}
+		switch c.op {
+		case LE:
+			if lhs > c.rhs+tol {
+				return fmt.Errorf("lp: constraint %d violated: %v <= %v", i, lhs, c.rhs)
+			}
+		case GE:
+			if lhs < c.rhs-tol {
+				return fmt.Errorf("lp: constraint %d violated: %v >= %v", i, lhs, c.rhs)
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tol {
+				return fmt.Errorf("lp: constraint %d violated: %v == %v", i, lhs, c.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrNotOptimal is returned by helpers that require an optimal solution.
+var ErrNotOptimal = errors.New("lp: problem has no optimal solution")
+
+// MustObjective solves p and returns the optimal objective, or an error if
+// the problem is infeasible or unbounded.
+func (p *Problem) MustObjective() (float64, error) {
+	s, err := p.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if s.Status != Optimal {
+		return 0, fmt.Errorf("%w: status %v", ErrNotOptimal, s.Status)
+	}
+	return s.Objective, nil
+}

@@ -1,0 +1,318 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// max x+y s.t. x<=3, y<=4  == min -(x+y); optimum -7 at (3,4).
+	p := NewMinimize([]float64{-1, -1})
+	mustAdd(t, p, map[int]float64{0: 1}, LE, 3)
+	mustAdd(t, p, map[int]float64{1: 1}, LE, 4)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective+7) > 1e-9 {
+		t.Errorf("objective = %v, want -7", s.Objective)
+	}
+	if math.Abs(s.X[0]-3) > 1e-9 || math.Abs(s.X[1]-4) > 1e-9 {
+		t.Errorf("X = %v, want [3 4]", s.X)
+	}
+}
+
+func TestCoveringLP(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 4, x >= 1. Optimum: x=4,y=0 → 8.
+	p := NewMinimize([]float64{2, 3})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, GE, 4)
+	mustAdd(t, p, map[int]float64{0: 1}, GE, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-8) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 8", s.Status, s.Objective)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + 2y s.t. x + y == 5, x - y == 1 → x=3,y=2, obj 7.
+	p := NewMinimize([]float64{1, 2})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, EQ, 5)
+	mustAdd(t, p, map[int]float64{0: 1, 1: -1}, EQ, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-7) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 7", s.Status, s.Objective)
+	}
+	if math.Abs(s.X[0]-3) > 1e-9 || math.Abs(s.X[1]-2) > 1e-9 {
+		t.Errorf("X = %v, want [3 2]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewMinimize([]float64{1})
+	mustAdd(t, p, map[int]float64{0: 1}, GE, 5)
+	mustAdd(t, p, map[int]float64{0: 1}, LE, 3)
+	s := solveOrFatal(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// min -x s.t. x >= 1 → unbounded below.
+	p := NewMinimize([]float64{-1})
+	mustAdd(t, p, map[int]float64{0: 1}, GE, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x >= -2 is vacuous under x >= 0; min x should be 0.
+	p := NewMinimize([]float64{1})
+	mustAdd(t, p, map[int]float64{0: 1}, GE, -2)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 0", s.Status, s.Objective)
+	}
+	// -x >= -3  ⇔  x <= 3; min -x → x=3.
+	p2 := NewMinimize([]float64{-1})
+	mustAdd(t, p2, map[int]float64{0: -1}, GE, -3)
+	s2 := solveOrFatal(t, p2)
+	if s2.Status != Optimal || math.Abs(s2.Objective+3) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal -3", s2.Status, s2.Objective)
+	}
+}
+
+func TestDegenerateKleeMintyLike(t *testing.T) {
+	// A degenerate problem that cycles without an anti-cycling rule.
+	// min -0.75a + 150b - 0.02c + 6d (Beale's example)
+	p := NewMinimize([]float64{-0.75, 150, -0.02, 6})
+	mustAdd(t, p, map[int]float64{0: 0.25, 1: -60, 2: -0.04, 3: 9}, LE, 0)
+	mustAdd(t, p, map[int]float64{0: 0.5, 1: -90, 2: -0.02, 3: 3}, LE, 0)
+	mustAdd(t, p, map[int]float64{2: 1}, LE, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (Bland must terminate)", s.Status)
+	}
+	if math.Abs(s.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", s.Objective)
+	}
+}
+
+func TestRedundantConstraintsAndEqualities(t *testing.T) {
+	// Duplicate equalities produce a redundant row that phase 1 must drop.
+	p := NewMinimize([]float64{1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, EQ, 2)
+	mustAdd(t, p, map[int]float64{0: 2, 1: 2}, EQ, 4)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-2) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 2", s.Status, s.Objective)
+	}
+}
+
+func TestSetCoverRelaxation(t *testing.T) {
+	// Three sets cover elements {a,b}: S0={a}, S1={b}, S2={a,b}.
+	// Costs 1, 1, 1.5. LP optimum buys S2 fractionally? Integral S2=1 → 1.5.
+	// LP can also do x0=x1=1 → 2. LP optimum = 1.5.
+	p := NewMinimize([]float64{1, 1, 1.5})
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, GE, 1)
+	mustAdd(t, p, map[int]float64{1: 1, 2: 1}, GE, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-1.5) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 1.5", s.Status, s.Objective)
+	}
+}
+
+func TestHalfIntegralVertexLP(t *testing.T) {
+	// Odd cycle vertex cover LP has optimum n/2 with all-half solution.
+	// Triangle: min x0+x1+x2 s.t. xi+xj >= 1 for each edge.
+	p := NewMinimize([]float64{1, 1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, GE, 1)
+	mustAdd(t, p, map[int]float64{1: 1, 2: 1}, GE, 1)
+	mustAdd(t, p, map[int]float64{0: 1, 2: 1}, GE, 1)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-1.5) > 1e-9 {
+		t.Fatalf("got %v obj %v, want optimal 1.5", s.Status, s.Objective)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	p := NewMinimize([]float64{1, 1})
+	mustAdd(t, p, map[int]float64{0: 1, 1: 1}, GE, 2)
+	if err := p.Verify([]float64{1, 1}, 1e-9); err != nil {
+		t.Errorf("Verify feasible point: %v", err)
+	}
+	if err := p.Verify([]float64{0.5, 0.5}, 1e-9); err == nil {
+		t.Error("Verify must reject infeasible point")
+	}
+	if err := p.Verify([]float64{-1, 3}, 1e-9); err == nil {
+		t.Error("Verify must reject negative variable")
+	}
+	if err := p.Verify([]float64{1}, 1e-9); err == nil {
+		t.Error("Verify must reject wrong length")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	p := NewMinimize([]float64{1})
+	if err := p.Add(map[int]float64{1: 1}, GE, 0); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if err := p.Add(map[int]float64{0: math.NaN()}, GE, 0); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+	if err := p.Add(map[int]float64{0: 1}, GE, math.Inf(1)); err == nil {
+		t.Error("Inf rhs accepted")
+	}
+	if err := p.Add(map[int]float64{0: 1}, Op(99), 0); err == nil {
+		t.Error("bad operator accepted")
+	}
+	if err := p.AddDense([]float64{1, 2}, GE, 0); err == nil {
+		t.Error("wrong-length dense constraint accepted")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewMinimize(nil)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Fatalf("empty problem: %v obj %v", s.Status, s.Objective)
+	}
+}
+
+func TestMustObjective(t *testing.T) {
+	p := NewMinimize([]float64{1})
+	mustAdd(t, p, map[int]float64{0: 1}, GE, 2)
+	v, err := p.MustObjective()
+	if err != nil || math.Abs(v-2) > 1e-9 {
+		t.Fatalf("MustObjective = %v, %v; want 2, nil", v, err)
+	}
+	p2 := NewMinimize([]float64{1})
+	mustAdd(t, p2, map[int]float64{0: 1}, GE, 5)
+	mustAdd(t, p2, map[int]float64{0: 1}, LE, 3)
+	if _, err := p2.MustObjective(); err == nil {
+		t.Error("MustObjective on infeasible problem must error")
+	}
+}
+
+// Property: on random feasible covering LPs, the solver's optimum is a lower
+// bound on any feasible integral point we construct, and the returned X is
+// feasible.
+func TestRandomCoveringLPProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	f := func() bool {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = 0.5 + rng.Float64()*4
+		}
+		p := NewMinimize(c)
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.5 {
+					coeffs[j] = 1
+				}
+			}
+			// Guarantee coverage is possible.
+			coeffs[rng.Intn(n)] = 1
+			if err := p.Add(coeffs, GE, 1); err != nil {
+				return false
+			}
+		}
+		s, err := p.Solve()
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		if err := p.Verify(s.X, 1e-6); err != nil {
+			return false
+		}
+		// The all-ones point is feasible and must cost at least the optimum.
+		allOnes := make([]float64, n)
+		var totalCost float64
+		for j := range allOnes {
+			allOnes[j] = 1
+			totalCost += c[j]
+		}
+		return s.Objective <= totalCost+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Values: nil}
+	if err := quick.Check(func() bool { return f() }, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LP optimum of {min c·x : x_j <= 1, sum x >= k} equals sum of the
+// k cheapest costs (a problem with a known closed form).
+func TestKCheapestClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.Float64()*9 + 1
+		}
+		p := NewMinimize(c)
+		for j := 0; j < n; j++ {
+			mustAdd(t, p, map[int]float64{j: 1}, LE, 1)
+		}
+		all := map[int]float64{}
+		for j := 0; j < n; j++ {
+			all[j] = 1
+		}
+		mustAdd(t, p, all, GE, float64(k))
+		s := solveOrFatal(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		sorted := make([]float64, n)
+		copy(sorted, c)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		var want float64
+		for i := 0; i < k; i++ {
+			want += sorted[i]
+		}
+		if math.Abs(s.Objective-want) > 1e-6 {
+			t.Fatalf("trial %d: objective %v, want %v (k=%d costs=%v)", trial, s.Objective, want, k, c)
+		}
+	}
+}
+
+func TestOpAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Op strings wrong")
+	}
+	if Op(42).String() == "" || Status(42).String() == "" {
+		t.Error("unknown enum strings empty")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("Status strings wrong")
+	}
+}
+
+func mustAdd(t *testing.T, p *Problem, coeffs map[int]float64, op Op, rhs float64) {
+	t.Helper()
+	if err := p.Add(coeffs, op, rhs); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}

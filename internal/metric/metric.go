@@ -1,0 +1,83 @@
+// Package metric provides the metric-space substrate for facility leasing
+// (Chapter 4): points in the Euclidean plane, distance helpers, and
+// generators for facility sites and client populations. Euclidean distances
+// satisfy the triangle inequality the dual-fitting analysis relies on.
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 {
+	dx := a.X - b.X
+	dy := a.Y - b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RandomPoints draws n points uniformly from the square [0, size)^2.
+func RandomPoints(rng *rand.Rand, n int, size float64) []Point {
+	out := make([]Point, n)
+	for i := range out {
+		out[i] = Point{X: rng.Float64() * size, Y: rng.Float64() * size}
+	}
+	return out
+}
+
+// ClusteredPoints draws n points around the given centers: each point picks
+// a uniform center and adds Gaussian noise with the given spread. Models
+// client populations concentrated near candidate facility sites.
+func ClusteredPoints(rng *rand.Rand, centers []Point, n int, spread float64) ([]Point, error) {
+	if len(centers) == 0 {
+		return nil, fmt.Errorf("metric: clustered points need at least one center")
+	}
+	out := make([]Point, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = Point{
+			X: c.X + rng.NormFloat64()*spread,
+			Y: c.Y + rng.NormFloat64()*spread,
+		}
+	}
+	return out, nil
+}
+
+// GridPoints lays out n points on a near-square grid with the given cell
+// size, a deterministic facility-site pattern.
+func GridPoints(n int, cell float64) []Point {
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	out := make([]Point, 0, n)
+	for r := 0; r < side && len(out) < n; r++ {
+		for c := 0; c < side && len(out) < n; c++ {
+			out = append(out, Point{X: float64(c) * cell, Y: float64(r) * cell})
+		}
+	}
+	return out
+}
+
+// CheckQuadrilateral verifies the inequality the facility-leasing analysis
+// uses (Proposition 4.2): for all facilities i, i' and clients j, j',
+// d(i',j) <= d(i,j) + d(i,j') + d(i',j'). It holds in any metric space; the
+// test suite uses it as a sanity check on generators.
+func CheckQuadrilateral(facilities, clients []Point) bool {
+	for _, i := range facilities {
+		for _, i2 := range facilities {
+			for _, j := range clients {
+				for _, j2 := range clients {
+					if Dist(i2, j) > Dist(i, j)+Dist(i, j2)+Dist(i2, j2)+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}

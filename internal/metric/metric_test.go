@@ -1,0 +1,106 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1, 1}, Point{1, 9}, 8},
+	}
+	for _, tt := range tests {
+		if got := Dist(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	symmetric := func(ax, ay, bx, by int16) bool {
+		a := Point{X: float64(ax), Y: float64(ay)}
+		b := Point{X: float64(bx), Y: float64(by)}
+		return math.Abs(Dist(a, b)-Dist(b, a)) < 1e-12
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	triangle := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Point{X: float64(ax), Y: float64(ay)}
+		b := Point{X: float64(bx), Y: float64(by)}
+		c := Point{X: float64(cx), Y: float64(cy)}
+		return Dist(a, c) <= Dist(a, b)+Dist(b, c)+1e-9
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomPointsInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := RandomPoints(rng, 200, 50)
+	if len(pts) != 200 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 50 || p.Y < 0 || p.Y >= 50 {
+			t.Fatalf("point %v outside [0,50)^2", p)
+		}
+	}
+}
+
+func TestClusteredPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	centers := []Point{{X: 0, Y: 0}, {X: 100, Y: 100}}
+	pts, err := ClusteredPoints(rng, centers, 400, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly every point should be within a few spreads of some center.
+	far := 0
+	for _, p := range pts {
+		if Dist(p, centers[0]) > 10 && Dist(p, centers[1]) > 10 {
+			far++
+		}
+	}
+	if far > 4 {
+		t.Errorf("%d of 400 clustered points far from all centers", far)
+	}
+	if _, err := ClusteredPoints(rng, nil, 5, 1); err == nil {
+		t.Error("no centers accepted")
+	}
+}
+
+func TestGridPoints(t *testing.T) {
+	pts := GridPoints(9, 3)
+	if len(pts) != 9 {
+		t.Fatalf("got %d points, want 9", len(pts))
+	}
+	// A 3x3 grid with cell 3: corners at (0,0) and (6,6).
+	if pts[0] != (Point{0, 0}) || pts[8] != (Point{X: 6, Y: 6}) {
+		t.Errorf("grid corners wrong: %v ... %v", pts[0], pts[8])
+	}
+	if got := GridPoints(7, 1); len(got) != 7 {
+		t.Errorf("GridPoints(7) returned %d", len(got))
+	}
+	if got := GridPoints(0, 1); len(got) != 0 {
+		t.Errorf("GridPoints(0) returned %d", len(got))
+	}
+}
+
+func TestCheckQuadrilateral(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fs := RandomPoints(rng, 6, 30)
+	cs := RandomPoints(rng, 10, 30)
+	if !CheckQuadrilateral(fs, cs) {
+		t.Error("Euclidean points must satisfy the quadrilateral inequality")
+	}
+}

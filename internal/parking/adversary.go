@@ -1,0 +1,70 @@
+package parking
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing/internal/lease"
+)
+
+// RunAdversary drives the adaptive adversary of Theorem 2.8 against an
+// online algorithm: a client is issued on every day the algorithm's current
+// solution does not cover, over a horizon of one top-level window (l_max
+// days, capped at maxDays to keep huge configurations tractable — the proof
+// only needs each window class to be exercised). It returns the demand days
+// it issued. The theorem shows that against configurations such as
+// lease.MeyersonLowerBoundConfig, any online algorithm pays Ω(K) times the
+// offline optimum on this stream.
+func RunAdversary(cfg *lease.Config, alg Algorithm, maxDays int64) ([]int64, error) {
+	horizon := cfg.LMax()
+	if maxDays > 0 && horizon > maxDays {
+		horizon = maxDays
+	}
+	var days []int64
+	for t := int64(0); t < horizon; t++ {
+		if alg.Covers(t) {
+			continue
+		}
+		if err := alg.Arrive(t); err != nil {
+			return nil, fmt.Errorf("parking: adversary arrival at %d: %w", t, err)
+		}
+		days = append(days, t)
+		if !alg.Covers(t) {
+			return nil, fmt.Errorf("parking: algorithm left day %d uncovered", t)
+		}
+	}
+	return days, nil
+}
+
+// LowerBoundInstance draws one instance from the randomized Ω(log K)
+// distribution of Theorem 2.9: the top-level window is active; an active
+// type-k window's i-th type-(k-1) sub-window (0-based) is active with
+// probability 2^-i (the first always); every active bottom-type window
+// contributes a client on its first day. The returned days are sorted.
+func LowerBoundInstance(cfg *lease.Config, rng *rand.Rand) ([]int64, error) {
+	if !cfg.IsIntervalModel() {
+		return nil, ErrNotIntervalModel
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("parking: nil rng")
+	}
+	var days []int64
+	var gen func(k int, start int64)
+	gen = func(k int, start int64) {
+		if k == 0 {
+			days = append(days, start)
+			return
+		}
+		childLen := cfg.Length(k - 1)
+		children := cfg.Length(k) / childLen
+		p := 1.0
+		for i := int64(0); i < children; i++ {
+			if rng.Float64() < p {
+				gen(k-1, start+i*childLen)
+			}
+			p /= 2
+		}
+	}
+	gen(cfg.K()-1, 0)
+	return days, nil
+}

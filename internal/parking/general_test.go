@@ -1,0 +1,112 @@
+package parking
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/lease"
+	"leasing/internal/workload"
+)
+
+func generalConfig() *lease.Config {
+	return lease.MustConfig(
+		lease.Type{Length: 3, Cost: 2},
+		lease.Type{Length: 10, Cost: 4.5},
+		lease.Type{Length: 36, Cost: 9},
+	)
+}
+
+func TestGeneralAdapterFeasibleAndWithinLemmaBound(t *testing.T) {
+	orig := generalConfig()
+	k := float64(orig.K())
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		days := workload.DemandDays(rng, 120, 0.3)
+		if len(days) == 0 {
+			continue
+		}
+		ad, err := NewGeneralAdapter(orig, func(cfg *lease.Config) (Algorithm, error) {
+			return NewDeterministic(cfg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Run(ad, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CoversAllAfterRun(ad, days) {
+			t.Fatalf("seed %d: adapter solution infeasible", seed)
+		}
+		genOpt, err := OptimalILP(orig, days, false)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Lemma 2.6: a K-competitive interval algorithm yields at most
+		// 4K against the general optimum.
+		if cost > 4*k*genOpt+1e-6 {
+			t.Errorf("seed %d: adapter ratio %v exceeds 4K = %v", seed, cost/genOpt, 4*k)
+		}
+		if cost < genOpt-1e-6 {
+			t.Errorf("seed %d: adapter cost %v below OPT %v", seed, cost, genOpt)
+		}
+	}
+}
+
+func TestGeneralAdapterCostIsTwiceInner(t *testing.T) {
+	orig := generalConfig()
+	ad, err := NewGeneralAdapter(orig, func(cfg *lease.Config) (Algorithm, error) {
+		return NewDeterministic(cfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []int64{0, 1, 2, 7, 8, 30}
+	if _, err := Run(ad, days); err != nil {
+		t.Fatal(err)
+	}
+	// Every inner purchase becomes exactly two original leases; because the
+	// rounding here keeps costs unchanged (same type costs), the adapter
+	// pays exactly twice the inner cost.
+	inner := ad.inner.TotalCost()
+	roundedTypeCostsMatch := true
+	for k := 0; k < ad.rounded.K(); k++ {
+		if ad.rounded.Cost(k) != orig.Cost(ad.toOrig[k]) {
+			roundedTypeCostsMatch = false
+		}
+	}
+	if roundedTypeCostsMatch && math.Abs(ad.TotalCost()-2*inner) > 1e-9 {
+		t.Errorf("adapter cost %v, want exactly 2x inner %v", ad.TotalCost(), inner)
+	}
+}
+
+func TestGeneralAdapterWithRandomizedInner(t *testing.T) {
+	orig := generalConfig()
+	rng := rand.New(rand.NewSource(5))
+	ad, err := NewGeneralAdapter(orig, func(cfg *lease.Config) (Algorithm, error) {
+		return NewRandomized(cfg, rng)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := workload.BurstyDays(rand.New(rand.NewSource(6)), 100, 0.9)
+	if _, err := Run(ad, days); err != nil {
+		t.Fatal(err)
+	}
+	if !CoversAllAfterRun(ad, days) {
+		t.Error("randomized-inner adapter infeasible")
+	}
+	if !ad.RoundedConfig().IsIntervalModel() {
+		t.Error("rounded config not interval model")
+	}
+}
+
+func TestGeneralAdapterBuildError(t *testing.T) {
+	orig := generalConfig()
+	if _, err := NewGeneralAdapter(orig, func(cfg *lease.Config) (Algorithm, error) {
+		return NewRandomized(cfg, nil) // nil rng fails
+	}); err == nil {
+		t.Error("inner build error not propagated")
+	}
+}

@@ -1,0 +1,162 @@
+package parking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"leasing/internal/ilp"
+	"leasing/internal/lease"
+	"leasing/internal/lp"
+)
+
+// Optimal computes the exact offline optimum for covering the given demand
+// days in the interval model, together with an optimal lease set.
+//
+// It exploits the laminar structure of the interval model: every type-k
+// window is partitioned exactly by type-(k-1) windows (lengths are powers
+// of two), so the optimal cover of a window either buys the window's own
+// lease or solves each demand-carrying child window independently. The
+// recursion is exact and runs in O(K * |days|) time.
+func Optimal(cfg *lease.Config, days []int64) (float64, []lease.Lease, error) {
+	if !cfg.IsIntervalModel() {
+		return 0, nil, ErrNotIntervalModel
+	}
+	if len(days) == 0 {
+		return 0, nil, nil
+	}
+	ds := make([]int64, len(days))
+	copy(ds, days)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	// Deduplicate: multiple clients on a day need one cover.
+	uniq := ds[:1]
+	for _, d := range ds[1:] {
+		if d != uniq[len(uniq)-1] {
+			uniq = append(uniq, d)
+		}
+	}
+	ds = uniq
+
+	topK := cfg.K() - 1
+	var total float64
+	var sol []lease.Lease
+	// Partition days into top-level windows and solve each.
+	for lo := 0; lo < len(ds); {
+		winStart := cfg.AlignedStart(topK, ds[lo])
+		winEnd := winStart + cfg.Length(topK)
+		hi := sort.Search(len(ds), func(i int) bool { return ds[i] >= winEnd })
+		cost, leases := optimalWindow(cfg, ds[lo:hi], topK, winStart)
+		total += cost
+		sol = append(sol, leases...)
+		lo = hi
+	}
+	return total, sol, nil
+}
+
+// optimalWindow solves the cover of days (all inside the type-k window at
+// winStart) using lease types 0..k.
+func optimalWindow(cfg *lease.Config, days []int64, k int, winStart int64) (float64, []lease.Lease) {
+	if len(days) == 0 {
+		return 0, nil
+	}
+	self := lease.Lease{K: k, Start: winStart}
+	if k == 0 {
+		return cfg.Cost(0), []lease.Lease{self}
+	}
+	childLen := cfg.Length(k - 1)
+	var splitCost float64
+	var splitSol []lease.Lease
+	for lo := 0; lo < len(days); {
+		childStart := cfg.AlignedStart(k-1, days[lo])
+		childEnd := childStart + childLen
+		hi := sort.Search(len(days), func(i int) bool { return days[i] >= childEnd })
+		c, s := optimalWindow(cfg, days[lo:hi], k-1, childStart)
+		splitCost += c
+		splitSol = append(splitSol, s...)
+		lo = hi
+		if splitCost >= cfg.Cost(k) {
+			// Early exit: children already cost at least the window lease.
+			return cfg.Cost(k), []lease.Lease{self}
+		}
+	}
+	if cfg.Cost(k) < splitCost {
+		return cfg.Cost(k), []lease.Lease{self}
+	}
+	return splitCost, splitSol
+}
+
+// OptimalILP computes the offline optimum via branch and bound, either over
+// aligned interval-model candidates (aligned = true; must match Optimal) or
+// over the general model where a lease may start on any demand day
+// (aligned = false; an optimal general solution always exists with such
+// starts, by sliding each lease right to the first demand day it covers).
+func OptimalILP(cfg *lease.Config, days []int64, aligned bool) (float64, error) {
+	if len(days) == 0 {
+		return 0, nil
+	}
+	ds := make([]int64, len(days))
+	copy(ds, days)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+
+	type cand struct {
+		l lease.Lease
+		c float64
+	}
+	seen := map[lease.Lease]int{}
+	var cands []cand
+	addCand := func(l lease.Lease) {
+		if _, ok := seen[l]; ok {
+			return
+		}
+		seen[l] = len(cands)
+		cands = append(cands, cand{l: l, c: cfg.Cost(l.K)})
+	}
+	for _, t := range ds {
+		for k := 0; k < cfg.K(); k++ {
+			if aligned {
+				addCand(cfg.AlignedLease(k, t))
+			} else {
+				addCand(lease.Lease{K: k, Start: t})
+			}
+		}
+	}
+
+	costs := make([]float64, len(cands))
+	for i, c := range cands {
+		costs[i] = c.c
+	}
+	prob := ilp.NewBinaryMinimize(costs)
+	for _, t := range ds {
+		row := map[int]float64{}
+		for i, c := range cands {
+			if cfg.Covers(c.l, t) {
+				row[i] = 1
+			}
+		}
+		if len(row) == 0 {
+			return 0, fmt.Errorf("parking: day %d has no covering candidate", t)
+		}
+		if err := prob.Add(row, lp.GE, 1); err != nil {
+			return 0, err
+		}
+	}
+	// Greedy incumbent: cover each day with the cheapest candidate.
+	inc := make([]float64, len(cands))
+	for _, t := range ds {
+		best, bestCost := -1, 0.0
+		for i, c := range cands {
+			if cfg.Covers(c.l, t) && (best < 0 || c.c < bestCost) {
+				best, bestCost = i, c.c
+			}
+		}
+		inc[best] = 1
+	}
+	res, err := prob.Solve(ilp.Options{Incumbent: inc})
+	if err != nil {
+		return 0, fmt.Errorf("parking: offline ILP: %w", err)
+	}
+	if !res.Proven {
+		return res.Objective, errors.New("parking: offline ILP hit node limit (instance too large)")
+	}
+	return res.Objective, nil
+}

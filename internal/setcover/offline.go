@@ -1,0 +1,302 @@
+package setcover
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"leasing/internal/ilp"
+	"leasing/internal/lp"
+)
+
+// candidateTriples enumerates the aligned triples that can serve at least
+// one arrival of the instance, deduplicated, in deterministic order.
+func candidateTriples(inst *Instance) []SetLease {
+	seen := map[SetLease]bool{}
+	var out []SetLease
+	for _, a := range inst.Arrivals {
+		for _, s := range inst.Fam.Containing(a.Elem) {
+			for k := 0; k < inst.Cfg.K(); k++ {
+				sl := SetLease{Set: s, K: k, Start: inst.Cfg.AlignedStart(k, a.T)}
+				if !seen[sl] {
+					seen[sl] = true
+					out = append(out, sl)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Greedy computes an offline solution with the classical
+// price-per-new-coverage greedy, generalized to leased multicover: each
+// iteration buys the triple minimizing cost divided by the number of unmet
+// demand units it newly serves (a triple serves at most one unit per
+// arrival, and only if its set is not already serving that arrival, or —
+// in PerElement scope — any arrival of that element). The result is an
+// O(log)-approximate upper bound on OPT and the default incumbent for the
+// exact solver.
+func Greedy(inst *Instance) (float64, []SetLease, error) {
+	type unitState struct {
+		need int
+		used map[int]bool // sets already serving this arrival
+	}
+	states := make([]unitState, len(inst.Arrivals))
+	remaining := 0
+	for i, a := range inst.Arrivals {
+		states[i] = unitState{need: a.P, used: map[int]bool{}}
+		remaining += a.P
+	}
+	usedByElem := map[int]map[int]bool{}
+	elemUsed := func(e, s int) bool {
+		if inst.Scope != PerElement {
+			return false
+		}
+		return usedByElem[e][s]
+	}
+
+	cands := candidateTriples(inst)
+	var sol []SetLease
+	var total float64
+	for remaining > 0 {
+		bestIdx := -1
+		bestPrice := math.Inf(1)
+		for ci, c := range cands {
+			served := 0
+			for i, a := range inst.Arrivals {
+				if states[i].need == 0 {
+					continue
+				}
+				if !c.Covers(inst.Cfg, a.T) {
+					continue
+				}
+				if states[i].used[c.Set] || elemUsed(a.Elem, c.Set) {
+					continue
+				}
+				if !contains(inst.Fam.Set(c.Set), a.Elem) {
+					continue
+				}
+				served++
+			}
+			if served == 0 {
+				continue
+			}
+			price := inst.Costs[c.Set][c.K] / float64(served)
+			if price < bestPrice {
+				bestPrice, bestIdx = price, ci
+			}
+		}
+		if bestIdx < 0 {
+			return 0, nil, errors.New("setcover: greedy stuck (infeasible instance)")
+		}
+		c := cands[bestIdx]
+		sol = append(sol, c)
+		total += inst.Costs[c.Set][c.K]
+		for i, a := range inst.Arrivals {
+			if states[i].need == 0 {
+				continue
+			}
+			if !c.Covers(inst.Cfg, a.T) || states[i].used[c.Set] || elemUsed(a.Elem, c.Set) {
+				continue
+			}
+			if !contains(inst.Fam.Set(c.Set), a.Elem) {
+				continue
+			}
+			states[i].need--
+			states[i].used[c.Set] = true
+			if inst.Scope == PerElement {
+				if usedByElem[a.Elem] == nil {
+					usedByElem[a.Elem] = map[int]bool{}
+				}
+				usedByElem[a.Elem][c.Set] = true
+			}
+			remaining--
+		}
+	}
+	return total, sol, nil
+}
+
+// contains reports membership in a sorted int slice.
+func contains(sorted []int, x int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case sorted[mid] < x:
+			lo = mid + 1
+		case sorted[mid] > x:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// OptimalResult is the outcome of the exact offline computation.
+type OptimalResult struct {
+	Cost float64
+	// Exact is true when branch and bound proved optimality; when false,
+	// Cost is the best upper bound found and Lower the proven lower bound.
+	Exact bool
+	Lower float64
+}
+
+// Optimal computes the exact offline optimum by branch and bound.
+//
+// The formulation has one binary variable x per candidate triple. Simple
+// instances (all multiplicities 1, PerArrival scope) need only covering
+// rows. Otherwise a continuous assignment variable z_{s,i} in [0,1] per
+// (set, arrival) pair tracks whether set s serves arrival i:
+//
+//	z_{s,i} <= sum_k x_{(s,k,aligned(t_i))}      (availability)
+//	sum_s z_{s,i} >= P_i                          (demand)
+//	sum_{i in arrivals(e)} z_{s,i} <= 1           (PerElement distinctness)
+//	z_{s,i} <= 1                                  (PerArrival distinctness)
+//
+// Given integral x the z-polytope is a bipartite b-matching polytope and
+// hence integral, so branching on x alone is exact. nodeLimit <= 0 uses the
+// solver default.
+func Optimal(inst *Instance, nodeLimit int) (*OptimalResult, error) {
+	if len(inst.Arrivals) == 0 {
+		return &OptimalResult{Cost: 0, Exact: true}, nil
+	}
+	cands := candidateTriples(inst)
+	candIdx := map[SetLease]int{}
+	for i, c := range cands {
+		candIdx[c] = i
+	}
+
+	simple := inst.Scope == PerArrival
+	if simple {
+		for _, a := range inst.Arrivals {
+			if a.P > 1 {
+				simple = false
+				break
+			}
+		}
+	}
+
+	// Variable layout: triples first, then z counters.
+	type zKey struct{ set, arrival int }
+	zIdx := map[zKey]int{}
+	next := len(cands)
+	if !simple {
+		for i, a := range inst.Arrivals {
+			for _, s := range inst.Fam.Containing(a.Elem) {
+				zIdx[zKey{set: s, arrival: i}] = next
+				next++
+			}
+		}
+	}
+
+	costs := make([]float64, next)
+	for i, c := range cands {
+		costs[i] = inst.Costs[c.Set][c.K]
+	}
+	prob := ilp.NewBinaryMinimize(costs)
+	for j := len(cands); j < next; j++ {
+		if err := prob.SetContinuous(j); err != nil {
+			return nil, err
+		}
+	}
+
+	if simple {
+		for _, a := range inst.Arrivals {
+			row := map[int]float64{}
+			for _, s := range inst.Fam.Containing(a.Elem) {
+				for k := 0; k < inst.Cfg.K(); k++ {
+					sl := SetLease{Set: s, K: k, Start: inst.Cfg.AlignedStart(k, a.T)}
+					row[candIdx[sl]] = 1
+				}
+			}
+			if err := prob.Add(row, lp.GE, 1); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for i, a := range inst.Arrivals {
+			demand := map[int]float64{}
+			for _, s := range inst.Fam.Containing(a.Elem) {
+				z := zIdx[zKey{set: s, arrival: i}]
+				demand[z] = 1
+				avail := map[int]float64{z: -1}
+				for k := 0; k < inst.Cfg.K(); k++ {
+					sl := SetLease{Set: s, K: k, Start: inst.Cfg.AlignedStart(k, a.T)}
+					avail[candIdx[sl]] = 1
+				}
+				if err := prob.Add(avail, lp.GE, 0); err != nil {
+					return nil, err
+				}
+				if inst.Scope == PerArrival {
+					if err := prob.Add(map[int]float64{z: 1}, lp.LE, 1); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := prob.Add(demand, lp.GE, float64(a.P)); err != nil {
+				return nil, err
+			}
+		}
+		if inst.Scope == PerElement {
+			// Distinctness across arrivals of the same element.
+			byElemSet := map[zKey][]int{} // (set, element) -> z vars
+			for i, a := range inst.Arrivals {
+				for _, s := range inst.Fam.Containing(a.Elem) {
+					k := zKey{set: s, arrival: -a.Elem - 1} // group key by element
+					byElemSet[k] = append(byElemSet[k], zIdx[zKey{set: s, arrival: i}])
+				}
+			}
+			for _, zs := range byElemSet {
+				row := map[int]float64{}
+				for _, z := range zs {
+					row[z] = 1
+				}
+				if err := prob.Add(row, lp.LE, 1); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	res, err := prob.Solve(ilp.Options{NodeLimit: nodeLimit})
+	if err != nil {
+		return nil, fmt.Errorf("setcover: offline ILP: %w", err)
+	}
+	return &OptimalResult{Cost: res.Objective, Exact: res.Proven, Lower: res.LowerBound}, nil
+}
+
+// LPLowerBound returns the LP-relaxation lower bound on OPT, usable for
+// instances too large for exact branch and bound. Distinctness is relaxed
+// (each arrival just needs fractional mass P), which keeps it a valid lower
+// bound in both scopes.
+func LPLowerBound(inst *Instance) (float64, error) {
+	cands := candidateTriples(inst)
+	candIdx := map[SetLease]int{}
+	costs := make([]float64, len(cands))
+	for i, c := range cands {
+		candIdx[c] = i
+		costs[i] = inst.Costs[c.Set][c.K]
+	}
+	prob := lp.NewMinimize(costs)
+	for _, a := range inst.Arrivals {
+		row := map[int]float64{}
+		for _, s := range inst.Fam.Containing(a.Elem) {
+			for k := 0; k < inst.Cfg.K(); k++ {
+				sl := SetLease{Set: s, K: k, Start: inst.Cfg.AlignedStart(k, a.T)}
+				row[candIdx[sl]] = 1
+			}
+		}
+		if err := prob.Add(row, lp.GE, float64(a.P)); err != nil {
+			return 0, err
+		}
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("setcover: LP relaxation status %v", sol.Status)
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,99 @@
+package setcover
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bruteMatchable answers the matching feasibility question by exhaustive
+// assignment for tiny unit lists, the oracle for Kuhn's algorithm.
+func bruteMatchable(units [][]int) bool {
+	var rec func(u int, used map[int]bool) bool
+	rec = func(u int, used map[int]bool) bool {
+		if u == len(units) {
+			return true
+		}
+		for _, s := range units[u] {
+			if used[s] {
+				continue
+			}
+			used[s] = true
+			if rec(u+1, used) {
+				return true
+			}
+			delete(used, s)
+		}
+		return false
+	}
+	return rec(0, map[int]bool{})
+}
+
+// Property: the augmenting-path matcher agrees with brute force on every
+// small bipartite instance.
+func TestQuickMatchableAgreesWithBruteForce(t *testing.T) {
+	f := func(raw [5]uint8, nUnits uint8) bool {
+		n := int(nUnits%5) + 1
+		units := make([][]int, 0, n)
+		for u := 0; u < n; u++ {
+			var cands []int
+			for s := 0; s < 5; s++ {
+				if raw[u]&(1<<s) != 0 {
+					cands = append(cands, s)
+				}
+			}
+			units = append(units, cands)
+		}
+		return matchable(units) == bruteMatchable(units)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: family construction is consistent — every element's containing
+// list inverts the set membership relation exactly.
+func TestQuickFamilyContainingInvertsSets(t *testing.T) {
+	f := func(raw [6]uint8) bool {
+		const n = 8
+		sets := make([][]int, 0, len(raw))
+		for _, bits := range raw {
+			var s []int
+			for e := 0; e < n; e++ {
+				if bits&(1<<e) != 0 {
+					s = append(s, e)
+				}
+			}
+			if len(s) > 0 {
+				sets = append(sets, s)
+			}
+		}
+		if len(sets) == 0 {
+			return true
+		}
+		fam, err := NewFamily(n, sets)
+		if err != nil {
+			return false
+		}
+		for e := 0; e < n; e++ {
+			for _, si := range fam.Containing(e) {
+				if !contains(fam.Set(si), e) {
+					return false
+				}
+			}
+			// Count cross-check.
+			count := 0
+			for si := range sets {
+				if contains(fam.Set(si), e) {
+					count++
+				}
+			}
+			if count != len(fam.Containing(e)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

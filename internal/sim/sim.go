@@ -1,0 +1,122 @@
+// Package sim provides the thin orchestration layer shared by the
+// experiment harness, the benchmarks and the CLI tools: repeated-trial
+// runners with per-trial seeds, ratio aggregation, and plain-text table
+// rendering for the paper-style outputs.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+
+	"leasing/internal/stats"
+)
+
+// Trial runs one seeded trial and returns the online cost and the baseline
+// (usually OPT) it is compared against.
+type Trial func(rng *rand.Rand) (online, baseline float64, err error)
+
+// Ratios runs `trials` seeded trials and summarizes the online/baseline
+// ratios. Trials whose baseline is zero (empty instances) are skipped; if
+// every trial is skipped an error is returned.
+func Ratios(trials int, baseSeed int64, trial Trial) (stats.Summary, error) {
+	if trials < 1 {
+		return stats.Summary{}, fmt.Errorf("sim: trials must be >= 1, got %d", trials)
+	}
+	ratios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(baseSeed + int64(i)*7919))
+		online, baseline, err := trial(rng)
+		if err != nil {
+			return stats.Summary{}, fmt.Errorf("sim: trial %d: %w", i, err)
+		}
+		if baseline <= 0 {
+			continue
+		}
+		ratios = append(ratios, online/baseline)
+	}
+	s, err := stats.Summarize(ratios)
+	if err != nil {
+		return stats.Summary{}, fmt.Errorf("sim: no trial produced a positive baseline: %w", err)
+	}
+	return s, nil
+}
+
+// Table is a printable experiment result: a title, column headers and rows
+// of pre-formatted cells.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends one row; the cell count must match the columns.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.Columns) {
+		return fmt.Errorf("sim: row has %d cells, want %d", len(cells), len(t.Columns))
+	}
+	t.Rows = append(t.Rows, cells)
+	return nil
+}
+
+// MustAddRow is AddRow for rows constructed from matching format calls; it
+// panics on programmer error (cell-count mismatch).
+func (t *Table) MustAddRow(cells ...string) {
+	if err := t.AddRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// F formats a float for table cells with three decimals.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// D formats an integer for table cells.
+func D(v int) string { return fmt.Sprintf("%d", v) }
+
+// D64 formats an int64 for table cells.
+func D64(v int64) string { return fmt.Sprintf("%d", v) }

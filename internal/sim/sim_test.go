@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRatios(t *testing.T) {
+	s, err := Ratios(10, 1, func(rng *rand.Rand) (float64, float64, error) {
+		return 6, 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 10 || math.Abs(s.Mean-3) > 1e-12 {
+		t.Errorf("summary = %+v, want mean 3 over 10", s)
+	}
+}
+
+func TestRatiosSkipsZeroBaseline(t *testing.T) {
+	n := 0
+	s, err := Ratios(6, 1, func(rng *rand.Rand) (float64, float64, error) {
+		n++
+		if n%2 == 0 {
+			return 1, 0, nil // skipped
+		}
+		return 4, 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 {
+		t.Errorf("N = %d, want 3 (half skipped)", s.N)
+	}
+}
+
+func TestRatiosErrors(t *testing.T) {
+	if _, err := Ratios(0, 1, nil); err == nil {
+		t.Error("trials=0 accepted")
+	}
+	wantErr := errors.New("boom")
+	if _, err := Ratios(3, 1, func(rng *rand.Rand) (float64, float64, error) {
+		return 0, 0, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("error = %v, want wrapped boom", err)
+	}
+	if _, err := Ratios(3, 1, func(rng *rand.Rand) (float64, float64, error) {
+		return 1, 0, nil
+	}); err == nil {
+		t.Error("all-skipped trials accepted")
+	}
+}
+
+func TestRatiosSeedsDiffer(t *testing.T) {
+	var draws []float64
+	_, err := Ratios(5, 42, func(rng *rand.Rand) (float64, float64, error) {
+		draws = append(draws, rng.Float64())
+		return 1, 1, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 1; i < len(draws); i++ {
+		if draws[i] != draws[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("all trials drew identical randomness (seeds not varied)")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Title: "demo", Note: "a note", Columns: []string{"K", "ratio"}}
+	if err := tb.AddRow("1", "2.000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddRow("only-one"); err == nil {
+		t.Error("short row accepted")
+	}
+	tb.MustAddRow("10", "3.500")
+	var buf bytes.Buffer
+	if err := tb.Fprint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "K", "ratio", "2.000", "3.500", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %s", F(1.23456))
+	}
+	if D(7) != "7" || D64(9) != "9" {
+		t.Error("D/D64 wrong")
+	}
+}

@@ -1,0 +1,260 @@
+// Package stats provides the small statistics toolkit used by the
+// experiment harness: streaming moment accumulation (Welford), summaries
+// with confidence intervals, quantiles, and least-squares fits used to
+// check the growth shape of measured competitive ratios (linear in K,
+// logarithmic in K, and so on).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoData is returned by operations that need at least one observation.
+var ErrNoData = errors.New("stats: no data")
+
+// Accumulator accumulates observations with Welford's online algorithm,
+// giving numerically stable mean and variance without storing samples.
+// The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean returns the sample mean (0 if empty).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min returns the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval on the mean (0 for n < 2).
+func (a *Accumulator) CI95() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Summary is a value snapshot of distributional statistics over a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P90    float64
+	CI95   float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrNoData for an empty
+// sample.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrNoData
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	p50, _ := Quantile(xs, 0.5)
+	p90, _ := Quantile(xs, 0.9)
+	return Summary{
+		N:      acc.N(),
+		Mean:   acc.Mean(),
+		StdDev: acc.StdDev(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+		P50:    p50,
+		P90:    p90,
+		CI95:   acc.CI95(),
+	}, nil
+}
+
+// String formats the summary compactly for experiment tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3f ±%.3f (n=%d, max=%.3f)", s.Mean, s.CI95, s.N, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of [0,1]", q)
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of strictly positive xs.
+func GeometricMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrNoData
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geometric mean needs positive values, got %v", x)
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// Fit is a least-squares line fit y = Intercept + Slope*f(x) together with
+// the coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares. It requires at
+// least two points with distinct x.
+func LinearFit(xs, ys []float64) (Fit, error) {
+	return fitTransformed(xs, ys, func(x float64) (float64, error) { return x, nil })
+}
+
+// LogFit fits y = a + b*ln(x), the shape of an O(log K) bound. All xs must
+// be positive.
+func LogFit(xs, ys []float64) (Fit, error) {
+	return fitTransformed(xs, ys, func(x float64) (float64, error) {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: log fit needs positive x, got %v", x)
+		}
+		return math.Log(x), nil
+	})
+}
+
+func fitTransformed(xs, ys []float64, f func(float64) (float64, error)) (Fit, error) {
+	if len(xs) != len(ys) {
+		return Fit{}, fmt.Errorf("stats: fit length mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Fit{}, ErrNoData
+	}
+	tx := make([]float64, len(xs))
+	for i, x := range xs {
+		v, err := f(x)
+		if err != nil {
+			return Fit{}, err
+		}
+		tx[i] = v
+	}
+	n := float64(len(tx))
+	var sx, sy, sxx, sxy float64
+	for i := range tx {
+		sx += tx[i]
+		sy += ys[i]
+		sxx += tx[i] * tx[i]
+		sxy += tx[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return Fit{}, errors.New("stats: degenerate fit (all x equal)")
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	// R^2.
+	my := sy / n
+	var ssTot, ssRes float64
+	for i := range tx {
+		pred := a + b*tx[i]
+		ssTot += (ys[i] - my) * (ys[i] - my)
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: b, Intercept: a, R2: r2}, nil
+}
+
+// MaxRatio returns max(num[i]/den[i]) and its index; pairs with den <= 0
+// are skipped. It returns ErrNoData if no valid pair exists.
+func MaxRatio(num, den []float64) (float64, int, error) {
+	if len(num) != len(den) {
+		return 0, -1, fmt.Errorf("stats: ratio length mismatch %d vs %d", len(num), len(den))
+	}
+	best, idx := math.Inf(-1), -1
+	for i := range num {
+		if den[i] <= 0 {
+			continue
+		}
+		if r := num[i] / den[i]; r > best {
+			best, idx = r, i
+		}
+	}
+	if idx < 0 {
+		return 0, -1, ErrNoData
+	}
+	return best, idx, nil
+}

@@ -1,0 +1,230 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Errorf("N = %d, want 8", a.N())
+	}
+	if !almostEqual(a.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased = 32/7.
+	if !almostEqual(a.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+	if a.CI95() <= 0 {
+		t.Errorf("CI95 = %v, want > 0", a.CI95())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.CI95() != 0 {
+		t.Error("empty accumulator must report zeros")
+	}
+	a.Add(3)
+	if a.Mean() != 3 || a.Variance() != 0 {
+		t.Errorf("single-sample accumulator: mean=%v var=%v", a.Mean(), a.Variance())
+	}
+}
+
+func TestAccumulatorMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, x := range xs {
+			a.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		wantVar := ss / float64(len(xs)-1)
+		return almostEqual(a.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEqual(a.Variance(), wantVar, 1e-6*(1+wantVar))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}}
+	for _, tt := range tests {
+		got, err := Quantile(xs, tt.q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", tt.q, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Errorf("Quantile(nil) error = %v, want ErrNoData", err)
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5) should fail")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	if _, err := Quantile(ys, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Errorf("Quantile mutated its input: %v", ys)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 4 || !almostEqual(s.Mean, 2.5, 1e-12) || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String empty")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("Summarize(nil) error = %v, want ErrNoData", err)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	g, err := GeometricMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(g, 4, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 4", g)
+	}
+	if _, err := GeometricMean([]float64{1, -1}); err == nil {
+		t.Error("GeometricMean with negative value should fail")
+	}
+	if _, err := GeometricMean(nil); !errors.Is(err, ErrNoData) {
+		t.Error("GeometricMean(nil) should return ErrNoData")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-9) || !almostEqual(fit.Intercept, 3, 1e-9) || !almostEqual(fit.R2, 1, 1e-9) {
+		t.Errorf("LinearFit = %+v, want slope 2 intercept 3 R2 1", fit)
+	}
+}
+
+func TestLogFitExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 1 + 5*math.Log(x)
+	}
+	fit, err := LogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 5, 1e-9) || !almostEqual(fit.Intercept, 1, 1e-9) {
+		t.Errorf("LogFit = %+v, want slope 5 intercept 1", fit)
+	}
+	if _, err := LogFit([]float64{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("LogFit with x=0 should fail")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{2}); !errors.Is(err, ErrNoData) {
+		t.Errorf("single point fit error = %v, want ErrNoData", err)
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("degenerate x should fail")
+	}
+}
+
+func TestLinearFitNoisyRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var xs, ys []float64
+	for i := 1; i <= 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 7+0.5*x+rng.NormFloat64()*0.2)
+	}
+	fit, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0.5, 0.01) {
+		t.Errorf("noisy slope = %v, want ~0.5", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestMaxRatio(t *testing.T) {
+	r, i, err := MaxRatio([]float64{2, 9, 4}, []float64{1, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r, 3, 1e-12) || i != 1 {
+		t.Errorf("MaxRatio = %v at %d, want 3 at 1", r, i)
+	}
+	if _, _, err := MaxRatio([]float64{1}, []float64{0}); !errors.Is(err, ErrNoData) {
+		t.Errorf("MaxRatio all-zero denominators error = %v, want ErrNoData", err)
+	}
+	if _, _, err := MaxRatio([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("MaxRatio length mismatch should fail")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 6}), 3, 1e-12) {
+		t.Error("Mean wrong")
+	}
+}

@@ -1,0 +1,208 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"leasing/internal/graph"
+	"leasing/internal/lease"
+)
+
+func steinerConfig() *lease.Config {
+	return lease.MustConfig(
+		lease.Type{Length: 1, Cost: 1},
+		lease.Type{Length: 8, Cost: 4},
+	)
+}
+
+func lineGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.New(3, []graph.Edge{
+		{U: 0, V: 1, Weight: 2},
+		{U: 1, V: 2, Weight: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewInstanceValidation(t *testing.T) {
+	g := lineGraph(t)
+	cfg := steinerConfig()
+	if _, err := NewInstance(g, lease.MustConfig(lease.Type{Length: 3, Cost: 1}), nil); err == nil {
+		t.Error("non-interval config accepted")
+	}
+	if _, err := NewInstance(g, cfg, []Request{{Time: 0, S: 0, T: 9}}); err == nil {
+		t.Error("bad terminal accepted")
+	}
+	if _, err := NewInstance(g, cfg, []Request{{Time: 0, S: 1, T: 1}}); err == nil {
+		t.Error("equal terminals accepted")
+	}
+	if _, err := NewInstance(g, cfg, []Request{{Time: 5, S: 0, T: 1}, {Time: 1, S: 0, T: 1}}); err == nil {
+		t.Error("unsorted requests accepted")
+	}
+}
+
+func TestSingleRequestLeasesPath(t *testing.T) {
+	g := lineGraph(t)
+	inst, err := NewInstance(g, steinerConfig(), []Request{{Time: 0, S: 0, T: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewOnline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.VerifyFeasible(); err != nil {
+		t.Error(err)
+	}
+	// Both edges leased with the day type: (2+3)*1 = 5.
+	if math.Abs(alg.TotalCost()-5) > 1e-9 {
+		t.Errorf("cost = %v, want 5", alg.TotalCost())
+	}
+}
+
+func TestRepeatedPairUpgradesToLongLease(t *testing.T) {
+	g := lineGraph(t)
+	// The same pair every day: per-edge parking permits must switch to the
+	// long lease (cost 4w vs 8 daily leases at 1w each).
+	var reqs []Request
+	for day := int64(0); day < 8; day++ {
+		reqs = append(reqs, Request{Time: day, S: 0, T: 2})
+	}
+	inst, err := NewInstance(g, steinerConfig(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewOnline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.VerifyFeasible(); err != nil {
+		t.Error(err)
+	}
+	baseline, err := OfflineTreeBaseline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline buys the long lease per edge: (2+3)*4 = 20.
+	if math.Abs(baseline-20) > 1e-9 {
+		t.Errorf("baseline = %v, want 20", baseline)
+	}
+	if alg.TotalCost() < baseline-1e-9 {
+		t.Errorf("online %v below offline baseline %v", alg.TotalCost(), baseline)
+	}
+	// The per-edge primal-dual is K-competitive per edge, so the composed
+	// cost is at most K times the baseline.
+	if alg.TotalCost() > float64(steinerConfig().K())*baseline+1e-9 {
+		t.Errorf("online %v exceeds K*baseline %v", alg.TotalCost(), float64(steinerConfig().K())*baseline)
+	}
+}
+
+func TestActiveEdgesAreFreeToRoute(t *testing.T) {
+	// Triangle: direct edge 0-2 is pricey, path via 1 cheap. After leasing
+	// the cheap path once, a second same-day request must cost nothing.
+	g, err := graph.New(3, []graph.Edge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 1},
+		{U: 0, V: 2, Weight: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewInstance(g, steinerConfig(), []Request{
+		{Time: 0, S: 0, T: 2},
+		{Time: 0, S: 0, T: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewOnline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alg.TotalCost()-2) > 1e-9 {
+		t.Errorf("cost = %v, want 2 (second request free)", alg.TotalCost())
+	}
+}
+
+func TestRandomInstancesFeasibleAndBounded(t *testing.T) {
+	cfg := steinerConfig()
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, err := graph.RandomConnected(rng, 12, 20, 1, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reqs []Request
+		for day := int64(0); day < 24; day++ {
+			if rng.Float64() < 0.6 {
+				s, tt := rng.Intn(12), rng.Intn(12)
+				if s == tt {
+					continue
+				}
+				reqs = append(reqs, Request{Time: day, S: s, T: tt})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		inst, err := NewInstance(g, cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, err := NewOnline(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alg.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := alg.VerifyFeasible(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		baseline, err := OfflineTreeBaseline(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline <= 0 {
+			t.Fatalf("seed %d: zero baseline", seed)
+		}
+		// The online route always has marginal cost at most the static
+		// route's full leasing price, and each edge is K-competitive, so a
+		// generous sanity ceiling is (K+1) * baseline.
+		ceiling := float64(cfg.K()+1) * baseline
+		if alg.TotalCost() > ceiling+1e-9 {
+			t.Errorf("seed %d: online %v above ceiling %v", seed, alg.TotalCost(), ceiling)
+		}
+	}
+}
+
+func TestServeTimeRegression(t *testing.T) {
+	g := lineGraph(t)
+	inst, err := NewInstance(g, steinerConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewOnline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Serve(Request{Time: 5, S: 0, T: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Serve(Request{Time: 2, S: 0, T: 1}); err == nil {
+		t.Error("time regression accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Trace is a serializable request stream, the interchange format of the
+// cmd/leasegen and cmd/leasesim tools. Exactly one of the payload slices is
+// populated, matching Kind.
+type Trace struct {
+	// Kind is one of "days", "deadline", or "elements".
+	Kind string `json:"kind"`
+	// Days is a sorted demand-day stream (parking permit).
+	Days []int64 `json:"days,omitempty"`
+	// Deadline is a deadline-client stream (Chapter 5).
+	Deadline []DeadlineClient `json:"deadline,omitempty"`
+	// Elements is an element-arrival stream (Chapter 3).
+	Elements []ElementArrival `json:"elements,omitempty"`
+}
+
+// Trace kinds.
+const (
+	KindDays     = "days"
+	KindDeadline = "deadline"
+	KindElements = "elements"
+)
+
+// Validate checks internal consistency: known kind, the matching payload
+// populated, and times non-decreasing.
+func (tr *Trace) Validate() error {
+	switch tr.Kind {
+	case KindDays:
+		for i := 1; i < len(tr.Days); i++ {
+			if tr.Days[i] < tr.Days[i-1] {
+				return fmt.Errorf("workload: days not sorted at %d", i)
+			}
+		}
+	case KindDeadline:
+		for i, c := range tr.Deadline {
+			if c.D < 0 {
+				return fmt.Errorf("workload: deadline client %d has negative slack", i)
+			}
+			if i > 0 && c.T < tr.Deadline[i-1].T {
+				return fmt.Errorf("workload: deadline clients not sorted at %d", i)
+			}
+		}
+	case KindElements:
+		for i, a := range tr.Elements {
+			if a.P < 1 {
+				return fmt.Errorf("workload: element arrival %d has multiplicity %d < 1", i, a.P)
+			}
+			if a.Elem < 0 {
+				return fmt.Errorf("workload: element arrival %d has negative element", i)
+			}
+			if i > 0 && a.T < tr.Elements[i-1].T {
+				return fmt.Errorf("workload: element arrivals not sorted at %d", i)
+			}
+		}
+	default:
+		return fmt.Errorf("workload: unknown trace kind %q", tr.Kind)
+	}
+	return nil
+}
+
+// WriteTrace encodes the trace as a single JSON object (one line).
+func WriteTrace(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(tr); err != nil {
+		return fmt.Errorf("workload: encode trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace decodes a trace written by WriteTrace and validates it.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var tr Trace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("workload: decode trace: %w", err)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}

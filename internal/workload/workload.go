@@ -1,0 +1,258 @@
+// Package workload generates the synthetic request streams the experiments
+// drive the online algorithms with. The thesis analyses worst-case streams;
+// the generators here cover both the literal adversarial constructions
+// (implemented next to each algorithm) and the "natural" stochastic
+// patterns the thesis refers to — uniform demand, bursts, seasonality,
+// Zipf-popular resources, and the arrival-count patterns of Corollary 4.7
+// (constant, non-increasing, polynomially bounded, exponential).
+//
+// All generators take an explicit *rand.Rand so experiments are
+// reproducible seed-for-seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// DemandDays returns sorted distinct demand days in [0, horizon) where each
+// day independently carries demand with probability p (the "rainy day"
+// stream of the parking permit problem).
+func DemandDays(rng *rand.Rand, horizon int64, p float64) []int64 {
+	var out []int64
+	for t := int64(0); t < horizon; t++ {
+		if rng.Float64() < p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BurstyDays returns sorted distinct demand days from a two-state Markov
+// chain: in the "on" state a day carries demand, and the chain stays in its
+// state with probability stay (per day). Long on-runs reward long leases,
+// long off-runs punish them — the tension the leasing model is about.
+func BurstyDays(rng *rand.Rand, horizon int64, stay float64) []int64 {
+	var out []int64
+	on := rng.Float64() < 0.5
+	for t := int64(0); t < horizon; t++ {
+		if on {
+			out = append(out, t)
+		}
+		if rng.Float64() >= stay {
+			on = !on
+		}
+	}
+	return out
+}
+
+// SeasonalDays returns demand days where the demand probability oscillates
+// sinusoidally between lo and hi with the given period, modelling seasonal
+// markets (the thesis' truck subcontractor).
+func SeasonalDays(rng *rand.Rand, horizon, period int64, lo, hi float64) []int64 {
+	if period < 1 {
+		period = 1
+	}
+	var out []int64
+	for t := int64(0); t < horizon; t++ {
+		phase := 2 * math.Pi * float64(t%period) / float64(period)
+		p := lo + (hi-lo)*(0.5+0.5*math.Sin(phase))
+		if rng.Float64() < p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EveryDay returns all days in [0, horizon).
+func EveryDay(horizon int64) []int64 {
+	out := make([]int64, horizon)
+	for t := range out {
+		out[t] = int64(t)
+	}
+	return out
+}
+
+// Zipf draws values in [0, n) with a Zipf(s) popularity distribution,
+// used for element popularity in the set cover streams. s > 1.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with exponent s (> 1).
+func NewZipf(rng *rand.Rand, n int, s float64) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: zipf needs n >= 1, got %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf needs s > 1, got %v", s)
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}, nil
+}
+
+// Draw samples one value.
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// ArrivalPattern names the client-arrival-count patterns of Corollary 4.7
+// and the conjectured hard pattern of Section 4.4.
+type ArrivalPattern int
+
+// Arrival patterns for batch streams.
+const (
+	// PatternConstant has the same number of arrivals every step.
+	PatternConstant ArrivalPattern = iota + 1
+	// PatternNonIncreasing starts high and decays.
+	PatternNonIncreasing
+	// PatternPolynomial grows polynomially in the step index.
+	PatternPolynomial
+	// PatternExponential doubles every step (D_i = 2^i), the conjectured
+	// hard case where H_lmax is Θ(lmax).
+	PatternExponential
+)
+
+func (p ArrivalPattern) String() string {
+	switch p {
+	case PatternConstant:
+		return "constant"
+	case PatternNonIncreasing:
+		return "non-increasing"
+	case PatternPolynomial:
+		return "polynomial"
+	case PatternExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("ArrivalPattern(%d)", int(p))
+	}
+}
+
+// BatchSizes returns the number of arrivals per step for steps 0..steps-1
+// under the pattern, scaled so that step counts start at base (>= 1).
+// Sizes are capped at maxPerStep to keep instances tractable; the cap only
+// binds for PatternExponential.
+func BatchSizes(pattern ArrivalPattern, steps int, base, maxPerStep int) ([]int, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("workload: steps must be >= 1, got %d", steps)
+	}
+	if base < 1 {
+		base = 1
+	}
+	if maxPerStep < 1 {
+		maxPerStep = 1
+	}
+	out := make([]int, steps)
+	for i := range out {
+		var v int
+		switch pattern {
+		case PatternConstant:
+			v = base
+		case PatternNonIncreasing:
+			v = base + (steps-1-i)/2
+		case PatternPolynomial:
+			v = base + i*i/4
+		case PatternExponential:
+			if i < 30 {
+				v = base << i
+			} else {
+				v = maxPerStep
+			}
+		default:
+			return nil, fmt.Errorf("workload: unknown pattern %v", pattern)
+		}
+		if v > maxPerStep {
+			v = maxPerStep
+		}
+		if v < 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// HSeries computes the series H_q of Theorem 4.5 for the batch sizes |D_1|,
+// ..., |D_q|: H_q = sum_{i<=q} |D_i| / sum_{j<=i} |D_j|. Steps with zero
+// arrivals contribute zero terms (their |D_i| is 0).
+func HSeries(batch []int) float64 {
+	var h float64
+	var cum int64
+	for _, d := range batch {
+		cum += int64(d)
+		if cum > 0 && d > 0 {
+			h += float64(d) / float64(cum)
+		}
+	}
+	return h
+}
+
+// DeadlineClient is one flexible demand: it arrives at T and may be served
+// on any day in [T, T+D] (Chapter 5's client (t, d)).
+type DeadlineClient struct {
+	T int64 `json:"t"`
+	D int64 `json:"d"`
+}
+
+// DeadlineStream draws clients with Bernoulli(p) arrivals per day and i.i.d.
+// slack D uniform in [0, dmax]. The stream is sorted by arrival day.
+func DeadlineStream(rng *rand.Rand, horizon int64, p float64, dmax int64) []DeadlineClient {
+	var out []DeadlineClient
+	for t := int64(0); t < horizon; t++ {
+		if rng.Float64() < p {
+			d := int64(0)
+			if dmax > 0 {
+				d = rng.Int63n(dmax + 1)
+			}
+			out = append(out, DeadlineClient{T: t, D: d})
+		}
+	}
+	return out
+}
+
+// UniformDeadlineStream draws clients with Bernoulli(p) arrivals and the
+// same fixed slack d for every client ("uniform OLD" in Section 5.2).
+func UniformDeadlineStream(rng *rand.Rand, horizon int64, p float64, d int64) []DeadlineClient {
+	var out []DeadlineClient
+	for t := int64(0); t < horizon; t++ {
+		if rng.Float64() < p {
+			out = append(out, DeadlineClient{T: t, D: d})
+		}
+	}
+	return out
+}
+
+// ElementArrival is one demand of the set (multi)cover streams: element
+// Elem arrives at time T and must be covered by P distinct sets.
+type ElementArrival struct {
+	T    int64 `json:"t"`
+	Elem int   `json:"elem"`
+	P    int   `json:"p"`
+}
+
+// ElementStream draws element arrivals over [0, horizon): each day with
+// probability p an element chosen by pick() arrives needing cover
+// multiplicity drawn by mult(). Arrivals are sorted by time.
+func ElementStream(rng *rand.Rand, horizon int64, p float64, pick func() int, mult func() int) []ElementArrival {
+	var out []ElementArrival
+	for t := int64(0); t < horizon; t++ {
+		if rng.Float64() < p {
+			out = append(out, ElementArrival{T: t, Elem: pick(), P: mult()})
+		}
+	}
+	return out
+}
+
+// MergeSortedDays merges and deduplicates two ascending day slices.
+func MergeSortedDays(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}

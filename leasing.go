@@ -1,0 +1,84 @@
+package leasing
+
+import (
+	"io"
+
+	"leasing/internal/experiments"
+	"leasing/internal/lease"
+)
+
+// LeaseType is one lease type: a duration in time steps and a price.
+type LeaseType = lease.Type
+
+// LeaseConfig is a validated, length-ordered collection of lease types.
+type LeaseConfig = lease.Config
+
+// Lease identifies a concrete lease: a type index and a start step.
+type Lease = lease.Lease
+
+// LeaseStore is a purchase set with cost accounting over one configuration.
+type LeaseStore = lease.Store
+
+// NewLeaseConfig validates and builds a lease configuration from types
+// with strictly increasing lengths and positive costs.
+func NewLeaseConfig(types ...LeaseType) (*LeaseConfig, error) {
+	return lease.NewConfig(types...)
+}
+
+// PowerLeaseConfig builds K interval-model types with lengths base^k and
+// costs length^gamma (0 < gamma < 1 yields an economy of scale).
+func PowerLeaseConfig(k int, base int64, gamma float64) *LeaseConfig {
+	return lease.PowerConfig(k, base, gamma)
+}
+
+// DoublingLeaseConfig builds K types with lengths 2^k and costs
+// costBase*growth^k.
+func DoublingLeaseConfig(k int, costBase, growth float64) *LeaseConfig {
+	return lease.DoublingConfig(k, costBase, growth)
+}
+
+// NewLeaseStore returns an empty purchase store over cfg.
+func NewLeaseStore(cfg *LeaseConfig) *LeaseStore { return lease.NewStore(cfg) }
+
+// ExperimentConfig tunes RunExperiment.
+type ExperimentConfig struct {
+	// Quick shrinks sweeps and trial counts for smoke runs.
+	Quick bool
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// RunExperiment regenerates one thesis experiment (IDs E1..E16; see
+// DESIGN.md for the index) and prints its table to w.
+func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
+	tb, err := experiments.Run(id, experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	return tb.Fprint(w)
+}
+
+// RunAllExperiments regenerates every experiment in order.
+func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
+	return experiments.RunAll(experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed}, w)
+}
+
+// ExperimentIDs lists the available experiment IDs in order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Experiment describes one experiment for listings.
+type Experiment struct {
+	ID      string
+	Paper   string
+	Summary string
+}
+
+// Experiments returns metadata for every registered experiment.
+func Experiments() []Experiment {
+	infos := experiments.List()
+	out := make([]Experiment, len(infos))
+	for i, in := range infos {
+		out[i] = Experiment{ID: in.ID, Paper: in.Paper, Summary: in.Summary}
+	}
+	return out
+}

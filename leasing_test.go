@@ -1,0 +1,333 @@
+package leasing
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func apiConfig(t *testing.T) *LeaseConfig {
+	t.Helper()
+	cfg, err := NewLeaseConfig(
+		LeaseType{Length: 1, Cost: 1},
+		LeaseType{Length: 4, Cost: 2},
+		LeaseType{Length: 16, Cost: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestParkingPermitFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	alg, err := NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := []int64{0, 1, 2, 3, 17}
+	cost, err := RunParkingPermit(alg, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, sol, err := ParkingPermitOptimal(cfg, days)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < opt-1e-9 {
+		t.Errorf("online %v below OPT %v", cost, opt)
+	}
+	if len(sol) == 0 {
+		t.Error("empty optimal solution")
+	}
+	ralg, err := NewRandomizedParkingPermit(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParkingPermit(ralg, days); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demanded, err := ParkingPermitAdversary(cfg, adv, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(demanded) == 0 {
+		t.Error("adversary issued no demands")
+	}
+}
+
+func TestSetCoverFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	fam, err := NewSetFamily(3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := [][]float64{{1, 2, 4}, {1, 2, 4}, {1, 2, 4}}
+	arrivals := []ElementArrival{{T: 0, Elem: 0, P: 2}, {T: 5, Elem: 2, P: 1}}
+	inst, err := NewSetCoverInstance(fam, cfg, costs, arrivals, PerArrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewSetCoverLeaser(inst, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySetCover(inst, alg.Bought()); err != nil {
+		t.Error(err)
+	}
+	opt, exact, err := SetCoverOptimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Error("small instance not proven")
+	}
+	if alg.TotalCost() < opt-1e-9 {
+		t.Errorf("online %v below OPT %v", alg.TotalCost(), opt)
+	}
+	gCost, gSol, err := SetCoverGreedy(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySetCover(inst, gSol); err != nil {
+		t.Error(err)
+	}
+	if gCost < opt-1e-9 {
+		t.Errorf("greedy %v below OPT %v", gCost, opt)
+	}
+}
+
+func TestFacilityFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	inst, err := NewFacilityInstance(cfg,
+		[]Point{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		[][]float64{{1, 2, 5}, {1, 2, 5}},
+		[][]Point{{{X: 1, Y: 0}}, {{X: 9, Y: 0}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewFacilityLeaser(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	leases, assigns := alg.Solution()
+	cost, err := VerifyFacility(inst, leases, assigns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-alg.TotalCost()) > 1e-6 {
+		t.Errorf("verified %v != reported %v", cost, alg.TotalCost())
+	}
+	opt, exact, err := FacilityOptimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact && alg.TotalCost() < opt-1e-6 {
+		t.Errorf("online %v below OPT %v", alg.TotalCost(), opt)
+	}
+}
+
+func TestDeadlineFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	in, err := NewDeadlineInstance(cfg, []DeadlineClient{{T: 0, D: 5}, {T: 3, D: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewDeadlineLeaser(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyDeadline(in, alg.Leases()); err != nil {
+		t.Error(err)
+	}
+	opt, err := DeadlineOptimal(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.TotalCost() < opt-1e-9 {
+		t.Errorf("online %v below OPT %v", alg.TotalCost(), opt)
+	}
+	tight, err := DeadlineTightInstance(2, 16, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tight.Clients) == 0 {
+		t.Error("tight instance empty")
+	}
+}
+
+func TestSCLDFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	fam, err := NewSetFamily(2, [][]int{{0, 1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := NewSCLDInstance(fam, cfg, [][]float64{{1, 2, 4}, {1, 2, 4}},
+		[]SCLDArrival{{T: 0, Elem: 0, D: 3}, {T: 4, Elem: 1, D: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewSCLDLeaser(inst, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	opt, exact, err := SCLDOptimal(inst, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Error("tiny SCLD not proven")
+	}
+	if alg.TotalCost() < opt-1e-9 {
+		t.Errorf("online %v below OPT %v", alg.TotalCost(), opt)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 20 {
+		t.Fatalf("got %d experiment ids", len(ids))
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment("E1", ExperimentConfig{Quick: true, Seed: 1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "E1") {
+		t.Error("experiment output missing id")
+	}
+	if err := RunExperiment("nope", ExperimentConfig{Quick: true}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	for _, e := range Experiments() {
+		if e.ID == "" || e.Paper == "" || e.Summary == "" {
+			t.Errorf("incomplete experiment metadata: %+v", e)
+		}
+	}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	if cfg := PowerLeaseConfig(3, 4, 0.5); cfg.K() != 3 {
+		t.Error("PowerLeaseConfig wrong K")
+	}
+	if cfg := DoublingLeaseConfig(4, 1, 1.8); cfg.K() != 4 {
+		t.Error("DoublingLeaseConfig wrong K")
+	}
+	st := NewLeaseStore(PowerLeaseConfig(2, 4, 0.5))
+	if !st.Buy(Lease{K: 0, Start: 0}) {
+		t.Error("store Buy failed")
+	}
+}
+
+func TestNetworkFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := RandomConnectedGraph(rng, 8, 14, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apiConfig(t)
+	reqs := []SteinerRequest{{Time: 0, S: 0, T: 5}, {Time: 2, S: 1, T: 6}}
+	inst, err := NewSteinerInstance(g, cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := NewSteinerLeaser(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := alg.VerifyFeasible(); err != nil {
+		t.Error(err)
+	}
+	baseline, err := SteinerOfflineBaseline(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.TotalCost() <= 0 || baseline <= 0 {
+		t.Errorf("costs must be positive: online %v baseline %v", alg.TotalCost(), baseline)
+	}
+	vc, err := VertexCoverLeasingFamily(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Delta() != 2 {
+		t.Errorf("vertex cover family delta = %d, want 2", vc.Delta())
+	}
+	ec, err := EdgeCoverLeasingFamily(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec.N() != g.N() {
+		t.Errorf("edge cover universe = %d, want %d", ec.N(), g.N())
+	}
+	if _, err := NewGraph(2, []GraphEdge{{U: 0, V: 1, Weight: 1}}); err != nil {
+		t.Errorf("NewGraph: %v", err)
+	}
+}
+
+func TestCapacitatedFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	inst, err := NewFacilityInstance(cfg,
+		[]Point{{X: 0, Y: 0}, {X: 5, Y: 0}},
+		[][]float64{{1, 2, 5}, {1, 2, 5}},
+		[][]Point{{{X: 0, Y: 0}, {X: 0, Y: 1}, {X: 5, Y: 0}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, leases, assigns, err := CapacitatedFacilityGreedy(inst, 2, BestRateType)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCost, err := VerifyFacilityCapacitated(inst, leases, assigns, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cost-vCost) > 1e-6 {
+		t.Errorf("cost %v != verified %v", cost, vCost)
+	}
+	opt, exact, err := FacilityOptimalCapacitated(inst, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact && cost < opt-1e-6 {
+		t.Errorf("greedy %v below capacitated OPT %v", cost, opt)
+	}
+}
+
+func TestPredictiveFacade(t *testing.T) {
+	cfg := apiConfig(t)
+	alg, err := NewPredictiveParkingPermit(cfg, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParkingPermit(alg, []int64{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if alg.TotalCost() <= 0 {
+		t.Error("predictive accumulated no cost")
+	}
+	if _, err := NewPredictiveParkingPermit(cfg, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package leasing
+
+import (
+	"math/rand"
+
+	"leasing/internal/coverext"
+	"leasing/internal/graph"
+	"leasing/internal/steiner"
+)
+
+// Graph is a weighted undirected graph, the substrate of the network
+// extensions (Steiner tree leasing, vertex/edge cover leasing).
+type Graph = graph.Graph
+
+// GraphEdge is one weighted undirected edge.
+type GraphEdge = graph.Edge
+
+// NewGraph validates an edge list over n vertices.
+func NewGraph(n int, edges []GraphEdge) (*Graph, error) {
+	return graph.New(n, edges)
+}
+
+// RandomConnectedGraph generates a connected graph with m edges and
+// weights in [minW, maxW).
+func RandomConnectedGraph(rng *rand.Rand, n, m int, minW, maxW float64) (*Graph, error) {
+	return graph.RandomConnected(rng, n, m, minW, maxW)
+}
+
+// SteinerRequest is one communication demand: terminals S and T must be
+// connected by leased edges at step Time.
+type SteinerRequest = steiner.Request
+
+// SteinerInstance is a SteinerTreeLeasing input.
+type SteinerInstance = steiner.Instance
+
+// SteinerLeaser is the composed online algorithm: marginal-price routing
+// with a per-edge parking-permit lease manager.
+type SteinerLeaser = steiner.Online
+
+// NewSteinerInstance validates a Steiner-tree-leasing input; edge lease
+// prices are weight(e) * cfg.Cost(k).
+func NewSteinerInstance(g *Graph, cfg *LeaseConfig, reqs []SteinerRequest) (*SteinerInstance, error) {
+	return steiner.NewInstance(g, cfg, reqs)
+}
+
+// NewSteinerLeaser returns the online algorithm for an instance.
+func NewSteinerLeaser(inst *SteinerInstance) (*SteinerLeaser, error) {
+	return steiner.NewOnline(inst)
+}
+
+// SteinerOfflineBaseline computes the hindsight static-route baseline with
+// per-edge DP-optimal leases.
+func SteinerOfflineBaseline(inst *SteinerInstance) (float64, error) {
+	return steiner.OfflineTreeBaseline(inst)
+}
+
+// VertexCoverLeasingFamily reduces VertexCoverLeasing on g to a set
+// system: elements are edges, sets are vertices (δ = 2).
+func VertexCoverLeasingFamily(g *Graph) (*SetFamily, error) {
+	return coverext.VertexCoverFamily(g)
+}
+
+// EdgeCoverLeasingFamily reduces EdgeCoverLeasing on g to a set system:
+// elements are vertices, sets are edges (δ = max degree).
+func EdgeCoverLeasingFamily(g *Graph) (*SetFamily, error) {
+	return coverext.EdgeCoverFamily(g)
+}

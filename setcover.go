@@ -1,0 +1,72 @@
+package leasing
+
+import (
+	"math/rand"
+
+	"leasing/internal/setcover"
+	"leasing/internal/workload"
+)
+
+// SetFamily is a set system over the universe {0..n-1}.
+type SetFamily = setcover.Family
+
+// SetCoverInstance bundles a family, lease configuration, per-set costs and
+// a demand stream.
+type SetCoverInstance = setcover.Instance
+
+// SetLease is the triple (set, lease type, start).
+type SetLease = setcover.SetLease
+
+// ElementArrival is one demand: element Elem arrives at T needing coverage
+// by P distinct sets.
+type ElementArrival = workload.ElementArrival
+
+// SetCoverLeaser is the randomized online algorithm of thesis Chapter 3.
+type SetCoverLeaser = setcover.Online
+
+// Exclusion scopes for multicover semantics (see thesis Corollaries 3.4
+// and 3.5).
+const (
+	// PerArrival: the p covering sets of one arrival must be distinct.
+	PerArrival = setcover.PerArrival
+	// PerElement: every arrival of an element needs a fresh set
+	// (OnlineSetCoverWithRepetitions).
+	PerElement = setcover.PerElement
+)
+
+// NewSetFamily validates a set system over n elements.
+func NewSetFamily(n int, sets [][]int) (*SetFamily, error) {
+	return setcover.NewFamily(n, sets)
+}
+
+// NewSetCoverInstance validates a full SetMulticoverLeasing input.
+// costs[s][k] is the price of leasing set s with type k.
+func NewSetCoverInstance(fam *SetFamily, cfg *LeaseConfig, costs [][]float64, arrivals []ElementArrival, scope setcover.ExclusionScope) (*SetCoverInstance, error) {
+	return setcover.NewInstance(fam, cfg, costs, arrivals, scope)
+}
+
+// NewSetCoverLeaser returns the O(log(δK) log n)-competitive randomized
+// online algorithm (thesis Algorithms 3+4, Theorem 3.3).
+func NewSetCoverLeaser(inst *SetCoverInstance, rng *rand.Rand) (*SetCoverLeaser, error) {
+	return setcover.NewOnline(inst, rng, setcover.Options{})
+}
+
+// SetCoverOptimal computes the exact offline optimum by branch and bound
+// (nodeLimit <= 0 uses the default), reporting whether it was proven.
+func SetCoverOptimal(inst *SetCoverInstance, nodeLimit int) (cost float64, exact bool, err error) {
+	res, err := setcover.Optimal(inst, nodeLimit)
+	if err != nil {
+		return 0, false, err
+	}
+	return res.Cost, res.Exact, nil
+}
+
+// SetCoverGreedy computes the offline greedy baseline.
+func SetCoverGreedy(inst *SetCoverInstance) (float64, []SetLease, error) {
+	return setcover.Greedy(inst)
+}
+
+// VerifySetCover checks a solution covers every arrival as demanded.
+func VerifySetCover(inst *SetCoverInstance, bought []SetLease) error {
+	return setcover.VerifyFeasible(inst, bought)
+}
