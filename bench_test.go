@@ -1,10 +1,11 @@
 package leasing
 
-// One benchmark per evaluation artifact of the thesis (experiments E1..E16,
+// One benchmark per evaluation artifact of the thesis (experiments E1..E20,
 // indexed in DESIGN.md). Each bench regenerates its experiment's table in
 // quick mode and reports the headline measured quantity as a custom metric,
 // so `go test -bench=. -benchmem` reproduces the whole evaluation and its
-// costs in one run. The full-size tables are produced by cmd/leasebench.
+// costs in one run. The full-size tables are produced by cmd/leasebench,
+// the full documents by cmd/leasereport.
 
 import (
 	"math/rand"
@@ -21,6 +22,7 @@ import (
 	"leasing/internal/metric"
 	"leasing/internal/parking"
 	"leasing/internal/setcover"
+	"leasing/internal/sim"
 	"leasing/internal/steiner"
 	"leasing/internal/workload"
 )
@@ -370,3 +372,43 @@ func BenchmarkBranchAndBound(b *testing.B) {
 		}
 	}
 }
+
+// benchRatiosWorkers measures the trial engine itself on a CPU-bound
+// parking sweep, isolating the worker-pool speedup from any one
+// experiment's instance generation.
+func benchRatiosWorkers(b *testing.B, workers int) {
+	lcfg := lease.PowerConfig(5, 4, 0.5)
+	days := make([]int64, 1024)
+	for i := range days {
+		days[i] = int64(i * 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.RatiosWorkers(16, 2015, workers, func(rng *rand.Rand) (float64, float64, error) {
+			alg, err := parking.NewDeterministic(lcfg)
+			if err != nil {
+				return 0, 0, err
+			}
+			online, err := parking.Run(alg, days)
+			if err != nil {
+				return 0, 0, err
+			}
+			opt, _, err := parking.Optimal(lcfg, days)
+			if err != nil {
+				return 0, 0, err
+			}
+			return online, opt, nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRatiosSequential pins the single-worker baseline of the
+// trial engine.
+func BenchmarkSimRatiosSequential(b *testing.B) { benchRatiosWorkers(b, 1) }
+
+// BenchmarkSimRatiosParallel runs the same sweep on the GOMAXPROCS pool;
+// the summary is identical, only the wall clock changes.
+func BenchmarkSimRatiosParallel(b *testing.B) { benchRatiosWorkers(b, 0) }

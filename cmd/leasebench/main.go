@@ -1,12 +1,12 @@
 // Command leasebench regenerates the evaluation artifacts of the thesis
-// "Online Resource Leasing": one table per experiment E1..E16 (theorems,
-// lower bounds, tight examples; see DESIGN.md for the index).
+// "Online Resource Leasing": one table per experiment E1..E20 (theorems,
+// lower bounds, tight examples, extensions; see DESIGN.md for the index).
 //
 // Usage:
 //
 //	leasebench -list
-//	leasebench -experiment E1 [-quick] [-seed 42]
-//	leasebench -experiment all
+//	leasebench -experiment E1 [-quick] [-seed 42] [-workers 4]
+//	leasebench -experiment all [-markdown]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"leasing"
+	"leasing/internal/experiments"
 )
 
 func main() {
@@ -27,9 +28,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leasebench", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "experiment id (E1..E16) or 'all'")
+		experiment = fs.String("experiment", "all", "experiment id (E1..E20) or 'all'")
 		quick      = fs.Bool("quick", false, "shrink sweeps and trial counts")
 		seed       = fs.Int64("seed", 2015, "base random seed")
+		workers    = fs.Int("workers", 0, "trial-engine workers; <= 0 selects GOMAXPROCS (output is identical either way)")
+		markdown   = fs.Bool("markdown", false, "render tables as Markdown (the cmd/leasereport format)")
 		list       = fs.Bool("list", false, "list experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -37,11 +40,30 @@ func run(args []string) error {
 	}
 	if *list {
 		for _, e := range leasing.Experiments() {
-			fmt.Printf("%-4s %-24s %s\n", e.ID, e.Paper, e.Summary)
+			fmt.Printf("%-4s ch %-13s %-24s %s\n", e.ID, e.Chapter, e.Paper, e.Summary)
 		}
 		return nil
 	}
-	cfg := leasing.ExperimentConfig{Quick: *quick, Seed: *seed}
+	if *markdown {
+		ids := leasing.ExperimentIDs()
+		if *experiment != "all" {
+			ids = []string{*experiment}
+		}
+		cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+		for _, id := range ids {
+			tb, err := experiments.Run(id, cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Printf("### %s\n\n", tb.Title)
+			if err := tb.Markdown(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	cfg := leasing.ExperimentConfig{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *experiment == "all" {
 		return leasing.RunAllExperiments(cfg, os.Stdout)
 	}

@@ -65,3 +65,17 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestMarkdownRendering(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-experiment", "E11", "-quick", "-seed", "3", "-markdown"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"### E11 tight example", "| dmax |", "| --- |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -38,10 +38,18 @@
 //
 // # Experiments
 //
-// RunExperiment regenerates any of the sixteen experiments E1..E16 indexed
-// in DESIGN.md; EXPERIMENTS.md records paper-predicted versus measured
-// results. The cmd/leasebench tool prints the same tables from the command
-// line.
+// RunExperiment regenerates any of the twenty experiments E1..E20 indexed
+// in DESIGN.md: the core experiments cover the thesis' theorems, lower
+// bounds, tight examples and ablations, while E17..E20 exercise the
+// extensions the thesis leaves open (Steiner tree leasing, vertex and
+// edge cover leasing, capacitated facility leasing, and stochastic
+// demand). EXPERIMENTS.md
+// records paper-predicted versus measured results; both documents are
+// generated from the experiment registry by cmd/leasereport, whose -check
+// mode fails when they drift from the code. The cmd/leasebench tool prints
+// the same tables from the command line.
 //
-// Everything is stdlib-only and deterministic per seed.
+// Everything is stdlib-only and deterministic per seed: repeated trials
+// fan out across a worker pool, and every table is byte-identical for any
+// worker count.
 package leasing

@@ -8,6 +8,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"leasing/internal/experiments"
 )
 
 func readDoc(t *testing.T, name string) string {
@@ -40,11 +42,38 @@ func TestExperimentsRecordsEveryExperiment(t *testing.T) {
 func TestReadmeMentionsDeliverables(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	for _, want := range []string{
-		"cmd/leasebench", "examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
-		"go test", "PODC 2015",
+		"cmd/leasebench", "cmd/leasereport", "examples/quickstart",
+		"DESIGN.md", "EXPERIMENTS.md", "go test", "PODC 2015",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
+		}
+	}
+}
+
+// TestGeneratedDocsCarryHeader keeps the generated documents recognizably
+// generated: a hand-recreated DESIGN.md without the header would silently
+// stop being checked against the registry.
+func TestGeneratedDocsCarryHeader(t *testing.T) {
+	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+		if !strings.HasPrefix(readDoc(t, name), experiments.GeneratedHeader) {
+			t.Errorf("%s does not start with the cmd/leasereport generated-file header", name)
+		}
+	}
+}
+
+// TestPackageDocsMatchRegistrySize guards the drift this repo once had:
+// doc.go and leasing.go claiming "sixteen experiments E1..E16" while the
+// registry held twenty.
+func TestPackageDocsMatchRegistrySize(t *testing.T) {
+	last := ExperimentIDs()[len(ExperimentIDs())-1]
+	for _, name := range []string{"doc.go", "leasing.go"} {
+		src := readDoc(t, name)
+		if !strings.Contains(src, "E1.."+last) {
+			t.Errorf("%s does not document the experiment range E1..%s", name, last)
+		}
+		if strings.Contains(src, "sixteen") || (last != "E16" && strings.Contains(src, "E1..E16")) {
+			t.Errorf("%s still documents the stale sixteen-experiment registry", name)
 		}
 	}
 }

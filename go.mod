@@ -1,0 +1,3 @@
+module leasing
+
+go 1.24

@@ -12,6 +12,21 @@ import (
 	"leasing/internal/workload"
 )
 
+// deadlineExperiments declares the Chapter 5 experiments implemented in
+// this file.
+func deadlineExperiments() []Info {
+	return []Info{
+		{ID: "E10", Paper: "Thm 5.3 / Fig 5.1-5.2", Chapter: "5", Predicted: "O(K) uniform; O(K + dmax/lmin) non-uniform",
+			Summary: "leasing with deadlines: O(K) uniform, O(K + dmax/lmin) non-uniform", Run: e10Deadlines},
+		{ID: "E11", Paper: "Prop 5.4 / Fig 5.3", Chapter: "5", Predicted: "ratio Theta(dmax/lmin) while OPT stays 1+eps",
+			Summary: "tight example: ratio Theta(dmax/lmin) vs OPT = 1+eps", Run: e11TightExample},
+		{ID: "E12", Paper: "Thm 5.7 / Fig 5.4", Chapter: "5", Predicted: "O(log(m(K + dmax/lmin)) log lmax)",
+			Summary: "set cover leasing with deadlines (SCLD)", Run: e12SCLD},
+		{ID: "E13", Paper: "Cor 5.8", Chapter: "5", Predicted: "ratio flat in the horizon (depends on lmax, not time)",
+			Summary: "time-independent set cover leasing: ratio flat in the horizon", Run: e13TimeIndependence},
+	}
+}
+
 func oldLeaseConfig(k int) *lease.Config {
 	return lease.PowerConfig(k, 4, 0.55)
 }
@@ -38,7 +53,7 @@ func e10Deadlines(cfg Config) (*sim.Table, error) {
 	// Uniform sweep over K with fixed slack 4.
 	for _, k := range ks {
 		lcfg := oldLeaseConfig(k)
-		s, err := sim.Ratios(trials, cfg.Seed+int64(k)*17, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+int64(k)*17, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			clients := workload.UniformDeadlineStream(rng, horizon, 0.35, 4)
 			return oldTrial(lcfg, clients)
 		})
@@ -50,7 +65,7 @@ func e10Deadlines(cfg Config) (*sim.Table, error) {
 	// Non-uniform sweep over dmax with fixed K=2.
 	lcfg := oldLeaseConfig(2)
 	for _, dmax := range dmaxes {
-		s, err := sim.Ratios(trials, cfg.Seed+dmax*29+1, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+dmax*29+1, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			clients := workload.DeadlineStream(rng, horizon, 0.35, dmax)
 			return oldTrial(lcfg, clients)
 		})
@@ -170,7 +185,7 @@ func e12SCLD(cfg Config) (*sim.Table, error) {
 		Note:    "bound shape log2(m*(K + dmax/lmin)) * log2(lmax), constant factors omitted",
 	}
 	for _, dmax := range dmaxes {
-		s, err := sim.Ratios(trials, cfg.Seed+dmax*41+3, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+dmax*41+3, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			inst, err := scldInstance(rng, lcfg, n, horizon, dmax)
 			if err != nil {
 				return 0, 0, err
@@ -227,7 +242,7 @@ func e13TimeIndependence(cfg Config) (*sim.Table, error) {
 	}
 	var xs, ys []float64
 	for _, h := range horizons {
-		s, err := sim.Ratios(trials, cfg.Seed+h*3+9, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+h*3+9, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			inst, err := scldInstance(rng, lcfg, n, h, 0)
 			if err != nil {
 				return 0, 0, err

@@ -1,14 +1,17 @@
 // Package experiments regenerates every evaluation artifact of the thesis:
 // one experiment per theorem, lower-bound construction, tight example, or
 // illustrated model (the per-experiment index lives in DESIGN.md, the
-// paper-vs-measured record in EXPERIMENTS.md). Each experiment returns a
-// printable table whose rows are the paper's series.
+// paper-vs-measured record in EXPERIMENTS.md; both are written by
+// cmd/leasereport from this registry). Each experiment returns a printable
+// table whose rows are the paper's series.
 package experiments
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 
 	"leasing/internal/sim"
 )
@@ -19,40 +22,58 @@ type Config struct {
 	Quick bool
 	// Seed is the base seed; every table is deterministic given a seed.
 	Seed int64
+	// Workers sets the trial-engine worker count; <= 0 selects GOMAXPROCS.
+	// Tables are identical for every worker count.
+	Workers int
 }
 
 // Runner produces one experiment's table.
 type Runner func(Config) (*sim.Table, error)
 
-// Info describes an experiment for listings.
+// Info describes an experiment for listings and for the generated docs.
 type Info struct {
 	ID      string
 	Paper   string // the thesis artifact it regenerates
-	Summary string
-	Run     Runner
+	Chapter string // thesis chapter (or "outlook"/"extension" origin)
+	// Predicted is the paper-predicted bound or expected outcome the
+	// measured table is compared against in EXPERIMENTS.md.
+	Predicted string
+	Summary   string
+	Run       Runner
 }
 
-var registry = []Info{
-	{ID: "E1", Paper: "Thm 2.7 / Fig 1.1", Summary: "deterministic parking permit is O(K)-competitive", Run: e1DeterministicParking},
-	{ID: "E2", Paper: "Thm 2.8", Summary: "adaptive adversary forces Omega(K)", Run: e2DeterministicLowerBound},
-	{ID: "E3", Paper: "Alg 2 (Sec 2.2.3)", Summary: "randomized parking permit is O(log K)-competitive", Run: e3RandomizedParking},
-	{ID: "E4", Paper: "Thm 2.9", Summary: "randomized lower-bound distribution forces Omega(log K)", Run: e4RandomizedLowerBound},
-	{ID: "E5", Paper: "Lemma 2.6 / Fig 2.3", Summary: "interval-model transformation loses at most a factor 4", Run: e5IntervalModel},
-	{ID: "E6", Paper: "Thm 3.3 / Figs 3.1-3.3", Summary: "set multicover leasing is O(log(dK) log n)-competitive", Run: e6SetMulticoverLeasing},
-	{ID: "E7", Paper: "Cor 3.4", Summary: "online set multicover reduction (K=1, l1=inf)", Run: e7OnlineSetMulticover},
-	{ID: "E8", Paper: "Cor 3.5", Summary: "online set cover with repetitions", Run: e8Repetitions},
-	{ID: "E9", Paper: "Thm 4.5 / Cor 4.6-4.7", Summary: "facility leasing ratio tracks (3+K)*H_lmax per arrival pattern", Run: e9FacilityLeasing},
-	{ID: "E10", Paper: "Thm 5.3 / Fig 5.1-5.2", Summary: "leasing with deadlines: O(K) uniform, O(K + dmax/lmin) non-uniform", Run: e10Deadlines},
-	{ID: "E11", Paper: "Prop 5.4 / Fig 5.3", Summary: "tight example: ratio Theta(dmax/lmin) vs OPT = 1+eps", Run: e11TightExample},
-	{ID: "E12", Paper: "Thm 5.7 / Fig 5.4", Summary: "set cover leasing with deadlines (SCLD)", Run: e12SCLD},
-	{ID: "E13", Paper: "Cor 5.8", Summary: "time-independent set cover leasing: ratio flat in the horizon", Run: e13TimeIndependence},
-	{ID: "E14", Paper: "Fig 1.2 / Sec 1.3", Summary: "cloud subcontractor narrative: primal-dual vs naive strategies", Run: e14CloudSubcontractor},
-	{ID: "E15", Paper: "Sec 4.3 phase 2", Summary: "ablation: MIS ordering in the conflict graphs", Run: e15MISAblation},
-	{ID: "E16", Paper: "Alg 3 rounding", Summary: "ablation: rounding-threshold draw count", Run: e16RoundingAblation},
-	{ID: "E17", Paper: "Sec 5.1 (extension)", Summary: "Steiner tree leasing via per-edge parking permits", Run: e17SteinerTreeLeasing},
-	{ID: "E18", Paper: "Sec 3.5 outlook", Summary: "vertex & edge cover leasing reductions", Run: e18CoverReductions},
-	{ID: "E19", Paper: "Sec 4.5 outlook", Summary: "capacitated facility leasing: price of capacity", Run: e19CapacitatedFacility},
-	{ID: "E20", Paper: "Sec 5.6 outlook", Summary: "stochastic demand: prior-aware vs worst-case", Run: e20StochasticDemand},
+// registry is assembled from the per-file experiment groups; each runner
+// file declares the metadata for the experiments it implements.
+var registry = buildRegistry(
+	parkingExperiments(),
+	setcoverExperiments(),
+	facilityExperiments(),
+	deadlineExperiments(),
+	extensionExperiments(),
+)
+
+// buildRegistry merges the per-file groups into one E1..EN sequence; it
+// panics on malformed, duplicate, or non-contiguous IDs (programmer error
+// caught by any test that touches the package).
+func buildRegistry(groups ...[]Info) []Info {
+	var all []Info
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	num := func(id string) int {
+		n, err := strconv.Atoi(strings.TrimPrefix(id, "E"))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: malformed id %q", id))
+		}
+		return n
+	}
+	sort.Slice(all, func(i, j int) bool { return num(all[i].ID) < num(all[j].ID) })
+	for i, e := range all {
+		if want := fmt.Sprintf("E%d", i+1); e.ID != want {
+			panic(fmt.Sprintf("experiments: registry gap or duplicate at %s (want %s)", e.ID, want))
+		}
+	}
+	return all
 }
 
 // IDs returns all experiment IDs in order.

@@ -65,6 +65,57 @@ func TestIDsAndList(t *testing.T) {
 		if info.Paper == "" || info.Summary == "" || info.Run == nil {
 			t.Errorf("experiment %s has incomplete metadata", info.ID)
 		}
+		if info.Chapter == "" || info.Predicted == "" {
+			t.Errorf("experiment %s missing chapter/predicted-bound metadata (needed by the generated docs)", info.ID)
+		}
+	}
+}
+
+// TestWorkerCountInvariance renders one sweep-heavy experiment under
+// different worker counts; the table must be byte-identical (the docs
+// pipeline depends on this).
+func TestWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		tb, err := Run("E1", Config{Quick: true, Seed: 2015, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tb.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(1)
+	for _, workers := range []int{4, 0} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d table differs:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestReportMarkdown checks the generated-doc renderers cover every
+// experiment and stay deterministic across calls.
+func TestReportMarkdown(t *testing.T) {
+	design := string(DesignMarkdown())
+	record, err := ExperimentsMarkdown(Config{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(design, "| "+id+" |") {
+			t.Errorf("DesignMarkdown missing index row for %s", id)
+		}
+		if !strings.Contains(string(record), "## "+id+" ") {
+			t.Errorf("ExperimentsMarkdown missing section for %s", id)
+		}
+	}
+	record2, err := ExperimentsMarkdown(Config{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(record, record2) {
+		t.Error("ExperimentsMarkdown not deterministic for a fixed config")
 	}
 }
 

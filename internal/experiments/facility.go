@@ -11,6 +11,19 @@ import (
 	"leasing/internal/workload"
 )
 
+// facilityExperiments declares the Chapter 4 experiments implemented in
+// this file (plus the Chapter 1 cloud-subcontractor narrative E14).
+func facilityExperiments() []Info {
+	return []Info{
+		{ID: "E9", Paper: "Thm 4.5 / Cor 4.6-4.7", Chapter: "4", Predicted: "(3+K)*H_lmax per arrival pattern",
+			Summary: "facility leasing ratio tracks (3+K)*H_lmax per arrival pattern", Run: e9FacilityLeasing},
+		{ID: "E14", Paper: "Fig 1.2 / Sec 1.3", Chapter: "1", Predicted: "bounded premium in both regimes; naive strategies lose one each",
+			Summary: "cloud subcontractor narrative: primal-dual vs naive strategies", Run: e14CloudSubcontractor},
+		{ID: "E15", Paper: "Sec 4.3 phase 2", Chapter: "4", Predicted: "ablation; all orderings stay feasible",
+			Summary: "ablation: MIS ordering in the conflict graphs", Run: e15MISAblation},
+	}
+}
+
 func facilityLeaseConfig() *lease.Config {
 	return lease.MustConfig(
 		lease.Type{Length: 1, Cost: 3},
@@ -76,8 +89,10 @@ func e9FacilityLeasing(cfg Config) (*sim.Table, error) {
 		Note:    "natural patterns stay near (3+K)*H_lmax with small H; the exponential pattern inflates H toward Theta(lmax)",
 	}
 	for _, pat := range patterns {
-		var hAcc stats.Accumulator
-		s, err := sim.Ratios(trials, cfg.Seed+int64(pat)*101, func(rng *rand.Rand) (float64, float64, error) {
+		// Per-trial slots for the H series keep the closure race-free
+		// under the worker pool.
+		hs := stats.NewSeries(trials)
+		s, err := sim.RatiosIndexed(trials, cfg.Seed+int64(pat)*101, cfg.Workers, func(i int, rng *rand.Rand) (float64, float64, error) {
 			online, baseline, h, err := facilityTrial(rng, lcfg, facility.GenParams{
 				Sites: 3, Steps: steps, Pattern: pat, Base: 1,
 				MaxPerStep: maxPerStep, WorldSize: 40, CostSpread: 0.3,
@@ -85,13 +100,13 @@ func e9FacilityLeasing(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			hAcc.Add(h)
+			hs.Set(i, h)
 			return online, baseline, nil
 		})
 		if err != nil {
 			return nil, err
 		}
-		h := hAcc.Mean()
+		h := hs.Mean()
 		bound := float64(3+lcfg.K()) * h
 		tb.MustAddRow(pat.String(), sim.D(s.N), sim.F(h), sim.F(s.Mean), sim.F(s.Max), sim.F(bound))
 	}

@@ -10,6 +10,21 @@ import (
 	"leasing/internal/workload"
 )
 
+// setcoverExperiments declares the Chapter 3 experiments implemented in
+// this file (plus the Chapter 3 rounding ablation E16).
+func setcoverExperiments() []Info {
+	return []Info{
+		{ID: "E6", Paper: "Thm 3.3 / Figs 3.1-3.3", Chapter: "3", Predicted: "O(log(dK) log n)",
+			Summary: "set multicover leasing is O(log(dK) log n)-competitive", Run: e6SetMulticoverLeasing},
+		{ID: "E7", Paper: "Cor 3.4", Chapter: "3", Predicted: "O(log d log n)",
+			Summary: "online set multicover reduction (K=1, l1=inf)", Run: e7OnlineSetMulticover},
+		{ID: "E8", Paper: "Cor 3.5", Chapter: "3", Predicted: "O(log d log(dn)), improving O(log^2(mn))",
+			Summary: "online set cover with repetitions", Run: e8Repetitions},
+		{ID: "E16", Paper: "Alg 3 rounding", Chapter: "3", Predicted: "ablation; paper default 2*ceil(log2(n+1)) draws",
+			Summary: "ablation: rounding-threshold draw count", Run: e16RoundingAblation},
+	}
+}
+
 // randomElementArrivals draws a uniform element stream with multiplicities
 // in [1, pMax].
 func randomElementArrivals(rng *rand.Rand, n int, horizon int64, p float64, pMax int) []workload.ElementArrival {
@@ -78,7 +93,7 @@ func e6SetMulticoverLeasing(cfg Config) (*sim.Table, error) {
 	}
 	for _, pt := range points {
 		lcfg := lease.PowerConfig(pt.k, 4, 0.5)
-		s, err := sim.Ratios(trials, cfg.Seed+int64(pt.n*100+pt.k), func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+int64(pt.n*100+pt.k), cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			return smclTrial(rng, lcfg, pt.n, pt.n, delta, horizon, 2)
 		})
 		if err != nil {
@@ -106,7 +121,7 @@ func e7OnlineSetMulticover(cfg Config) (*sim.Table, error) {
 		Columns: []string{"n", "delta", "trials", "mean_ratio", "max_ratio", "log2(d)*log2(n)"},
 	}
 	for _, n := range ns {
-		s, err := sim.Ratios(trials, cfg.Seed+int64(n)*31, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+int64(n)*31, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			fam, err := setcover.RandomFamily(rng, n, n, delta)
 			if err != nil {
 				return 0, 0, err
@@ -173,7 +188,7 @@ func e8Repetitions(cfg Config) (*sim.Table, error) {
 	for _, n := range ns {
 		m := n + 2
 		lcfg := lease.PowerConfig(2, 4, 0.5)
-		s, err := sim.Ratios(trials, cfg.Seed+int64(n)*77, func(rng *rand.Rand) (float64, float64, error) {
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+int64(n)*77, cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
 			inst, err := setcover.RepetitionsInstance(rng, lcfg, n, m, delta, 20, 0.45)
 			if err != nil {
 				return 0, 0, err
@@ -234,8 +249,10 @@ func e16RoundingAblation(cfg Config) (*sim.Table, error) {
 		Note:    "paper default is 2*ceil(log2(n+1)) = 10 draws for n=16",
 	}
 	for _, dr := range draws {
-		var fallbacks stats.Accumulator
-		s, err := sim.Ratios(trials, cfg.Seed+int64(dr)*11, func(rng *rand.Rand) (float64, float64, error) {
+		// Per-trial slots keep the fallback counts race-free under the
+		// worker pool and their mean independent of scheduling order.
+		fallbacks := stats.NewSeries(trials)
+		s, err := sim.RatiosIndexed(trials, cfg.Seed+int64(dr)*11, cfg.Workers, func(i int, rng *rand.Rand) (float64, float64, error) {
 			inst, err := setcover.RandomInstance(rng, lcfg, 16, 16, 3, 24, 0.5, 2, 0.5)
 			if err != nil {
 				return 0, 0, err
@@ -263,7 +280,7 @@ func e16RoundingAblation(cfg Config) (*sim.Table, error) {
 					return 0, 0, err
 				}
 			}
-			fallbacks.Add(float64(alg.Fallbacks()))
+			fallbacks.Set(i, float64(alg.Fallbacks()))
 			return alg.TotalCost(), baseline, nil
 		})
 		if err != nil {

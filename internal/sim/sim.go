@@ -1,14 +1,18 @@
 // Package sim provides the thin orchestration layer shared by the
 // experiment harness, the benchmarks and the CLI tools: repeated-trial
-// runners with per-trial seeds, ratio aggregation, and plain-text table
-// rendering for the paper-style outputs.
+// runners that fan trials out across a deterministic worker pool,
+// ratio aggregation, and plain-text and Markdown table rendering for
+// the paper-style outputs.
 package sim
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"leasing/internal/stats"
 )
@@ -17,24 +21,96 @@ import (
 // (usually OPT) it is compared against.
 type Trial func(rng *rand.Rand) (online, baseline float64, err error)
 
-// Ratios runs `trials` seeded trials and summarizes the online/baseline
-// ratios. Trials whose baseline is zero (empty instances) are skipped; if
-// every trial is skipped an error is returned.
+// IndexedTrial is a Trial that also receives its zero-based trial index.
+// Runners that need per-trial side data (an auxiliary metric next to the
+// ratio) write it into a slot indexed by i, which stays deterministic no
+// matter how trials are scheduled across workers.
+type IndexedTrial func(i int, rng *rand.Rand) (online, baseline float64, err error)
+
+// seedStride spaces per-trial seeds so neighbouring trials never share a
+// source; it is part of the output contract (changing it changes every
+// regenerated table).
+const seedStride = 7919
+
+// TrialSeed returns the seed of trial i under base seed baseSeed. The
+// engine derives every trial's generator from this, so results are a pure
+// function of (baseSeed, i) and independent of the worker count.
+func TrialSeed(baseSeed int64, i int) int64 {
+	return baseSeed + int64(i)*seedStride
+}
+
+// Ratios runs `trials` seeded trials across a worker pool sized to
+// GOMAXPROCS and summarizes the online/baseline ratios. Trials whose
+// baseline is zero (empty instances) are skipped; if every trial is
+// skipped an error is returned. The trial function must be safe for
+// concurrent use; use RatiosWorkers(trials, seed, 1, trial) to force
+// sequential execution.
 func Ratios(trials int, baseSeed int64, trial Trial) (stats.Summary, error) {
+	return RatiosWorkers(trials, baseSeed, 0, trial)
+}
+
+// RatiosWorkers is Ratios with an explicit worker count. workers <= 0
+// selects GOMAXPROCS. The summary is identical for every worker count:
+// each trial draws from its own TrialSeed-derived generator and results
+// are aggregated in trial order.
+func RatiosWorkers(trials int, baseSeed int64, workers int, trial Trial) (stats.Summary, error) {
+	return RatiosIndexed(trials, baseSeed, workers, func(_ int, rng *rand.Rand) (float64, float64, error) {
+		return trial(rng)
+	})
+}
+
+// RatiosIndexed is RatiosWorkers for IndexedTrial functions. It is the
+// engine underneath the other two entry points: trials are claimed from a
+// shared counter by `workers` goroutines, every result lands in a slot
+// indexed by its trial number, and aggregation walks the slots in order —
+// so the summary (and any error) is byte-for-byte reproducible for any
+// worker count. Every trial runs even when one fails; the lowest-indexed
+// failing trial is then reported, like a sequential scan would.
+func RatiosIndexed(trials int, baseSeed int64, workers int, trial IndexedTrial) (stats.Summary, error) {
 	if trials < 1 {
 		return stats.Summary{}, fmt.Errorf("sim: trials must be >= 1, got %d", trials)
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	type result struct {
+		online, baseline float64
+		err              error
+	}
+	results := make([]result, trials)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= trials {
+					return
+				}
+				rng := rand.New(rand.NewSource(TrialSeed(baseSeed, i)))
+				online, baseline, err := trial(i, rng)
+				results[i] = result{online: online, baseline: baseline, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+
 	ratios := make([]float64, 0, trials)
-	for i := 0; i < trials; i++ {
-		rng := rand.New(rand.NewSource(baseSeed + int64(i)*7919))
-		online, baseline, err := trial(rng)
-		if err != nil {
-			return stats.Summary{}, fmt.Errorf("sim: trial %d: %w", i, err)
+	for i, r := range results {
+		if r.err != nil {
+			return stats.Summary{}, fmt.Errorf("sim: trial %d: %w", i, r.err)
 		}
-		if baseline <= 0 {
+		if r.baseline <= 0 {
 			continue
 		}
-		ratios = append(ratios, online/baseline)
+		ratios = append(ratios, r.online/r.baseline)
 	}
 	s, err := stats.Summarize(ratios)
 	if err != nil {
@@ -108,6 +184,37 @@ func (t *Table) Fprint(w io.Writer) error {
 		fmt.Fprintf(&b, "note: %s\n", t.Note)
 	}
 	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table (columns,
+// separator, rows, then the note as an emphasized trailing line). The
+// title is not rendered; document generators place their own headings.
+// Cells are escaped so `|` never breaks a row.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, cell := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(cell, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "\n*%s*\n", t.Note)
+	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -22,10 +24,8 @@ func TestRatios(t *testing.T) {
 }
 
 func TestRatiosSkipsZeroBaseline(t *testing.T) {
-	n := 0
-	s, err := Ratios(6, 1, func(rng *rand.Rand) (float64, float64, error) {
-		n++
-		if n%2 == 0 {
+	s, err := RatiosIndexed(6, 1, 0, func(i int, rng *rand.Rand) (float64, float64, error) {
+		if i%2 == 1 {
 			return 1, 0, nil // skipped
 		}
 		return 4, 2, nil
@@ -55,10 +55,31 @@ func TestRatiosErrors(t *testing.T) {
 	}
 }
 
+// TestRatiosReportsLowestFailingTrial pins the deterministic error
+// contract: with several failing trials, the lowest index is reported no
+// matter how workers schedule them.
+func TestRatiosReportsLowestFailingTrial(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := RatiosIndexed(8, 1, workers, func(i int, rng *rand.Rand) (float64, float64, error) {
+			if i >= 3 {
+				return 0, 0, errors.New("trial failed")
+			}
+			return 2, 1, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "trial 3") {
+			t.Errorf("workers=%d: error = %v, want trial 3 reported", workers, err)
+		}
+	}
+}
+
 func TestRatiosSeedsDiffer(t *testing.T) {
-	var draws []float64
-	_, err := Ratios(5, 42, func(rng *rand.Rand) (float64, float64, error) {
-		draws = append(draws, rng.Float64())
+	var mu sync.Mutex
+	draws := make([]float64, 5)
+	_, err := RatiosIndexed(5, 42, 0, func(i int, rng *rand.Rand) (float64, float64, error) {
+		v := rng.Float64()
+		mu.Lock()
+		draws[i] = v
+		mu.Unlock()
 		return 1, 1, nil
 	})
 	if err != nil {
@@ -72,6 +93,76 @@ func TestRatiosSeedsDiffer(t *testing.T) {
 	}
 	if same {
 		t.Error("all trials drew identical randomness (seeds not varied)")
+	}
+}
+
+// noisyTrial consumes a trial-dependent amount of randomness so that any
+// engine change that reorders or reseeds trials shifts the summary.
+func noisyTrial(i int, rng *rand.Rand) (float64, float64, error) {
+	n := 1 + rng.Intn(64)
+	var online float64
+	for j := 0; j < n; j++ {
+		online += rng.Float64()
+	}
+	if rng.Float64() < 0.1 {
+		return 1, 0, nil // occasional skipped trial
+	}
+	return online, 1 + rng.Float64(), nil
+}
+
+// TestRatiosWorkerCountInvariance is the engine's core guarantee: the
+// rendered table is byte-identical for worker counts 1, 4 and GOMAXPROCS
+// at a fixed seed.
+func TestRatiosWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) string {
+		s, err := RatiosIndexed(64, 2015, workers, noisyTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb := &Table{
+			Title:   "worker invariance",
+			Columns: []string{"n", "mean", "stddev", "min", "max", "p50", "p90", "ci95"},
+		}
+		tb.MustAddRow(D(s.N), F(s.Mean), F(s.StdDev), F(s.Min), F(s.Max), F(s.P50), F(s.P90), F(s.CI95))
+		var buf bytes.Buffer
+		if err := tb.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(1)
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0), 0} {
+		if got := render(workers); got != want {
+			t.Errorf("workers=%d table differs from sequential:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestRatiosWorkerCountInvarianceExact checks the stronger property the
+// tables rely on: not just formatted output but the exact float summary is
+// independent of the worker count.
+func TestRatiosWorkerCountInvarianceExact(t *testing.T) {
+	base, err := RatiosIndexed(48, 7, 1, noisyTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 16} {
+		s, err := RatiosIndexed(48, 7, workers, noisyTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != base {
+			t.Errorf("workers=%d summary %+v differs from sequential %+v", workers, s, base)
+		}
+	}
+}
+
+func TestTrialSeed(t *testing.T) {
+	if TrialSeed(10, 0) != 10 {
+		t.Errorf("TrialSeed(10, 0) = %d", TrialSeed(10, 0))
+	}
+	if TrialSeed(10, 2) != 10+2*seedStride {
+		t.Errorf("TrialSeed(10, 2) = %d", TrialSeed(10, 2))
 	}
 }
 
@@ -93,6 +184,31 @@ func TestTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Title: "demo", Note: "a note", Columns: []string{"K", "ratio"}}
+	tb.MustAddRow("1", "2.000")
+	tb.MustAddRow("a|b", "3.500")
+	var buf bytes.Buffer
+	if err := tb.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"| K | ratio |",
+		"| --- | --- |",
+		"| 1 | 2.000 |",
+		`| a\|b | 3.500 |`,
+		"*a note*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "demo") {
+		t.Errorf("markdown should not render the title:\n%s", out)
 	}
 }
 

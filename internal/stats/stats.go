@@ -76,6 +76,44 @@ func (a *Accumulator) CI95() float64 {
 	return 1.96 * a.StdDev() / math.Sqrt(float64(a.n))
 }
 
+// Series collects per-index observations from the trial engine's worker
+// pool: each slot is written by exactly one goroutine (the trial that owns
+// the index), so no locking is needed, and aggregation walks the slots in
+// index order, making every statistic independent of scheduling order.
+// Unset slots are skipped.
+type Series struct {
+	vals []float64
+	set  []bool
+}
+
+// NewSeries returns a Series with n unset slots.
+func NewSeries(n int) *Series {
+	return &Series{vals: make([]float64, n), set: make([]bool, n)}
+}
+
+// Set records the observation of slot i.
+func (s *Series) Set(i int, v float64) {
+	s.vals[i] = v
+	s.set[i] = true
+}
+
+// Accumulate folds the set slots into an Accumulator in index order.
+func (s *Series) Accumulate() Accumulator {
+	var acc Accumulator
+	for i, ok := range s.set {
+		if ok {
+			acc.Add(s.vals[i])
+		}
+	}
+	return acc
+}
+
+// Mean returns the mean of the set slots (0 if none are set).
+func (s *Series) Mean() float64 {
+	acc := s.Accumulate()
+	return acc.Mean()
+}
+
 // Summary is a value snapshot of distributional statistics over a sample.
 type Summary struct {
 	N      int

@@ -228,3 +228,24 @@ func TestMean(t *testing.T) {
 		t.Error("Mean wrong")
 	}
 }
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(4)
+	if s.Mean() != 0 {
+		t.Error("empty Series mean != 0")
+	}
+	s.Set(3, 6)
+	s.Set(1, 2)
+	acc := s.Accumulate()
+	if acc.N() != 2 || !almostEqual(acc.Mean(), 4, 1e-12) {
+		t.Errorf("Accumulate = n %d mean %v, want 2 and 4", acc.N(), acc.Mean())
+	}
+	// Aggregation order is index order, not Set order: the accumulator
+	// state must match adding 2 then 6.
+	var want Accumulator
+	want.Add(2)
+	want.Add(6)
+	if acc != want {
+		t.Errorf("Accumulate order-dependent: %+v vs %+v", acc, want)
+	}
+}

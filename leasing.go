@@ -46,12 +46,19 @@ type ExperimentConfig struct {
 	Quick bool
 	// Seed makes the run reproducible.
 	Seed int64
+	// Workers sets the trial-engine worker count; <= 0 selects GOMAXPROCS.
+	// Results are identical for every worker count.
+	Workers int
 }
 
-// RunExperiment regenerates one thesis experiment (IDs E1..E16; see
+func (cfg ExperimentConfig) internal() experiments.Config {
+	return experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed, Workers: cfg.Workers}
+}
+
+// RunExperiment regenerates one thesis experiment (IDs E1..E20; see
 // DESIGN.md for the index) and prints its table to w.
 func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
-	tb, err := experiments.Run(id, experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed})
+	tb, err := experiments.Run(id, cfg.internal())
 	if err != nil {
 		return err
 	}
@@ -60,17 +67,21 @@ func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
 
 // RunAllExperiments regenerates every experiment in order.
 func RunAllExperiments(cfg ExperimentConfig, w io.Writer) error {
-	return experiments.RunAll(experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed}, w)
+	return experiments.RunAll(cfg.internal(), w)
 }
 
 // ExperimentIDs lists the available experiment IDs in order.
 func ExperimentIDs() []string { return experiments.IDs() }
 
-// Experiment describes one experiment for listings.
+// Experiment describes one experiment for listings: the thesis artifact it
+// regenerates, the chapter it comes from, and the paper-predicted bound
+// its measured table is compared against in EXPERIMENTS.md.
 type Experiment struct {
-	ID      string
-	Paper   string
-	Summary string
+	ID        string
+	Paper     string
+	Chapter   string
+	Predicted string
+	Summary   string
 }
 
 // Experiments returns metadata for every registered experiment.
@@ -78,7 +89,7 @@ func Experiments() []Experiment {
 	infos := experiments.List()
 	out := make([]Experiment, len(infos))
 	for i, in := range infos {
-		out[i] = Experiment{ID: in.ID, Paper: in.Paper, Summary: in.Summary}
+		out[i] = Experiment{ID: in.ID, Paper: in.Paper, Chapter: in.Chapter, Predicted: in.Predicted, Summary: in.Summary}
 	}
 	return out
 }
