@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +79,62 @@ func TestMarkdownRendering(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-json", "-experiment", "E11", "-quick", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Tool        string `json:"tool"`
+		Mode        string `json:"mode"`
+		Seed        int64  `json:"seed"`
+		Experiments []struct {
+			ID      string     `json:"id"`
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if report.Tool != "leasebench" || report.Mode != "quick" || report.Seed != 3 {
+		t.Errorf("report header = %+v", report)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "E11" {
+		t.Fatalf("experiments = %+v", report.Experiments)
+	}
+	e := report.Experiments[0]
+	if len(e.Columns) == 0 || len(e.Rows) == 0 || !strings.Contains(e.Title, "E11") {
+		t.Errorf("experiment record incomplete: %+v", e)
+	}
+}
+
+func TestJSONReportToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-json", "-experiment", "E11", "-quick", "-out", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b) {
+		t.Errorf("file is not valid JSON:\n%s", b)
+	}
+}
+
+func TestJSONUnknownExperiment(t *testing.T) {
+	if _, err := captureStdout(t, func() error {
+		return run([]string{"-json", "-experiment", "E99"})
+	}); err == nil {
+		t.Error("unknown experiment accepted in -json mode")
 	}
 }

@@ -1,11 +1,14 @@
-// Command leasesim replays a demand trace (see leasegen) through one of
-// the thesis' online algorithms and reports its cost next to the offline
-// optimum and the resulting empirical competitive ratio.
+// Command leasesim replays demand traces (see leasegen) through the
+// unified streaming Leaser API and reports the online cost next to the
+// offline optimum and the resulting empirical competitive ratio. It is
+// built entirely on the public leasing package: traces become Events,
+// every algorithm is a Leaser, and one generic Replay drives them all.
 //
 // Usage:
 //
 //	leasesim -trace days.json -algorithm det  -k 4
 //	leasesim -trace days.json -algorithm rand -k 4 -seed 7
+//	leasesim -trace a.json,b.json -curve            # deterministic interleave
 //	leasesim -trace deadline.json -k 3
 //	leasesim -trace elems.json -k 2 -sets 30 -delta 3
 package main
@@ -15,10 +18,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"leasing"
-	"leasing/internal/setcover"
-	"leasing/internal/workload"
 )
 
 func main() {
@@ -31,12 +33,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leasesim", flag.ContinueOnError)
 	var (
-		tracePath = fs.String("trace", "", "path to a trace file written by leasegen")
+		tracePath = fs.String("trace", "", "trace file(s) written by leasegen; comma-separated traces of the same kind are interleaved deterministically")
 		algorithm = fs.String("algorithm", "det", "days traces: det or rand")
 		k         = fs.Int("k", 3, "number of lease types (power config, base 4, gamma 0.55)")
 		sets      = fs.Int("sets", 20, "elements traces: number of sets")
 		delta     = fs.Int("delta", 3, "elements traces: sets per element")
-		seed      = fs.Int64("seed", 1, "seed for randomized algorithms")
+		seed      = fs.Int64("seed", 1, "seed for randomized algorithms and instance generation")
+		curve     = fs.Bool("curve", false, "print the per-event cumulative cost curve")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,126 +47,195 @@ func run(args []string) error {
 	if *tracePath == "" {
 		return fmt.Errorf("missing -trace")
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		return err
+
+	var (
+		kind    string
+		streams [][]leasing.Event
+	)
+	for _, path := range strings.Split(*tracePath, ",") {
+		tr, err := readTrace(path)
+		if err != nil {
+			return err
+		}
+		if kind == "" {
+			kind = tr.Kind
+		} else if kind != tr.Kind {
+			return fmt.Errorf("trace %s has kind %q, want %q (interleaved traces must share a kind)", path, tr.Kind, kind)
+		}
+		evs, err := leasing.TraceEvents(tr)
+		if err != nil {
+			return err
+		}
+		streams = append(streams, evs)
 	}
-	defer f.Close()
-	tr, err := workload.ReadTrace(f)
-	if err != nil {
-		return err
+	events := leasing.Interleave(streams...)
+	if len(events) == 0 {
+		return fmt.Errorf("traces carry no demands")
 	}
 	cfg := leasing.PowerLeaseConfig(*k, 4, 0.55)
 	rng := rand.New(rand.NewSource(*seed))
 
-	switch tr.Kind {
-	case workload.KindDays:
-		return simDays(cfg, tr.Days, *algorithm, rng)
-	case workload.KindDeadline:
-		return simDeadline(cfg, tr.Deadline)
-	case workload.KindElements:
-		return simElements(cfg, tr.Elements, *sets, *delta, rng)
-	default:
-		return fmt.Errorf("unsupported trace kind %q", tr.Kind)
-	}
-}
-
-func simDays(cfg *leasing.LeaseConfig, days []int64, algorithm string, rng *rand.Rand) error {
-	var (
-		alg leasing.ParkingPermitAlgorithm
-		err error
-	)
-	switch algorithm {
-	case "det":
-		alg, err = leasing.NewDeterministicParkingPermit(cfg)
-	case "rand":
-		alg, err = leasing.NewRandomizedParkingPermit(cfg, rng)
-	default:
-		return fmt.Errorf("unknown algorithm %q (want det or rand)", algorithm)
-	}
+	lsr, opt, optNote, verify, err := buildLeaser(cfg, kind, events, *algorithm, *sets, *delta, rng)
 	if err != nil {
 		return err
 	}
-	cost, err := leasing.RunParkingPermit(alg, days)
+	run, err := leasing.Replay(lsr, events)
 	if err != nil {
 		return err
 	}
-	opt, _, err := leasing.ParkingPermitOptimal(cfg, days)
-	if err != nil {
+	if err := verify(lsr.Snapshot()); err != nil {
 		return err
 	}
-	report(cost, opt, len(days))
+	if *curve {
+		printCurve(run)
+	}
+	if optNote != "" {
+		fmt.Println(optNote)
+	}
+	report(run, opt, len(events))
 	return nil
 }
 
-func simDeadline(cfg *leasing.LeaseConfig, clients []leasing.DeadlineClient) error {
-	in, err := leasing.NewDeadlineInstance(cfg, clients)
+func readTrace(path string) (*leasing.Trace, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	alg, err := leasing.NewDeadlineLeaser(cfg)
-	if err != nil {
-		return err
-	}
-	if err := alg.Run(in); err != nil {
-		return err
-	}
-	if err := leasing.VerifyDeadline(in, alg.Leases()); err != nil {
-		return err
-	}
-	opt, err := leasing.DeadlineOptimal(in, 0)
-	if err != nil {
-		return fmt.Errorf("offline optimum: %w (instance may be too large for exact search)", err)
-	}
-	report(alg.TotalCost(), opt, len(clients))
-	return nil
+	defer f.Close()
+	return leasing.ReadTrace(f)
 }
 
-func simElements(cfg *leasing.LeaseConfig, arrivals []leasing.ElementArrival, sets, delta int, rng *rand.Rand) error {
+// buildLeaser constructs the domain Leaser for the trace kind, computes
+// the offline baseline it is measured against, and returns the snapshot
+// verifier closed over the instance the leaser was built on.
+func buildLeaser(cfg *leasing.LeaseConfig, kind string, events []leasing.Event, algorithm string, sets, delta int, rng *rand.Rand) (leasing.Leaser, float64, string, func(leasing.Solution) error, error) {
+	noVerify := func(leasing.Solution) error { return nil }
+	switch kind {
+	case leasing.TraceKindDays:
+		var alg leasing.ParkingPermitAlgorithm
+		var err error
+		switch algorithm {
+		case "det":
+			alg, err = leasing.NewDeterministicParkingPermit(cfg)
+		case "rand":
+			alg, err = leasing.NewRandomizedParkingPermit(cfg, rng)
+		default:
+			return nil, 0, "", nil, fmt.Errorf("unknown algorithm %q (want det or rand)", algorithm)
+		}
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		days := eventTimes(events)
+		opt, _, err := leasing.ParkingPermitOptimal(cfg, days)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		verify := func(sol leasing.Solution) error {
+			if !cfg.CoversAll(leasing.SolutionLeases(sol), days) {
+				return fmt.Errorf("snapshot does not cover every demand day")
+			}
+			return nil
+		}
+		return leasing.NewParkingStream(alg), opt, "", verify, nil
+
+	case leasing.TraceKindDeadline:
+		in, err := deadlineInstance(cfg, events)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		lsr, err := leasing.NewDeadlineStream(cfg)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		opt, err := leasing.DeadlineOptimal(in, 0)
+		if err != nil {
+			return nil, 0, "", nil, fmt.Errorf("offline optimum: %w (instance may be too large for exact search)", err)
+		}
+		verify := func(sol leasing.Solution) error {
+			return leasing.VerifyDeadline(in, leasing.SolutionLeases(sol))
+		}
+		return lsr, opt, "", verify, nil
+
+	case leasing.TraceKindElements:
+		inst, err := elementsInstance(cfg, events, sets, delta, rng)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		lsr, err := leasing.NewSetCoverStream(inst, rng)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		opt, exact, err := leasing.SetCoverOptimal(inst, 50000)
+		if err != nil {
+			return nil, 0, "", nil, err
+		}
+		note := ""
+		if !exact {
+			note = "(offline optimum not proven; reporting best bound)"
+		}
+		verify := func(sol leasing.Solution) error {
+			return leasing.VerifySetCover(inst, leasing.SolutionSetLeases(sol))
+		}
+		return lsr, opt, note, verify, nil
+
+	default:
+		return nil, 0, "", noVerify, fmt.Errorf("unsupported trace kind %q", kind)
+	}
+}
+
+func deadlineInstance(cfg *leasing.LeaseConfig, events []leasing.Event) (*leasing.DeadlineInstance, error) {
+	clients := make([]leasing.DeadlineClient, 0, len(events))
+	for i, ev := range events {
+		w, ok := ev.Payload.(leasing.WindowPayload)
+		if !ok {
+			return nil, fmt.Errorf("event %d is not a deadline demand", i)
+		}
+		clients = append(clients, leasing.DeadlineClient{T: ev.Time, D: w.D})
+	}
+	return leasing.NewDeadlineInstance(cfg, clients)
+}
+
+func elementsInstance(cfg *leasing.LeaseConfig, events []leasing.Event, sets, delta int, rng *rand.Rand) (*leasing.SetCoverInstance, error) {
+	arrivals := make([]leasing.ElementArrival, 0, len(events))
 	n := 0
-	for _, a := range arrivals {
-		if a.Elem >= n {
-			n = a.Elem + 1
+	for i, ev := range events {
+		e, ok := ev.Payload.(leasing.ElementPayload)
+		if !ok {
+			return nil, fmt.Errorf("event %d is not an element demand", i)
+		}
+		arrivals = append(arrivals, leasing.ElementArrival{T: ev.Time, Elem: e.Elem, P: e.P})
+		if e.Elem >= n {
+			n = e.Elem + 1
 		}
 	}
-	if n == 0 {
-		return fmt.Errorf("trace has no arrivals")
-	}
-	fam, err := setcover.RandomFamily(rng, n, sets, delta)
+	fam, err := leasing.RandomSetFamily(rng, n, sets, delta)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	costs := setcover.RandomCosts(rng, sets, cfg, 0.5)
-	inst, err := leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
-	if err != nil {
-		return err
-	}
-	alg, err := leasing.NewSetCoverLeaser(inst, rng)
-	if err != nil {
-		return err
-	}
-	if err := alg.Run(); err != nil {
-		return err
-	}
-	if err := leasing.VerifySetCover(inst, alg.Bought()); err != nil {
-		return err
-	}
-	opt, exact, err := leasing.SetCoverOptimal(inst, 50000)
-	if err != nil {
-		return err
-	}
-	if !exact {
-		fmt.Println("(offline optimum not proven; reporting best bound)")
-	}
-	report(alg.TotalCost(), opt, len(arrivals))
-	return nil
+	costs := leasing.RandomSetCosts(rng, sets, cfg, 0.5)
+	return leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
 }
 
-func report(online, opt float64, demands int) {
+func eventTimes(events []leasing.Event) []int64 {
+	out := make([]int64, len(events))
+	for i, ev := range events {
+		out[i] = ev.Time
+	}
+	return out
+}
+
+func printCurve(run *leasing.StreamRun) {
+	for i, p := range run.Curve {
+		fmt.Printf("curve: event %d  t=%d  cost=%.3f  bought=%d\n",
+			i, p.Time, p.Cost, len(run.Decisions[i].Leases))
+	}
+}
+
+func report(run *leasing.StreamRun, opt float64, demands int) {
 	fmt.Printf("demands: %d\n", demands)
-	fmt.Printf("online cost:  %.3f\n", online)
+	fmt.Printf("online cost:  %.3f\n", run.Total())
 	fmt.Printf("offline OPT:  %.3f\n", opt)
-	if opt > 0 {
-		fmt.Printf("ratio:        %.3f\n", online/opt)
+	if ratio, err := run.Ratio(opt); err == nil {
+		fmt.Printf("ratio:        %.3f\n", ratio)
 	}
 }

@@ -7,7 +7,7 @@ import (
 	"strings"
 	"testing"
 
-	"leasing/internal/workload"
+	"leasing"
 )
 
 func captureStdout(t *testing.T, f func() error) (string, error) {
@@ -30,7 +30,7 @@ func captureStdout(t *testing.T, f func() error) (string, error) {
 	return string(out), runErr
 }
 
-func writeTrace(t *testing.T, tr *workload.Trace) string {
+func writeTrace(t *testing.T, tr *leasing.Trace) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "trace.json")
 	f, err := os.Create(path)
@@ -38,14 +38,14 @@ func writeTrace(t *testing.T, tr *workload.Trace) string {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if err := workload.WriteTrace(f, tr); err != nil {
+	if err := leasing.WriteTrace(f, tr); err != nil {
 		t.Fatal(err)
 	}
 	return path
 }
 
 func TestSimulateDays(t *testing.T) {
-	path := writeTrace(t, &workload.Trace{Kind: workload.KindDays, Days: []int64{0, 1, 2, 9, 10}})
+	path := writeTrace(t, &leasing.Trace{Kind: leasing.TraceKindDays, Days: []int64{0, 1, 2, 9, 10}})
 	for _, algo := range []string{"det", "rand"} {
 		out, err := captureStdout(t, func() error {
 			return run([]string{"-trace", path, "-algorithm", algo, "-k", "2"})
@@ -62,9 +62,9 @@ func TestSimulateDays(t *testing.T) {
 }
 
 func TestSimulateDeadline(t *testing.T) {
-	path := writeTrace(t, &workload.Trace{
-		Kind:     workload.KindDeadline,
-		Deadline: []workload.DeadlineClient{{T: 0, D: 4}, {T: 3, D: 0}, {T: 9, D: 2}},
+	path := writeTrace(t, &leasing.Trace{
+		Kind:     leasing.TraceKindDeadline,
+		Deadline: []leasing.DeadlineClient{{T: 0, D: 4}, {T: 3, D: 0}, {T: 9, D: 2}},
 	})
 	out, err := captureStdout(t, func() error {
 		return run([]string{"-trace", path, "-k", "2"})
@@ -78,9 +78,9 @@ func TestSimulateDeadline(t *testing.T) {
 }
 
 func TestSimulateElements(t *testing.T) {
-	path := writeTrace(t, &workload.Trace{
-		Kind: workload.KindElements,
-		Elements: []workload.ElementArrival{
+	path := writeTrace(t, &leasing.Trace{
+		Kind: leasing.TraceKindElements,
+		Elements: []leasing.ElementArrival{
 			{T: 0, Elem: 0, P: 1}, {T: 2, Elem: 1, P: 1}, {T: 5, Elem: 2, P: 1},
 		},
 	})
@@ -102,11 +102,50 @@ func TestSimulateErrors(t *testing.T) {
 	if err := run([]string{"-trace", "/nonexistent/file.json"}); err == nil {
 		t.Error("missing file accepted")
 	}
-	path := writeTrace(t, &workload.Trace{Kind: workload.KindDays, Days: []int64{1}})
+	path := writeTrace(t, &leasing.Trace{Kind: leasing.TraceKindDays, Days: []int64{1}})
 	if err := run([]string{"-trace", path, "-algorithm", "bogus"}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+func TestSimulateInterleavedTraces(t *testing.T) {
+	a := writeTrace(t, &leasing.Trace{Kind: leasing.TraceKindDays, Days: []int64{0, 4, 8}})
+	b := writeTrace(t, &leasing.Trace{Kind: leasing.TraceKindDays, Days: []int64{1, 4, 9}})
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-trace", a + "," + b, "-k", "2", "-curve"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "demands: 6") {
+		t.Errorf("interleaved demand count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "curve: event 0") || !strings.Contains(out, "curve: event 5") {
+		t.Errorf("cost curve missing:\n%s", out)
+	}
+	// The merge is deterministic: replaying the same pair yields identical
+	// output bytes.
+	again, err := captureStdout(t, func() error {
+		return run([]string{"-trace", a + "," + b, "-k", "2", "-curve"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != again {
+		t.Error("interleaved replay not deterministic")
+	}
+}
+
+func TestSimulateMixedKindsRejected(t *testing.T) {
+	a := writeTrace(t, &leasing.Trace{Kind: leasing.TraceKindDays, Days: []int64{0}})
+	b := writeTrace(t, &leasing.Trace{
+		Kind:     leasing.TraceKindDeadline,
+		Deadline: []leasing.DeadlineClient{{T: 0, D: 1}},
+	})
+	if err := run([]string{"-trace", a + "," + b}); err == nil {
+		t.Error("mixed trace kinds accepted")
 	}
 }

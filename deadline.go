@@ -68,6 +68,12 @@ func NewSCLDLeaser(inst *SCLDInstance, rng *rand.Rand) (*SCLDLeaser, error) {
 	return deadline.NewSCLDOnline(inst, rng)
 }
 
+// VerifySCLD checks every arrival of the instance is covered by a bought
+// triple of a containing set whose window intersects the arrival's window.
+func VerifySCLD(inst *SCLDInstance, bought []SetLease) error {
+	return deadline.VerifySCLDFeasible(inst, bought)
+}
+
 // SCLDOptimal computes the exact offline SCLD optimum.
 func SCLDOptimal(inst *SCLDInstance, nodeLimit int) (cost float64, exact bool, err error) {
 	return deadline.SCLDOptimal(inst, nodeLimit)

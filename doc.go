@@ -36,6 +36,23 @@
 //     deadline. NewDeadlineLeaser is Θ(K + d_max/l_min)-competitive;
 //     NewSCLDLeaser handles set cover leasing with deadlines.
 //
+// # The unified streaming API
+//
+// The thesis presents all of these as one framework — demands arrive
+// online, the algorithm buys item-lease triples (i, k, t) — and the
+// package exposes that framework directly: every online algorithm is
+// constructible as a Leaser (NewParkingStream, NewSetCoverStream,
+// NewFacilityStream, NewDeadlineStream, NewSCLDStream, NewSteinerStream)
+// whose Observe consumes Events (a timestamp plus a domain payload) and
+// returns Decisions (triples bought, assignments made, incremental cost).
+// Cost reports the cumulative lease/service breakdown and Snapshot the
+// current Solution for verification. The generic driver replays any
+// demand stream through any Leaser (Replay) with per-event cost curves
+// and ratio-vs-offline tracking, and merges multiple streams
+// deterministically (Interleave). Traces written by cmd/leasegen convert
+// to events via TraceEvents; cmd/leasesim and the whole experiment
+// registry run on this one code path.
+//
 // # Experiments
 //
 // RunExperiment regenerates any of the twenty experiments E1..E20 indexed

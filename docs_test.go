@@ -44,6 +44,7 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 	for _, want := range []string{
 		"cmd/leasebench", "cmd/leasereport", "examples/quickstart",
 		"DESIGN.md", "EXPERIMENTS.md", "go test", "PODC 2015",
+		"Leaser", "Replay", "Interleave", "-json",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -74,6 +75,17 @@ func TestPackageDocsMatchRegistrySize(t *testing.T) {
 		}
 		if strings.Contains(src, "sixteen") || (last != "E16" && strings.Contains(src, "E1..E16")) {
 			t.Errorf("%s still documents the stale sixteen-experiment registry", name)
+		}
+	}
+}
+
+// TestDocGoDocumentsStreamProtocol keeps the package documentation honest
+// about the unified streaming API being the primary interface.
+func TestDocGoDocumentsStreamProtocol(t *testing.T) {
+	src := readDoc(t, "doc.go")
+	for _, want := range []string{"Leaser", "Observe", "Replay", "Interleave"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("doc.go does not document %s of the stream protocol", want)
 		}
 	}
 }

@@ -111,3 +111,37 @@ func Example_setCoverLeasing() {
 	// Output:
 	// all demands covered by distinct leased sets
 }
+
+// Example_unifiedStream drives two interleaved demand streams through the
+// unified streaming Leaser API: every domain speaks the same
+// Observe(Event) -> Decision protocol, and one generic Replay produces
+// the decisions, the cost curve and the final cost.
+func Example_unifiedStream() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	alg, err := leasing.NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		fmt.Println("alg:", err)
+		return
+	}
+	lsr := leasing.NewParkingStream(alg)
+	weekdays := leasing.DayEvents([]int64{0, 1, 2, 3})
+	weekends := leasing.DayEvents([]int64{2, 9, 10})
+	run, err := leasing.Replay(lsr, leasing.Interleave(weekdays, weekends))
+	if err != nil {
+		fmt.Println("replay:", err)
+		return
+	}
+	sol := lsr.Snapshot()
+	fmt.Printf("events %d, leases bought %d, cost $%.2f\n",
+		len(run.Decisions), len(sol.Leases), run.Total())
+	// Output:
+	// events 7, leases bought 5, cost $6.50
+}

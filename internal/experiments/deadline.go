@@ -9,6 +9,7 @@ import (
 	"leasing/internal/setcover"
 	"leasing/internal/sim"
 	"leasing/internal/stats"
+	"leasing/internal/stream"
 	"leasing/internal/workload"
 )
 
@@ -90,7 +91,8 @@ func oldTrial(lcfg *lease.Config, clients []workload.DeadlineClient) (float64, f
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := alg.Run(in); err != nil {
+	online, err := replayTotal(deadline.NewLeaser(alg), stream.Windows(in.Clients))
+	if err != nil {
 		return 0, 0, err
 	}
 	if err := deadline.VerifyFeasible(in, alg.Leases()); err != nil {
@@ -100,7 +102,7 @@ func oldTrial(lcfg *lease.Config, clients []workload.DeadlineClient) (float64, f
 	if err != nil {
 		return 0, 0, err
 	}
-	return alg.TotalCost(), opt, nil
+	return online, opt, nil
 }
 
 // e11TightExample replays the literal Proposition 5.4 instance for growing
@@ -126,7 +128,8 @@ func e11TightExample(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := alg.Run(in); err != nil {
+		online, err := replayTotal(deadline.NewLeaser(alg), stream.Windows(in.Clients))
+		if err != nil {
 			return nil, err
 		}
 		if err := deadline.VerifyFeasible(in, alg.Leases()); err != nil {
@@ -136,8 +139,8 @@ func e11TightExample(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ratio := alg.TotalCost() / opt
-		tb.MustAddRow(sim.D64(dmax), sim.F(float64(dmax)/float64(in.Cfg.LMin())), sim.F(alg.TotalCost()), sim.F(opt), sim.F(ratio))
+		ratio := online / opt
+		tb.MustAddRow(sim.D64(dmax), sim.F(float64(dmax)/float64(in.Cfg.LMin())), sim.F(online), sim.F(opt), sim.F(ratio))
 		xs = append(xs, float64(dmax)/float64(in.Cfg.LMin()))
 		ys = append(ys, ratio)
 	}
@@ -197,7 +200,8 @@ func e12SCLD(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := alg.Run(); err != nil {
+			online, err := replayTotal(deadline.NewSCLDStream(alg), deadline.SCLDEvents(inst.Arrivals))
+			if err != nil {
 				return 0, 0, err
 			}
 			if err := deadline.VerifySCLDFeasible(inst, alg.Bought()); err != nil {
@@ -212,7 +216,7 @@ func e12SCLD(cfg Config) (*sim.Table, error) {
 					return 0, 0, err
 				}
 			}
-			return alg.TotalCost(), opt, nil
+			return online, opt, nil
 		})
 		if err != nil {
 			return nil, err
@@ -254,7 +258,8 @@ func e13TimeIndependence(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := alg.Run(); err != nil {
+			online, err := replayTotal(deadline.NewSCLDStream(alg), deadline.SCLDEvents(inst.Arrivals))
+			if err != nil {
 				return 0, 0, err
 			}
 			if err := deadline.VerifySCLDFeasible(inst, alg.Bought()); err != nil {
@@ -264,7 +269,7 @@ func e13TimeIndependence(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			return alg.TotalCost(), lb, nil
+			return online, lb, nil
 		})
 		if err != nil {
 			return nil, err

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"leasing/internal/sim"
+	"leasing/internal/stream"
 )
 
 // Config tunes an experiment run.
@@ -29,6 +30,18 @@ type Config struct {
 
 // Runner produces one experiment's table.
 type Runner func(Config) (*sim.Table, error)
+
+// replayTotal runs an online algorithm through the unified stream driver
+// and returns its final total cost. Every online run in the registry goes
+// through this one code path, so any algorithm the registry measures is,
+// by construction, a conforming stream.Leaser.
+func replayTotal(l stream.Leaser, evs []stream.Event) (float64, error) {
+	run, err := stream.Replay(l, evs)
+	if err != nil {
+		return 0, err
+	}
+	return run.Total(), nil
+}
 
 // Info describes an experiment for listings and for the generated docs.
 type Info struct {

@@ -12,6 +12,7 @@ import (
 	"leasing/internal/sim"
 	"leasing/internal/stats"
 	"leasing/internal/steiner"
+	"leasing/internal/stream"
 	"leasing/internal/workload"
 )
 
@@ -44,7 +45,8 @@ func steinerTrial(g *graph.Graph, lcfg *lease.Config, reqs []steiner.Request) (f
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := alg.Run(); err != nil {
+	online, err := replayTotal(steiner.NewLeaser(alg), steiner.Events(reqs))
+	if err != nil {
 		return 0, 0, err
 	}
 	if err := alg.VerifyFeasible(); err != nil {
@@ -54,7 +56,7 @@ func steinerTrial(g *graph.Graph, lcfg *lease.Config, reqs []steiner.Request) (f
 	if err != nil {
 		return 0, 0, err
 	}
-	return alg.TotalCost(), baseline, nil
+	return online, baseline, nil
 }
 
 // e17SteinerTreeLeasing exercises SteinerTreeLeasing (the problem Meyerson
@@ -156,7 +158,8 @@ func e18CoverReductions(cfg Config) (*sim.Table, error) {
 				if err != nil {
 					return 0, 0, err
 				}
-				if err := alg.Run(); err != nil {
+				online, err := replayTotal(setcover.NewLeaser(alg), stream.Elements(inst.Arrivals))
+				if err != nil {
 					return 0, 0, err
 				}
 				if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
@@ -172,7 +175,7 @@ func e18CoverReductions(cfg Config) (*sim.Table, error) {
 						return 0, 0, err
 					}
 				}
-				return alg.TotalCost(), baseline, nil
+				return online, baseline, nil
 			})
 			if err != nil {
 				return nil, err
@@ -276,7 +279,7 @@ func e20StochasticDemand(cfg Config) (*sim.Table, error) {
 		Columns: []string{"stream", "true_p", "believed_p", "trials", "pred_ratio", "det_ratio"},
 		Note:    "an accurate prior beats the worst-case algorithm; a wrong prior on bursty streams loses the guarantee the primal-dual keeps",
 	}
-	row := func(stream string, trueP, believedP float64, gen func(*rand.Rand) []int64) error {
+	row := func(streamName string, trueP, believedP float64, gen func(*rand.Rand) []int64) error {
 		var pred, det stats.Accumulator
 		for i := 0; i < trials; i++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31 + int64(trueP*1000) + int64(believedP*7)))
@@ -292,7 +295,7 @@ func e20StochasticDemand(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return err
 			}
-			pCost, err := parking.Run(p, days)
+			pCost, err := replayTotal(parking.NewLeaser(p), stream.Days(days))
 			if err != nil {
 				return err
 			}
@@ -300,14 +303,14 @@ func e20StochasticDemand(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return err
 			}
-			dCost, err := parking.Run(d, days)
+			dCost, err := replayTotal(parking.NewLeaser(d), stream.Days(days))
 			if err != nil {
 				return err
 			}
 			pred.Add(pCost / opt)
 			det.Add(dCost / opt)
 		}
-		tb.MustAddRow(stream, sim.F(trueP), sim.F(believedP), sim.D(pred.N()), sim.F(pred.Mean()), sim.F(det.Mean()))
+		tb.MustAddRow(streamName, sim.F(trueP), sim.F(believedP), sim.D(pred.N()), sim.F(pred.Mean()), sim.F(det.Mean()))
 		return nil
 	}
 	for _, p := range ps {

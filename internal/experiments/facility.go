@@ -8,6 +8,7 @@ import (
 	"leasing/internal/metric"
 	"leasing/internal/sim"
 	"leasing/internal/stats"
+	"leasing/internal/stream"
 	"leasing/internal/workload"
 )
 
@@ -44,7 +45,8 @@ func facilityTrial(rng *rand.Rand, lcfg *lease.Config, p facility.GenParams) (fl
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if err := alg.Run(); err != nil {
+	online, err := replayTotal(facility.NewLeaser(alg), stream.Batches(inst.Batches))
+	if err != nil {
 		return 0, 0, 0, err
 	}
 	leases, assigns := alg.Solution()
@@ -60,7 +62,7 @@ func facilityTrial(rng *rand.Rand, lcfg *lease.Config, p facility.GenParams) (fl
 		baseline = opt.Lower
 	}
 	h := workload.HSeries(inst.BatchCounts())
-	return alg.TotalCost(), baseline, h, nil
+	return online, baseline, h, nil
 }
 
 // e9FacilityLeasing sweeps the arrival patterns of Corollary 4.7 and the
@@ -176,7 +178,7 @@ func e14CloudSubcontractor(cfg Config) (*sim.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := alg.Run(); err != nil {
+		if _, err := replayTotal(facility.NewLeaser(alg), stream.Batches(inst.Batches)); err != nil {
 			return nil, err
 		}
 		leases, assigns := alg.Solution()
@@ -246,7 +248,7 @@ func e15MISAblation(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := alg.Run(); err != nil {
+			if _, err := replayTotal(facility.NewLeaser(alg), stream.Batches(inst.Batches)); err != nil {
 				return nil, err
 			}
 			leases, assigns := alg.Solution()

@@ -10,6 +10,7 @@ import (
 	"leasing/internal/parking"
 	"leasing/internal/sim"
 	"leasing/internal/stats"
+	"leasing/internal/stream"
 	"leasing/internal/workload"
 )
 
@@ -77,7 +78,7 @@ func e1DeterministicParking(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			online, err := parking.Run(alg, days)
+			online, err := replayTotal(parking.NewLeaser(alg), stream.Days(days))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -171,7 +172,7 @@ func e3RandomizedParking(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			online, err := parking.Run(ralg, days)
+			online, err := replayTotal(parking.NewLeaser(ralg), stream.Days(days))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -183,7 +184,7 @@ func e3RandomizedParking(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			det, err := parking.Run(dalg, days)
+			det, err := replayTotal(parking.NewLeaser(dalg), stream.Days(days))
 			if err != nil {
 				return 0, 0, err
 			}
@@ -238,7 +239,7 @@ func e4RandomizedLowerBound(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			dcost, err := parking.Run(dalg, days)
+			dcost, err := replayTotal(parking.NewLeaser(dalg), stream.Days(days))
 			if err != nil {
 				return nil, err
 			}
@@ -246,7 +247,7 @@ func e4RandomizedLowerBound(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			rcost, err := parking.Run(ralg, days)
+			rcost, err := replayTotal(parking.NewLeaser(ralg), stream.Days(days))
 			if err != nil {
 				return nil, err
 			}

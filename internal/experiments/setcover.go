@@ -7,6 +7,7 @@ import (
 	"leasing/internal/setcover"
 	"leasing/internal/sim"
 	"leasing/internal/stats"
+	"leasing/internal/stream"
 	"leasing/internal/workload"
 )
 
@@ -49,7 +50,8 @@ func smclTrial(rng *rand.Rand, lcfg *lease.Config, n, m, delta int, horizon int6
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := alg.Run(); err != nil {
+	online, err := replayTotal(setcover.NewLeaser(alg), stream.Elements(inst.Arrivals))
+	if err != nil {
 		return 0, 0, err
 	}
 	if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
@@ -67,7 +69,7 @@ func smclTrial(rng *rand.Rand, lcfg *lease.Config, n, m, delta int, horizon int6
 		}
 		baseline = lb
 	}
-	return alg.TotalCost(), baseline, nil
+	return online, baseline, nil
 }
 
 // e6SetMulticoverLeasing sweeps universe size and lease-type count and
@@ -130,8 +132,8 @@ func e7OnlineSetMulticover(cfg Config) (*sim.Table, error) {
 			for i := range setCosts {
 				setCosts[i] = 1 + rng.Float64()*3
 			}
-			stream := randomElementArrivals(rng, n, 24, 0.5, 2)
-			inst, err := setcover.NonLeasingInstance(fam, setCosts, stream, setcover.PerArrival)
+			arrivals := randomElementArrivals(rng, n, 24, 0.5, 2)
+			inst, err := setcover.NonLeasingInstance(fam, setCosts, arrivals, setcover.PerArrival)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -142,7 +144,8 @@ func e7OnlineSetMulticover(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := alg.Run(); err != nil {
+			online, err := replayTotal(setcover.NewLeaser(alg), stream.Elements(inst.Arrivals))
+			if err != nil {
 				return 0, 0, err
 			}
 			if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
@@ -158,7 +161,7 @@ func e7OnlineSetMulticover(cfg Config) (*sim.Table, error) {
 					return 0, 0, err
 				}
 			}
-			return alg.TotalCost(), baseline, nil
+			return online, baseline, nil
 		})
 		if err != nil {
 			return nil, err
@@ -200,7 +203,8 @@ func e8Repetitions(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := alg.Run(); err != nil {
+			online, err := replayTotal(setcover.NewLeaser(alg), stream.Elements(inst.Arrivals))
+			if err != nil {
 				return 0, 0, err
 			}
 			if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
@@ -219,7 +223,7 @@ func e8Repetitions(cfg Config) (*sim.Table, error) {
 					return 0, 0, err
 				}
 			}
-			return alg.TotalCost(), baseline, nil
+			return online, baseline, nil
 		})
 		if err != nil {
 			return nil, err
@@ -264,7 +268,8 @@ func e16RoundingAblation(cfg Config) (*sim.Table, error) {
 			if err != nil {
 				return 0, 0, err
 			}
-			if err := alg.Run(); err != nil {
+			online, err := replayTotal(setcover.NewLeaser(alg), stream.Elements(inst.Arrivals))
+			if err != nil {
 				return 0, 0, err
 			}
 			if err := setcover.VerifyFeasible(inst, alg.Bought()); err != nil {
@@ -281,7 +286,7 @@ func e16RoundingAblation(cfg Config) (*sim.Table, error) {
 				}
 			}
 			fallbacks.Set(i, float64(alg.Fallbacks()))
-			return alg.TotalCost(), baseline, nil
+			return online, baseline, nil
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,85 @@
+package facility
+
+import (
+	"fmt"
+
+	"leasing/internal/core"
+	"leasing/internal/stream"
+)
+
+// Leaser adapts the facility-leasing Online algorithm to the unified
+// stream protocol. Items are site indices; each Batch payload is one
+// Step, and new client connections surface as Decision assignments.
+type Leaser struct {
+	alg      *Online
+	seen     map[core.ItemLease]struct{}
+	assigned int
+	lastCost float64
+	leases   int
+}
+
+var _ stream.Leaser = (*Leaser)(nil)
+
+// NewLeaser wraps a facility-leasing algorithm as a stream.Leaser.
+func NewLeaser(alg *Online) *Leaser {
+	return &Leaser{alg: alg, seen: make(map[core.ItemLease]struct{})}
+}
+
+// Observe implements stream.Leaser. It accepts Batch payloads (an empty
+// batch is a valid empty step).
+func (l *Leaser) Observe(ev stream.Event) (stream.Decision, error) {
+	p, ok := ev.Payload.(stream.Batch)
+	if !ok {
+		return stream.Decision{}, fmt.Errorf("facility: unsupported payload %T", ev.Payload)
+	}
+	if err := l.alg.Step(ev.Time, p.Clients); err != nil {
+		return stream.Decision{}, err
+	}
+	d := stream.Decision{Cost: l.alg.TotalCost() - l.lastCost}
+	l.lastCost = l.alg.TotalCost()
+	// The store only grows, so an unchanged count means no new triples
+	// and the O(L log L) enumeration can be skipped.
+	if n := l.alg.store.Count(); n != l.leases {
+		l.leases = n
+		for _, il := range l.alg.store.Leases() {
+			if _, ok := l.seen[il]; ok {
+				continue
+			}
+			l.seen[il] = struct{}{}
+			d.Leases = append(d.Leases, il)
+		}
+		stream.SortItemLeases(d.Leases)
+	}
+	// Clients are only ever appended (round resets preserve arrival
+	// order across archived+live), so the new assignments are the tail.
+	if len(p.Clients) > 0 {
+		assigns := l.assignments()
+		d.Assignments = assigns[l.assigned:]
+		l.assigned = len(assigns)
+	}
+	return d, nil
+}
+
+// Cost implements stream.Leaser, splitting leasing from connection cost.
+func (l *Leaser) Cost() stream.CostBreakdown {
+	return stream.CostBreakdown{Lease: l.alg.LeaseCost(), Service: l.alg.ConnectionCost()}
+}
+
+// Snapshot implements stream.Leaser.
+func (l *Leaser) Snapshot() stream.Solution {
+	sol := stream.Solution{
+		Leases:      l.alg.store.Leases(),
+		Assignments: l.assignments(),
+	}
+	stream.SortItemLeases(sol.Leases)
+	return sol
+}
+
+func (l *Leaser) assignments() []stream.Assignment {
+	_, native := l.alg.Solution()
+	out := make([]stream.Assignment, len(native))
+	for i, a := range native {
+		out[i] = stream.Assignment{Item: a.Facility, K: a.K, Cost: a.Dist}
+	}
+	return out
+}

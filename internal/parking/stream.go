@@ -1,0 +1,67 @@
+package parking
+
+import (
+	"fmt"
+
+	"leasing/internal/lease"
+	"leasing/internal/stream"
+)
+
+// Leaser adapts any parking-permit Algorithm (deterministic, randomized or
+// predictive) to the unified stream protocol. The single resource is item
+// 0; the adapter delegates every demand to the native Arrive and diffs the
+// purchase set to report incremental decisions.
+type Leaser struct {
+	alg      Algorithm
+	seen     map[lease.Lease]struct{}
+	lastCost float64
+}
+
+var _ stream.Leaser = (*Leaser)(nil)
+
+// NewLeaser wraps a parking-permit algorithm as a stream.Leaser.
+func NewLeaser(alg Algorithm) *Leaser {
+	return &Leaser{alg: alg, seen: make(map[lease.Lease]struct{})}
+}
+
+// Observe implements stream.Leaser. It accepts Day payloads (or nil).
+func (l *Leaser) Observe(ev stream.Event) (stream.Decision, error) {
+	if _, ok := ev.Payload.(stream.Day); !ok && ev.Payload != nil {
+		return stream.Decision{}, fmt.Errorf("parking: unsupported payload %T", ev.Payload)
+	}
+	if err := l.alg.Arrive(ev.Time); err != nil {
+		return stream.Decision{}, err
+	}
+	// A demand that bought nothing left the store untouched, so the total
+	// is bit-identical; skip the O(L) purchase-set diff.
+	if l.alg.TotalCost() == l.lastCost {
+		return stream.Decision{}, nil
+	}
+	d := stream.Decision{Cost: l.alg.TotalCost() - l.lastCost}
+	l.lastCost = l.alg.TotalCost()
+	for _, ls := range l.alg.Leases() {
+		if _, ok := l.seen[ls]; ok {
+			continue
+		}
+		l.seen[ls] = struct{}{}
+		d.Leases = append(d.Leases, stream.ItemLease{Item: 0, K: ls.K, Start: ls.Start})
+	}
+	stream.SortItemLeases(d.Leases)
+	return d, nil
+}
+
+// Cost implements stream.Leaser.
+func (l *Leaser) Cost() stream.CostBreakdown {
+	return stream.CostBreakdown{Lease: l.alg.TotalCost()}
+}
+
+// Snapshot implements stream.Leaser.
+func (l *Leaser) Snapshot() stream.Solution {
+	ls := l.alg.Leases()
+	sol := stream.Solution{Leases: make([]stream.ItemLease, len(ls))}
+	for i, x := range ls {
+		sol.Leases[i] = stream.ItemLease{Item: 0, K: x.K, Start: x.Start}
+	}
+	stream.SortItemLeases(sol.Leases)
+	return sol
+}

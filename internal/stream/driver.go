@@ -1,0 +1,169 @@
+package stream
+
+import (
+	"fmt"
+
+	"leasing/internal/metric"
+	"leasing/internal/workload"
+)
+
+// CurvePoint is one point of a replay's cost curve: the cumulative total
+// cost after the event at Time was processed.
+type CurvePoint struct {
+	Time int64
+	Cost float64
+}
+
+// Run is the result of replaying an event stream through a Leaser: one
+// Decision and one cost-curve point per event, plus the final breakdown.
+type Run struct {
+	Decisions []Decision
+	Curve     []CurvePoint
+	Final     CostBreakdown
+}
+
+// Total returns the final cumulative cost.
+func (r *Run) Total() float64 { return r.Final.Total() }
+
+// DecisionCostSum sums the per-event incremental costs; up to floating
+// rounding it equals Total() (the conformance suite asserts this).
+func (r *Run) DecisionCostSum() float64 {
+	var sum float64
+	for _, d := range r.Decisions {
+		sum += d.Cost
+	}
+	return sum
+}
+
+// Ratio returns Total()/offline, the empirical competitive ratio of the
+// run against an offline baseline.
+func (r *Run) Ratio(offline float64) (float64, error) {
+	if offline <= 0 {
+		return 0, fmt.Errorf("stream: non-positive offline baseline %v", offline)
+	}
+	return r.Total() / offline, nil
+}
+
+// RatioCurve returns the per-event cumulative-cost-to-baseline curve, the
+// "ratio vs offline" trajectory of one replay.
+func (r *Run) RatioCurve(offline float64) ([]float64, error) {
+	if offline <= 0 {
+		return nil, fmt.Errorf("stream: non-positive offline baseline %v", offline)
+	}
+	out := make([]float64, len(r.Curve))
+	for i, p := range r.Curve {
+		out[i] = p.Cost / offline
+	}
+	return out, nil
+}
+
+// Replay feeds every event through the Leaser in order and records the
+// decision and cost curve. It is the single generic code path every
+// domain's online runs go through — the experiment harness, cmd/leasesim
+// and the conformance suite all call it. Event times must be
+// non-decreasing; the first violation is reported before the Leaser sees
+// the event.
+func Replay(l Leaser, events []Event) (*Run, error) {
+	run := &Run{
+		Decisions: make([]Decision, 0, len(events)),
+		Curve:     make([]CurvePoint, 0, len(events)),
+	}
+	var last int64
+	for i, ev := range events {
+		if i > 0 && ev.Time < last {
+			return nil, fmt.Errorf("stream: event %d at time %d precedes %d", i, ev.Time, last)
+		}
+		last = ev.Time
+		d, err := l.Observe(ev)
+		if err != nil {
+			return nil, fmt.Errorf("stream: event %d (t=%d): %w", i, ev.Time, err)
+		}
+		run.Decisions = append(run.Decisions, d)
+		run.Curve = append(run.Curve, CurvePoint{Time: ev.Time, Cost: l.Cost().Total()})
+	}
+	run.Final = l.Cost()
+	return run, nil
+}
+
+// Interleave merges several event streams (each sorted by time) into one
+// deterministic stream: events are ordered by time, ties broken by stream
+// index and then by within-stream order. It is how multiple demand sources
+// are fed to a single Leaser reproducibly.
+func Interleave(streams ...[]Event) []Event {
+	n := 0
+	for _, s := range streams {
+		n += len(s)
+	}
+	out := make([]Event, 0, n)
+	idx := make([]int, len(streams))
+	for len(out) < n {
+		best := -1
+		for s := range streams {
+			if idx[s] >= len(streams[s]) {
+				continue
+			}
+			if best < 0 || streams[s][idx[s]].Time < streams[best][idx[best]].Time {
+				best = s
+			}
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// Days converts a sorted demand-day stream into parking-permit events.
+func Days(days []int64) []Event {
+	out := make([]Event, len(days))
+	for i, t := range days {
+		out[i] = Event{Time: t, Payload: Day{}}
+	}
+	return out
+}
+
+// Elements converts element arrivals into set-multicover events.
+func Elements(arrivals []workload.ElementArrival) []Event {
+	out := make([]Event, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = Event{Time: a.T, Payload: Element{Elem: a.Elem, P: a.P}}
+	}
+	return out
+}
+
+// Windows converts deadline clients into leasing-with-deadlines events.
+func Windows(clients []workload.DeadlineClient) []Event {
+	out := make([]Event, len(clients))
+	for i, c := range clients {
+		out[i] = Event{Time: c.T, Payload: Window{D: c.D}}
+	}
+	return out
+}
+
+// Batches converts a facility-leasing timeline (Batches[t] arrives at step
+// t) into one Batch event per step, empty steps included so the cost curve
+// has one point per step.
+func Batches(batches [][]metric.Point) []Event {
+	out := make([]Event, len(batches))
+	for t, b := range batches {
+		out[t] = Event{Time: int64(t), Payload: Batch{Clients: b}}
+	}
+	return out
+}
+
+// FromTrace converts a serialized workload trace into the matching event
+// stream (days, deadline or elements).
+func FromTrace(tr *workload.Trace) ([]Event, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	switch tr.Kind {
+	case workload.KindDays:
+		return Days(tr.Days), nil
+	case workload.KindDeadline:
+		return Windows(tr.Deadline), nil
+	case workload.KindElements:
+		return Elements(tr.Elements), nil
+	default:
+		return nil, fmt.Errorf("stream: trace kind %q has no event mapping", tr.Kind)
+	}
+}

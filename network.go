@@ -54,6 +54,14 @@ func SteinerOfflineBaseline(inst *SteinerInstance) (float64, error) {
 	return steiner.OfflineTreeBaseline(inst)
 }
 
+// VerifySteiner checks a set of edge-lease triples (item = edge index)
+// serves every request of the instance: at each request's step its
+// terminals must be connected by edges holding an active lease. It is the
+// feasibility oracle for unified-stream snapshots.
+func VerifySteiner(inst *SteinerInstance, leases []ItemLease) error {
+	return steiner.VerifySolution(inst, leases)
+}
+
 // VertexCoverLeasingFamily reduces VertexCoverLeasing on g to a set
 // system: elements are edges, sets are vertices (δ = 2).
 func VertexCoverLeasingFamily(g *Graph) (*SetFamily, error) {

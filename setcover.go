@@ -61,6 +61,19 @@ func SetCoverOptimal(inst *SetCoverInstance, nodeLimit int) (cost float64, exact
 	return res.Cost, res.Exact, nil
 }
 
+// RandomSetFamily draws a random set system over n elements with m sets
+// where every element lands in exactly delta sets (the generator behind
+// the Chapter 3 experiments and cmd/leasesim's elements mode).
+func RandomSetFamily(rng *rand.Rand, n, m, delta int) (*SetFamily, error) {
+	return setcover.RandomFamily(rng, n, m, delta)
+}
+
+// RandomSetCosts draws per-set, per-type leasing costs around cfg's type
+// costs with relative spread in [0, 1).
+func RandomSetCosts(rng *rand.Rand, m int, cfg *LeaseConfig, spread float64) [][]float64 {
+	return setcover.RandomCosts(rng, m, cfg, spread)
+}
+
 // SetCoverGreedy computes the offline greedy baseline.
 func SetCoverGreedy(inst *SetCoverInstance) (float64, []SetLease, error) {
 	return setcover.Greedy(inst)

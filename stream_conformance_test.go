@@ -1,0 +1,330 @@
+package leasing_test
+
+// Conformance suite for the unified streaming Leaser API: every domain's
+// Leaser must (1) report incremental Decision costs that sum to its
+// cumulative Cost(), (2) replay deterministically — two fresh leasers over
+// the same events produce identical decision streams — (3) produce a
+// Snapshot that passes the domain's feasibility oracle, (4) keep the cost
+// curve non-decreasing, and (5) reject payload types it does not
+// understand. The suite runs entirely against the public API.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"leasing"
+)
+
+// conformanceCase builds a fresh Leaser (and anything verification needs)
+// per call, so replays are independent.
+type conformanceCase struct {
+	name string
+	// events is the demand stream fed to every fresh leaser.
+	events []leasing.Event
+	// wrongPayload is an event of a type the leaser must reject.
+	wrongPayload leasing.Event
+	// fresh constructs a new leaser and a snapshot verifier.
+	fresh func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error)
+}
+
+func conformanceConfig(t *testing.T) *leasing.LeaseConfig {
+	t.Helper()
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2},
+		leasing.LeaseType{Length: 16, Cost: 5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func conformanceCases(t *testing.T) []conformanceCase {
+	t.Helper()
+	cfg := conformanceConfig(t)
+
+	days := []int64{0, 1, 2, 3, 9, 17, 33}
+	parking := conformanceCase{
+		name:         "parking",
+		events:       leasing.DayEvents(days),
+		wrongPayload: leasing.ConnectEvent(40, 0, 1),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			alg, err := leasing.NewDeterministicParkingPermit(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return leasing.NewParkingStream(alg), func(sol leasing.Solution) error {
+				if !cfg.CoversAll(leasing.SolutionLeases(sol), days) {
+					t.Errorf("parking snapshot does not cover all demand days")
+				}
+				return nil
+			}
+		},
+	}
+
+	parkingRand := conformanceCase{
+		name:         "parking-randomized",
+		events:       leasing.DayEvents(days),
+		wrongPayload: leasing.ElementEvent(40, 0, 1),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			alg, err := leasing.NewRandomizedParkingPermit(cfg, rand.New(rand.NewSource(11)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return leasing.NewParkingStream(alg), func(sol leasing.Solution) error {
+				if !cfg.CoversAll(leasing.SolutionLeases(sol), days) {
+					t.Errorf("randomized parking snapshot does not cover all demand days")
+				}
+				return nil
+			}
+		},
+	}
+
+	fam, err := leasing.NewSetFamily(3, [][]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scCosts := [][]float64{{1, 2, 4}, {1, 2, 4}, {1, 2, 4}}
+	scArrivals := []leasing.ElementArrival{
+		{T: 0, Elem: 0, P: 2}, {T: 2, Elem: 1, P: 1}, {T: 5, Elem: 2, P: 1}, {T: 18, Elem: 0, P: 1},
+	}
+	scInst, err := leasing.NewSetCoverInstance(fam, cfg, scCosts, scArrivals, leasing.PerArrival)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setcover := conformanceCase{
+		name:         "setcover",
+		events:       leasing.ElementEvents(scArrivals),
+		wrongPayload: leasing.DayEvent(40),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewSetCoverStream(scInst, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifySetCover(scInst, leasing.SolutionSetLeases(sol))
+			}
+		},
+	}
+
+	batches := [][]leasing.Point{
+		{{X: 1, Y: 0}},
+		{},
+		{{X: 9, Y: 0}, {X: 2, Y: 1}},
+		{{X: 8, Y: 2}},
+	}
+	facInst, err := leasing.NewFacilityInstance(cfg,
+		[]leasing.Point{{X: 0, Y: 0}, {X: 10, Y: 0}},
+		[][]float64{{1, 2, 5}, {1, 2, 5}},
+		batches,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facility := conformanceCase{
+		name:         "facility",
+		events:       leasing.BatchEvents(batches),
+		wrongPayload: leasing.WindowEvent(40, 2),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewFacilityStream(facInst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				cost, err := leasing.VerifyFacility(facInst,
+					leasing.SolutionFacilityLeases(sol),
+					leasing.SolutionFacilityAssignments(sol))
+				if err != nil {
+					return err
+				}
+				if got := lsr.Cost().Total(); math.Abs(cost-got) > 1e-6 {
+					t.Errorf("facility verified cost %v != reported %v", cost, got)
+				}
+				return nil
+			}
+		},
+	}
+
+	dlClients := []leasing.DeadlineClient{{T: 0, D: 5}, {T: 3, D: 2}, {T: 9, D: 0}, {T: 20, D: 7}}
+	dlInst, err := leasing.NewDeadlineInstance(cfg, dlClients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := conformanceCase{
+		name:         "deadline",
+		events:       leasing.WindowEvents(dlClients),
+		wrongPayload: leasing.BatchEvent(40),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewDeadlineStream(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifyDeadline(dlInst, leasing.SolutionLeases(sol))
+			}
+		},
+	}
+
+	scldFam, err := leasing.NewSetFamily(2, [][]int{{0, 1}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scldArrivals := []leasing.SCLDArrival{{T: 0, Elem: 0, D: 3}, {T: 4, Elem: 1, D: 0}, {T: 9, Elem: 0, D: 2}}
+	scldInst, err := leasing.NewSCLDInstance(scldFam, cfg, [][]float64{{1, 2, 4}, {1, 2, 4}}, scldArrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scld := conformanceCase{
+		name:         "scld",
+		events:       leasing.ElementWindowEvents(scldArrivals),
+		wrongPayload: leasing.DayEvent(40),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewSCLDStream(scldInst, rand.New(rand.NewSource(3)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifySCLD(scldInst, leasing.SolutionSetLeases(sol))
+			}
+		},
+	}
+
+	g, err := leasing.NewGraph(4, []leasing.GraphEdge{
+		{U: 0, V: 1, Weight: 1}, {U: 1, V: 2, Weight: 1},
+		{U: 2, V: 3, Weight: 2}, {U: 0, V: 3, Weight: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []leasing.SteinerRequest{{Time: 0, S: 0, T: 2}, {Time: 2, S: 1, T: 3}, {Time: 17, S: 0, T: 3}}
+	stInst, err := leasing.NewSteinerInstance(g, cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steiner := conformanceCase{
+		name:         "steiner",
+		events:       leasing.ConnectEvents(reqs),
+		wrongPayload: leasing.ElementWindowEvent(40, 0, 1),
+		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewSteinerStream(stInst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifySteiner(stInst, sol.Leases)
+			}
+		},
+	}
+
+	return []conformanceCase{parking, parkingRand, setcover, facility, deadline, scld, steiner}
+}
+
+// TestLeaserConformance asserts the protocol contract for every domain.
+func TestLeaserConformance(t *testing.T) {
+	for _, tc := range conformanceCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			lsr, verify := tc.fresh(t)
+			run, err := leasing.Replay(lsr, tc.events)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incremental costs telescope to the cumulative total.
+			total := lsr.Cost().Total()
+			if total <= 0 {
+				t.Errorf("total cost %v, want > 0", total)
+			}
+			if diff := math.Abs(run.DecisionCostSum() - total); diff > 1e-6 {
+				t.Errorf("decision costs sum to %v, Cost().Total() = %v", run.DecisionCostSum(), total)
+			}
+			if run.Total() != total {
+				t.Errorf("run total %v != leaser total %v", run.Total(), total)
+			}
+
+			// The cost curve never decreases (leases are never refunded).
+			prev := 0.0
+			for i, p := range run.Curve {
+				if p.Cost < prev-1e-9 {
+					t.Errorf("curve decreases at event %d: %v after %v", i, p.Cost, prev)
+				}
+				prev = p.Cost
+			}
+
+			// Decisions' lease multiset matches the snapshot exactly (sorted
+			// into the snapshot's canonical item/type/start order).
+			var fromDecisions []leasing.ItemLease
+			for _, d := range run.Decisions {
+				fromDecisions = append(fromDecisions, d.Leases...)
+			}
+			sort.Slice(fromDecisions, func(a, b int) bool {
+				x, y := fromDecisions[a], fromDecisions[b]
+				if x.Item != y.Item {
+					return x.Item < y.Item
+				}
+				if x.K != y.K {
+					return x.K < y.K
+				}
+				return x.Start < y.Start
+			})
+			sol := lsr.Snapshot()
+			if !reflect.DeepEqual(fromDecisions, sol.Leases) {
+				t.Errorf("decision leases %v != snapshot leases %v", fromDecisions, sol.Leases)
+			}
+
+			// The snapshot passes the domain's feasibility oracle.
+			if err := verify(sol); err != nil {
+				t.Errorf("snapshot verification: %v", err)
+			}
+
+			// Replays are deterministic: a fresh leaser over the same events
+			// yields the identical decision stream.
+			lsr2, _ := tc.fresh(t)
+			run2, err := leasing.Replay(lsr2, tc.events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(run.Decisions, run2.Decisions) {
+				t.Error("replay is not deterministic")
+			}
+			if !reflect.DeepEqual(lsr.Snapshot(), lsr2.Snapshot()) {
+				t.Error("snapshots differ across replays")
+			}
+
+			// Unsupported payloads are rejected without state damage.
+			lsr3, _ := tc.fresh(t)
+			if _, err := lsr3.Observe(tc.wrongPayload); err == nil {
+				t.Error("unsupported payload accepted")
+			}
+		})
+	}
+}
+
+// TestLeaserRejectsTimeRegression asserts every domain refuses demands
+// that move backwards in time.
+func TestLeaserRejectsTimeRegression(t *testing.T) {
+	for _, tc := range conformanceCases(t) {
+		tc := tc
+		if len(tc.events) < 2 {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			lsr, _ := tc.fresh(t)
+			last := tc.events[len(tc.events)-1]
+			if _, err := lsr.Observe(last); err != nil {
+				t.Fatalf("priming event: %v", err)
+			}
+			first := tc.events[0]
+			if first.Time >= last.Time {
+				t.Skip("stream has no strictly increasing times")
+			}
+			if _, err := lsr.Observe(first); err == nil {
+				t.Error("time regression accepted")
+			}
+		})
+	}
+}
