@@ -8,6 +8,11 @@
 //	leasebench -experiment E1 [-quick] [-seed 42] [-workers 4]
 //	leasebench -experiment all [-markdown]
 //	leasebench -json [-out BENCH_PR2.json]   # machine-readable report
+//
+// Committed BENCH_*.json snapshots track the repo's perf trajectory:
+// leasebench writes the experiment-table reports (BENCH_PR2.json) and
+// cmd/leaseload writes the multi-tenant engine throughput baselines
+// (BENCH_PR3.json).
 package main
 
 import (

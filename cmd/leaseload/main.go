@@ -1,0 +1,465 @@
+// Command leaseload is the load generator for the sharded multi-tenant
+// engine: it synthesizes mixed-domain tenant traffic (parking days,
+// deadlines, set-cover elements, facility batches, Steiner connects —
+// one domain per tenant, streams drawn from internal/workload), pumps it
+// through the engine from concurrent producers, and reports sustained
+// throughput plus submit-latency percentiles. With -verify every
+// tenant's engine output is additionally checked byte-identical against
+// a single-threaded Replay. Like leasebench, -json emits a
+// machine-readable report (committed snapshots are named BENCH_*.json).
+//
+// Usage:
+//
+//	leaseload -tenants 64 -events 256 -shards 8 -batch 64 -queue 256 -producers 4
+//	leaseload -verify                        # parity-check tenants vs Replay
+//	leaseload -json [-out BENCH_PR3.json]    # machine-readable report
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"leasing"
+	"leasing/internal/sim"
+	"leasing/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leaseload:", err)
+		os.Exit(1)
+	}
+}
+
+// tenant is one synthetic session: a name, its fixed event stream, and a
+// factory building a fresh deterministic leaser (called once to serve in
+// the engine and, under -verify, once more for the reference Replay).
+type tenant struct {
+	name   string
+	domain string
+	events []leasing.Event
+	fresh  func() (leasing.Leaser, error)
+}
+
+type latencyStats struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// jsonReport is the machine-readable format, the leaseload counterpart
+// of leasebench's report: configuration, throughput, latency, and the
+// engine's own per-shard counters.
+type jsonReport struct {
+	Tool            string                `json:"tool"`
+	GoVersion       string                `json:"go_version"`
+	Seed            int64                 `json:"seed"`
+	Tenants         int                   `json:"tenants"`
+	Domains         map[string]int        `json:"domains"`
+	TotalEvents     int64                 `json:"total_events"`
+	Shards          int                   `json:"shards"`
+	Batch           int                   `json:"batch"`
+	Queue           int                   `json:"queue"`
+	Producers       int                   `json:"producers"`
+	Chunk           int                   `json:"chunk"`
+	ElapsedMS       float64               `json:"elapsed_ms"`
+	EventsPerSec    float64               `json:"events_per_sec"`
+	SubmitLatencyUS latencyStats          `json:"submit_latency_us"`
+	Engine          leasing.EngineMetrics `json:"engine"`
+	Verified        *bool                 `json:"verified,omitempty"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("leaseload", flag.ContinueOnError)
+	var (
+		tenants   = fs.Int("tenants", 64, "number of concurrent tenant sessions (domains cycle per tenant)")
+		events    = fs.Int("events", 256, "target events per tenant (streams are stochastic, so counts vary around this)")
+		shards    = fs.Int("shards", 8, "engine shards")
+		batch     = fs.Int("batch", 64, "engine batch size (events drained per shard wake)")
+		queue     = fs.Int("queue", 256, "engine per-shard queue depth (backpressure)")
+		producers = fs.Int("producers", 4, "concurrent producer goroutines (tenants are partitioned across them)")
+		chunk     = fs.Int("chunk", 32, "events per SubmitBatch call")
+		seed      = fs.Int64("seed", 2015, "base random seed for workload synthesis")
+		verify    = fs.Bool("verify", false, "after the run, check every tenant byte-identical to a single-threaded Replay")
+		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
+		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenants < 1 || *events < 1 || *producers < 1 || *chunk < 1 {
+		return fmt.Errorf("-tenants, -events, -producers and -chunk must be >= 1")
+	}
+	// The engine would silently substitute defaults for these; reject
+	// them instead so the report never misstates the measured config.
+	if *shards < 1 || *batch < 1 || *queue < 1 {
+		return fmt.Errorf("-shards, -batch and -queue must be >= 1")
+	}
+
+	cfg := leasing.PowerLeaseConfig(3, 4, 0.55)
+	ts := make([]*tenant, *tenants)
+	domains := map[string]int{}
+	var total int64
+	for i := range ts {
+		t, err := buildTenant(i, cfg, sim.TrialSeed(*seed, i), *events)
+		if err != nil {
+			return fmt.Errorf("tenant %d: %w", i, err)
+		}
+		ts[i] = t
+		domains[t.domain]++
+		total += int64(len(t.events))
+	}
+
+	eng := leasing.NewEngine(leasing.EngineConfig{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchSize:  *batch,
+		RecordRuns: *verify,
+	})
+	defer eng.Close()
+	for _, t := range ts {
+		lsr, err := t.fresh()
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+		if err := eng.Open(t.name, lsr); err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+	}
+
+	// Partition tenants across producers; each producer round-robins its
+	// tenants in chunks so shard queues see interleaved multi-tenant
+	// traffic, and records the latency of every SubmitBatch (which
+	// includes any backpressure stall).
+	lats := make([][]float64, *producers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < *producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var mine []*tenant
+			for i := p; i < len(ts); i += *producers {
+				mine = append(mine, ts[i])
+			}
+			remaining := make([][]leasing.Event, len(mine))
+			for i, t := range mine {
+				remaining[i] = t.events
+			}
+			for live := len(mine); live > 0; {
+				live = 0
+				for i, t := range mine {
+					evs := remaining[i]
+					if len(evs) == 0 {
+						continue
+					}
+					n := *chunk
+					if n > len(evs) {
+						n = len(evs)
+					}
+					t0 := time.Now()
+					if err := eng.SubmitBatch(t.name, evs[:n]); err != nil {
+						return // closed mid-run; the flush below will report
+					}
+					lats[p] = append(lats[p], float64(time.Since(t0).Nanoseconds())/1e3)
+					remaining[i] = evs[n:]
+					if len(remaining[i]) > 0 {
+						live++
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if err := eng.Flush(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	report := jsonReport{
+		Tool:         "leaseload",
+		GoVersion:    runtime.Version(),
+		Seed:         *seed,
+		Tenants:      *tenants,
+		Domains:      domains,
+		TotalEvents:  total,
+		Shards:       *shards,
+		Batch:        *batch,
+		Queue:        *queue,
+		Producers:    *producers,
+		Chunk:        *chunk,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		EventsPerSec: float64(total) / elapsed.Seconds(),
+		Engine:       eng.Metrics(),
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	report.SubmitLatencyUS = latencyStats{
+		P50: quantileSorted(all, 0.50),
+		P90: quantileSorted(all, 0.90),
+		P99: quantileSorted(all, 0.99),
+	}
+	if len(all) > 0 {
+		report.SubmitLatencyUS.Max = all[len(all)-1]
+	}
+
+	if *verify {
+		ok := true
+		for _, t := range ts {
+			if err := verifyTenant(eng, t); err != nil {
+				ok = false
+				fmt.Fprintf(os.Stderr, "leaseload: verify %s: %v\n", t.name, err)
+			}
+		}
+		report.Verified = &ok
+		if !ok {
+			return fmt.Errorf("engine output diverged from Replay")
+		}
+	}
+
+	if *jsonOut {
+		return writeJSON(report, *outPath, w)
+	}
+	printText(w, report)
+	return nil
+}
+
+// buildTenant synthesizes one tenant's instance, event stream and leaser
+// factory; the domain cycles with the tenant index. All randomness flows
+// from tseed, so a tenant is reproducible independent of the others.
+func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*tenant, error) {
+	rng := rand.New(rand.NewSource(tseed))
+	horizon := int64(2 * events)
+	switch i % 5 {
+	case 0:
+		days := workload.DemandDays(rng, horizon, 0.5)
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-days", i),
+			domain: "days",
+			events: leasing.DayEvents(days),
+			fresh: func() (leasing.Leaser, error) {
+				alg, err := leasing.NewDeterministicParkingPermit(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return leasing.NewParkingStream(alg), nil
+			},
+		}, nil
+
+	case 1:
+		clients := workload.DeadlineStream(rng, horizon, 0.5, 12)
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-deadline", i),
+			domain: "deadline",
+			events: leasing.WindowEvents(clients),
+			fresh: func() (leasing.Leaser, error) {
+				return leasing.NewDeadlineStream(cfg)
+			},
+		}, nil
+
+	case 2:
+		const n, m, delta = 32, 20, 3
+		zipf, err := workload.NewZipf(rng, n, 1.5)
+		if err != nil {
+			return nil, err
+		}
+		arrivals := workload.ElementStream(rng, horizon, 0.5,
+			zipf.Draw, func() int { return 1 + rng.Intn(2) })
+		fam, err := leasing.RandomSetFamily(rng, n, m, delta)
+		if err != nil {
+			return nil, err
+		}
+		costs := leasing.RandomSetCosts(rng, m, cfg, 0.5)
+		inst, err := leasing.NewSetCoverInstance(fam, cfg, costs, arrivals, leasing.PerArrival)
+		if err != nil {
+			return nil, err
+		}
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-elements", i),
+			domain: "elements",
+			events: leasing.ElementEvents(arrivals),
+			fresh: func() (leasing.Leaser, error) {
+				return leasing.NewSetCoverStream(inst, rand.New(rand.NewSource(tseed+1)))
+			},
+		}, nil
+
+	case 3:
+		// Client batches clustered around a handful of sites; one Batch
+		// event per step (empty steps included, as in stream.Batches).
+		const sitesN = 6
+		sites := make([]leasing.Point, sitesN)
+		for s := range sites {
+			sites[s] = leasing.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50}
+		}
+		facCosts := make([][]float64, sitesN)
+		for s := range facCosts {
+			row := make([]float64, cfg.K())
+			f := 1 + rng.Float64()*0.5
+			for k := range row {
+				row[k] = cfg.Cost(k) * f
+			}
+			facCosts[s] = row
+		}
+		// Steps are halved so a facility tenant lands near the same event
+		// count as the others while still exercising multi-client steps.
+		batches := make([][]leasing.Point, events/2+1)
+		for t := range batches {
+			for c := rng.Intn(3); c > 0; c-- {
+				s := sites[rng.Intn(sitesN)]
+				batches[t] = append(batches[t], leasing.Point{
+					X: s.X + rng.Float64()*4, Y: s.Y + rng.Float64()*4})
+			}
+		}
+		inst, err := leasing.NewFacilityInstance(cfg, sites, facCosts, batches)
+		if err != nil {
+			return nil, err
+		}
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-facility", i),
+			domain: "facility",
+			events: leasing.BatchEvents(batches),
+			fresh: func() (leasing.Leaser, error) {
+				return leasing.NewFacilityStream(inst)
+			},
+		}, nil
+
+	default:
+		const terminals = 16
+		g, err := leasing.RandomConnectedGraph(rng, terminals, 3*terminals, 1, 10)
+		if err != nil {
+			return nil, err
+		}
+		connects, err := workload.ConnectStream(rng, horizon, 0.5, terminals)
+		if err != nil {
+			return nil, err
+		}
+		reqs := make([]leasing.SteinerRequest, len(connects))
+		for j, c := range connects {
+			reqs[j] = leasing.SteinerRequest{Time: c.T, S: c.S, T: c.U}
+		}
+		inst, err := leasing.NewSteinerInstance(g, cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-steiner", i),
+			domain: "steiner",
+			events: leasing.ConnectEvents(reqs),
+			fresh: func() (leasing.Leaser, error) {
+				return leasing.NewSteinerStream(inst)
+			},
+		}, nil
+	}
+}
+
+// verifyTenant holds the engine to its determinism anchor: the recorded
+// run, cached cost and snapshot must equal a fresh single-threaded
+// Replay of the tenant's events.
+func verifyTenant(eng *leasing.Engine, t *tenant) error {
+	got, err := eng.Result(t.name)
+	if err != nil {
+		return err
+	}
+	ref, err := t.fresh()
+	if err != nil {
+		return err
+	}
+	want, err := leasing.Replay(ref, t.events)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", want) {
+		return fmt.Errorf("recorded run differs from Replay")
+	}
+	cost, err := eng.Cost(t.name)
+	if err != nil {
+		return err
+	}
+	if cost != want.Final {
+		return fmt.Errorf("cached cost %+v != replay final %+v", cost, want.Final)
+	}
+	sol, err := eng.Snapshot(t.name)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprintf("%#v", sol) != fmt.Sprintf("%#v", ref.Snapshot()) {
+		return fmt.Errorf("cached snapshot differs from replay snapshot")
+	}
+	return nil
+}
+
+func writeJSON(report jsonReport, outPath string, w io.Writer) error {
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if outPath != "" {
+		fmt.Printf("leaseload: wrote %s (%d tenants, %d events)\n", outPath, report.Tenants, report.TotalEvents)
+	}
+	return nil
+}
+
+func printText(w io.Writer, r jsonReport) {
+	fmt.Fprintf(w, "tenants: %d (", r.Tenants)
+	first := true
+	for _, d := range []string{"days", "deadline", "elements", "facility", "steiner"} {
+		if n, ok := r.Domains[d]; ok {
+			if !first {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprintf(w, "%s %d", d, n)
+			first = false
+		}
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "engine:  shards=%d batch=%d queue=%d producers=%d chunk=%d\n",
+		r.Shards, r.Batch, r.Queue, r.Producers, r.Chunk)
+	fmt.Fprintf(w, "events:  %d in %.1fms  (%.0f events/s)\n",
+		r.TotalEvents, r.ElapsedMS, r.EventsPerSec)
+	fmt.Fprintf(w, "submit latency µs: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+		r.SubmitLatencyUS.P50, r.SubmitLatencyUS.P90, r.SubmitLatencyUS.P99, r.SubmitLatencyUS.Max)
+	fmt.Fprintf(w, "shards:  %d batches (%.1f events/batch avg), dropped %d, total cost %.2f\n",
+		r.Engine.Batches, float64(r.Engine.Events)/float64(max(r.Engine.Batches, 1)), r.Engine.Dropped, r.Engine.Cost)
+	if r.Verified != nil {
+		fmt.Fprintf(w, "verified: every tenant byte-identical to single-threaded Replay: %v\n", *r.Verified)
+	}
+}
+
+// quantileSorted is stats.Quantile's linear interpolation over an
+// already-sorted sample, so the latency set is sorted once instead of
+// per percentile. Returns 0 for an empty sample.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONReport runs a small verified load and checks the machine-
+// readable report is complete and self-consistent.
+func TestJSONReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tenants", "10", "-events", "60", "-shards", "4",
+		"-producers", "3", "-chunk", "7", "-verify", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Tool != "leaseload" {
+		t.Errorf("tool = %q", rep.Tool)
+	}
+	if rep.Tenants != 10 {
+		t.Errorf("tenants = %d, want 10", rep.Tenants)
+	}
+	if rep.TotalEvents <= 0 || rep.EventsPerSec <= 0 {
+		t.Errorf("events = %d, rate = %v, want > 0", rep.TotalEvents, rep.EventsPerSec)
+	}
+	if rep.Engine.Events != rep.TotalEvents {
+		t.Errorf("engine processed %d of %d events", rep.Engine.Events, rep.TotalEvents)
+	}
+	if rep.Engine.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", rep.Engine.Dropped)
+	}
+	if len(rep.Engine.Shards) != 4 {
+		t.Errorf("shard samples = %d, want 4", len(rep.Engine.Shards))
+	}
+	if rep.Verified == nil || !*rep.Verified {
+		t.Error("run was not verified against Replay")
+	}
+	var n int
+	for _, c := range rep.Domains {
+		n += c
+	}
+	if n != rep.Tenants {
+		t.Errorf("domain counts sum to %d, want %d", n, rep.Tenants)
+	}
+}
+
+// TestTextReport checks the human-readable output carries the headline
+// numbers.
+func TestTextReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tenants", "5", "-events", "40", "-shards", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"tenants: 5", "events/s", "submit latency", "shards:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeterministicWorkload asserts the synthesized traffic is a pure
+// function of the seed: two runs report identical totals and costs.
+func TestDeterministicWorkload(t *testing.T) {
+	report := func() jsonReport {
+		var buf bytes.Buffer
+		if err := run([]string{"-tenants", "8", "-events", "50", "-json"}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := report(), report()
+	if a.TotalEvents != b.TotalEvents {
+		t.Errorf("event totals differ: %d vs %d", a.TotalEvents, b.TotalEvents)
+	}
+	if a.Engine.Cost != b.Engine.Cost {
+		t.Errorf("costs differ: %v vs %v", a.Engine.Cost, b.Engine.Cost)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-tenants", "0"}, &buf); err == nil {
+		t.Error("tenants=0 accepted")
+	}
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

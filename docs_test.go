@@ -5,7 +5,11 @@ package leasing
 // tests keep the docs from drifting as experiments are added.
 
 import (
+	"go/parser"
+	"go/token"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -42,9 +46,11 @@ func TestExperimentsRecordsEveryExperiment(t *testing.T) {
 func TestReadmeMentionsDeliverables(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	for _, want := range []string{
-		"cmd/leasebench", "cmd/leasereport", "examples/quickstart",
-		"DESIGN.md", "EXPERIMENTS.md", "go test", "PODC 2015",
-		"Leaser", "Replay", "Interleave", "-json",
+		"cmd/leasebench", "cmd/leasereport", "cmd/leaseload",
+		"examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
+		"docs/ARCHITECTURE.md", "go test", "PODC 2015",
+		"Leaser", "Replay", "Interleave", "Engine", "-json",
+		"BENCH_PR3.json",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -86,6 +92,95 @@ func TestDocGoDocumentsStreamProtocol(t *testing.T) {
 	for _, want := range []string{"Leaser", "Observe", "Replay", "Interleave"} {
 		if !strings.Contains(src, want) {
 			t.Errorf("doc.go does not document %s of the stream protocol", want)
+		}
+	}
+}
+
+// TestInternalPackagesHaveGodoc enforces that every internal package
+// carries package-level documentation: a doc comment starting with
+// "Package <name>" on some file's package clause.
+func TestInternalPackagesHaveGodoc(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no internal packages found")
+	}
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", dir, err)
+			continue
+		}
+		for name, pkg := range pkgs {
+			found := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package "+name) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("internal package %s (%s) has no package-level godoc", name, dir)
+			}
+		}
+	}
+}
+
+// TestReadmeFlagsExist is the quickstart drift gate: every command-line
+// flag the README mentions must still be defined by some cmd/ tool (or
+// be a known `go test` flag), so renamed or removed flags cannot linger
+// in the docs.
+func TestReadmeFlagsExist(t *testing.T) {
+	defined := map[string]bool{
+		// `go test` flags appearing in the README's test instructions.
+		"bench": true, "benchmem": true, "race": true, "run": true,
+	}
+	mains, err := filepath.Glob("cmd/*/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no cmd mains found")
+	}
+	def := regexp.MustCompile(`fs\.[A-Za-z0-9]+\("([a-z][a-z0-9]*)"`)
+	for _, m := range mains {
+		for _, g := range def.FindAllStringSubmatch(readDoc(t, m), -1) {
+			defined[g[1]] = true
+		}
+	}
+	use := regexp.MustCompile("(?m)(?:^|[\\s`(])-([a-z][a-z0-9]*)")
+	for _, g := range use.FindAllStringSubmatch(readDoc(t, "README.md"), -1) {
+		if !defined[g[1]] {
+			t.Errorf("README.md mentions flag -%s, which no cmd/ tool defines", g[1])
+		}
+	}
+}
+
+// TestArchitectureDocLinked keeps the architecture document discoverable
+// and honest: it must exist, be linked from README and DESIGN.md, and
+// describe the serving layers.
+func TestArchitectureDocLinked(t *testing.T) {
+	arch := readDoc(t, "docs/ARCHITECTURE.md")
+	for _, want := range []string{
+		"internal/engine", "internal/stream", "cmd/leaseload",
+		"byte-identical", "backpressure",
+	} {
+		if !strings.Contains(arch, want) {
+			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
+		}
+	}
+	for _, name := range []string{"README.md", "DESIGN.md"} {
+		if !strings.Contains(readDoc(t, name), "docs/ARCHITECTURE.md") {
+			t.Errorf("%s does not link docs/ARCHITECTURE.md", name)
 		}
 	}
 }

@@ -112,6 +112,75 @@ func Example_setCoverLeasing() {
 	// all demands covered by distinct leased sets
 }
 
+// Example_engine serves two tenants concurrently through the sharded
+// multi-tenant engine: each tenant's session is an independent Leaser,
+// events are submitted singly or in batches, and the cached Cost and
+// Snapshot reads become current after Flush. Per tenant the engine is
+// deterministic — its output is identical to a single-threaded Replay of
+// that tenant's events.
+func Example_engine() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	eng := leasing.NewEngine(leasing.EngineConfig{Shards: 4, BatchSize: 8})
+	defer eng.Close()
+
+	for _, tenant := range []string{"acme", "globex"} {
+		alg, err := leasing.NewDeterministicParkingPermit(cfg)
+		if err != nil {
+			fmt.Println("alg:", err)
+			return
+		}
+		if err := eng.Open(tenant, leasing.NewParkingStream(alg)); err != nil {
+			fmt.Println("open:", err)
+			return
+		}
+	}
+	if err := eng.Submit("acme", leasing.DayEvent(0)); err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	if err := eng.SubmitBatch("acme", leasing.DayEvents([]int64{1, 2, 3})); err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	if err := eng.SubmitBatch("globex", leasing.DayEvents([]int64{0, 9, 10})); err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	if err := eng.Flush(); err != nil {
+		fmt.Println("flush:", err)
+		return
+	}
+
+	acme, err := eng.Cost("acme")
+	if err != nil {
+		fmt.Println("cost:", err)
+		return
+	}
+	sol, err := eng.Snapshot("globex")
+	if err != nil {
+		fmt.Println("snapshot:", err)
+		return
+	}
+	globex, err := eng.Cost("globex")
+	if err != nil {
+		fmt.Println("cost:", err)
+		return
+	}
+	fmt.Printf("acme: $%.2f for 4 demands\n", acme.Total())
+	fmt.Printf("globex: $%.2f, %d leases held\n", globex.Total(), len(sol.Leases))
+	// Output:
+	// acme: $4.50 for 4 demands
+	// globex: $3.00, 3 leases held
+}
+
 // Example_unifiedStream drives two interleaved demand streams through the
 // unified streaming Leaser API: every domain speaks the same
 // Observe(Event) -> Decision protocol, and one generic Replay produces

@@ -1,0 +1,288 @@
+// Package engine is the sharded, multi-tenant serving layer over the
+// stream protocol: it multiplexes many independent stream.Leaser sessions
+// — one per tenant — across a fixed set of shards, each shard owning its
+// sessions and draining a batched event queue on its own goroutine.
+//
+// The design is single-writer throughout. A tenant is hashed (FNV-1a) to
+// exactly one shard, so a tenant's events are processed in submission
+// order by one goroutine and no lock ever guards a Leaser: within a shard
+// the only synchronization is the ingestion channel itself (whose bounded
+// capacity is the backpressure) and atomically published snapshots.
+// Readers never touch a Leaser: Cost, Snapshot, Events and Result serve
+// from per-session state the shard publishes after each processed batch,
+// and the session registry is a copy-on-write map republished on Open.
+//
+// Because each session is driven by the same stream.Recorder that powers
+// the single-threaded Replay driver, a tenant's recorded run is
+// byte-identical to Replay of that tenant's events for any shard count
+// and any batch size — the determinism anchor the parity tests enforce.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"leasing/internal/stream"
+)
+
+// Sentinel errors of the engine API; returned errors wrap these together
+// with the offending tenant where applicable.
+var (
+	// ErrClosed is returned by every operation after Close (and by
+	// writes after Drain has begun).
+	ErrClosed = errors.New("engine: closed")
+	// ErrUnknownTenant is returned by reads and reported in metrics for
+	// events addressed to a tenant that was never opened.
+	ErrUnknownTenant = errors.New("engine: unknown tenant")
+	// ErrDuplicateTenant is returned by Open for an already-open tenant.
+	ErrDuplicateTenant = errors.New("engine: tenant already open")
+	// ErrNotRecording is returned by Result when the engine was built
+	// without RecordRuns.
+	ErrNotRecording = errors.New("engine: RecordRuns disabled")
+)
+
+// Config sizes the engine. The zero value is usable: every field falls
+// back to the default documented on it.
+type Config struct {
+	// Shards is the number of shard goroutines sessions are hashed
+	// across. Default 8.
+	Shards int
+	// QueueDepth is the per-shard ingestion queue capacity in submitted
+	// operations; a full queue blocks Submit (backpressure). Default 256.
+	QueueDepth int
+	// BatchSize caps how many events a shard drains per processing wake;
+	// cached read state is republished once per batch, so BatchSize
+	// trades read freshness for ingestion throughput. Default 64.
+	BatchSize int
+	// RecordRuns keeps each session's full decision list and cost curve
+	// so Result can return the per-tenant *stream.Run (what the parity
+	// tests compare against Replay). Off by default: long-lived sessions
+	// then run in constant memory.
+	RecordRuns bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards < 1 {
+		c.Shards = 8
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// Engine multiplexes independent tenant sessions across shards. All
+// methods are safe for concurrent use — an Open/Submit/Flush racing
+// Close either completes before the drain or returns ErrClosed — with
+// one ordering caveat: events of a single tenant must be submitted from
+// one goroutine (or otherwise externally ordered), since per-tenant
+// determinism is defined by submission order.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	// mu makes the closed-check-and-enqueue atomic against Close, so no
+	// operation can slip into a queue behind the stop marker (which
+	// would hang its caller forever). Writers hold it shared; Close
+	// holds it exclusively while flipping closed and enqueueing stops.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New starts an engine with cfg's shard goroutines running. Callers must
+// Close it to release them.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range e.shards {
+		e.shards[i] = newShard(i, cfg)
+		e.wg.Add(1)
+		go e.shards[i].run(&e.wg)
+	}
+	return e
+}
+
+// shardIndex hashes a tenant ID with FNV-1a; the hash fixes which shard
+// owns the tenant for the engine's lifetime.
+func shardIndex(tenant string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint32(tenant[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+func (e *Engine) shardFor(tenant string) *shard {
+	return e.shards[shardIndex(tenant, len(e.shards))]
+}
+
+// send enqueues one op unless the engine is closed; the shared lock
+// guarantees the op lands ahead of any stop marker.
+func (e *Engine) send(sh *shard, o op) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	sh.queue <- o
+	return nil
+}
+
+// Open registers a new tenant session served by l. It returns once the
+// owning shard has installed the session, so events submitted afterwards
+// (from the same goroutine) are guaranteed to find it.
+func (e *Engine) Open(tenant string, l stream.Leaser) error {
+	if l == nil {
+		return fmt.Errorf("engine: open %q: nil leaser", tenant)
+	}
+	done := make(chan error, 1)
+	if err := e.send(e.shardFor(tenant), op{kind: opOpen, tenant: tenant, leaser: l, done: done}); err != nil {
+		return err
+	}
+	return <-done
+}
+
+// Submit enqueues one event for the tenant, blocking while the owning
+// shard's queue is full. Delivery is asynchronous: an event for an
+// unknown (or failed) tenant is counted as dropped in Metrics rather
+// than reported here.
+func (e *Engine) Submit(tenant string, ev stream.Event) error {
+	return e.SubmitBatch(tenant, []stream.Event{ev})
+}
+
+// SubmitBatch enqueues a batch of events for the tenant as one queue
+// operation (the cheap path for bulk ingestion). The engine takes
+// ownership of evs; callers must not mutate it afterwards.
+func (e *Engine) SubmitBatch(tenant string, evs []stream.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	return e.send(e.shardFor(tenant), op{kind: opEvents, tenant: tenant, events: evs})
+}
+
+// Flush blocks until every event submitted before the call has been
+// processed and its session state published. It is the read barrier:
+// after Flush, Cost/Snapshot/Result reflect all prior submissions.
+func (e *Engine) Flush() error {
+	done := make(chan error, len(e.shards))
+	sent := 0
+	for _, sh := range e.shards {
+		if err := e.send(sh, op{kind: opFlush, done: done}); err != nil {
+			return err
+		}
+		sent++
+	}
+	for ; sent > 0; sent-- {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close drains gracefully: it stops accepting new work, processes
+// everything already queued, publishes final session state, and stops
+// the shard goroutines. Close is idempotent and safe to race with
+// writers — an operation either lands before the drain (and is fully
+// processed) or returns ErrClosed. Reads remain valid afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if !e.closed {
+		e.closed = true
+		for _, sh := range e.shards {
+			sh.queue <- op{kind: opStop}
+		}
+	}
+	e.mu.Unlock()
+	// Every Close waits for the drain, so the post-Close read guarantee
+	// holds for concurrent callers too, not just the first one.
+	e.wg.Wait()
+	return nil
+}
+
+// session looks a tenant up in its shard's published registry.
+func (e *Engine) session(tenant string) (*session, error) {
+	s := e.shardFor(tenant).lookup(tenant)
+	if s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	return s, nil
+}
+
+// Cost returns the tenant's cached cumulative cost breakdown, current as
+// of the last batch its shard processed (Flush to synchronize). If the
+// session failed, the breakdown at failure is returned with the error.
+func (e *Engine) Cost(tenant string) (stream.CostBreakdown, error) {
+	s, err := e.session(tenant)
+	if err != nil {
+		return stream.CostBreakdown{}, err
+	}
+	st := s.state.Load()
+	return st.cost, st.err
+}
+
+// Events returns how many of the tenant's events have been processed.
+func (e *Engine) Events(tenant string) (int64, error) {
+	s, err := e.session(tenant)
+	if err != nil {
+		return 0, err
+	}
+	st := s.state.Load()
+	return st.events, st.err
+}
+
+// Snapshot returns the tenant's cached solution snapshot, current as of
+// the last batch its shard processed (Flush to synchronize).
+func (e *Engine) Snapshot(tenant string) (stream.Solution, error) {
+	s, err := e.session(tenant)
+	if err != nil {
+		return stream.Solution{}, err
+	}
+	st := s.state.Load()
+	return st.solution, st.err
+}
+
+// Result returns the tenant's recorded run — decisions, cost curve and
+// final breakdown — as Replay would have produced it. It requires
+// Config.RecordRuns and, like all reads, is current as of the last
+// processed batch.
+func (e *Engine) Result(tenant string) (*stream.Run, error) {
+	if !e.cfg.RecordRuns {
+		return nil, ErrNotRecording
+	}
+	s, err := e.session(tenant)
+	if err != nil {
+		return nil, err
+	}
+	st := s.state.Load()
+	if st.err != nil {
+		return nil, st.err
+	}
+	return &stream.Run{Decisions: st.decisions, Curve: st.curve, Final: st.cost}, nil
+}
+
+// Metrics samples per-shard counters and aggregates them. Queue depths
+// are instantaneous; the event, drop and cost counters are cumulative.
+func (e *Engine) Metrics() Metrics {
+	m := Metrics{Shards: make([]ShardMetrics, len(e.shards))}
+	for i, sh := range e.shards {
+		sm := sh.metrics()
+		m.Shards[i] = sm
+		m.Sessions += sm.Sessions
+		m.Events += sm.Events
+		m.Batches += sm.Batches
+		m.Dropped += sm.Dropped
+		m.QueueDepth += sm.QueueDepth
+		m.Cost += sm.Cost
+	}
+	return m
+}

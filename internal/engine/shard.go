@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"leasing/internal/stream"
+)
+
+type opKind uint8
+
+const (
+	opOpen opKind = iota + 1
+	opEvents
+	opFlush
+	opStop
+)
+
+// op is one queued operation. Open and Flush carry a reply channel;
+// Events carries the payload. The queue is strictly FIFO, which is what
+// makes Open a write barrier and Flush a read barrier.
+type op struct {
+	kind   opKind
+	tenant string
+	leaser stream.Leaser
+	events []stream.Event
+	done   chan error
+}
+
+// sessionState is the immutable read view a shard publishes for a
+// session after each batch that touched it. Decisions and curve are
+// length-capped snapshot headers into the Recorder's backing arrays (see
+// Recorder.Recorded), so publishing is O(1) and race-free under appends.
+type sessionState struct {
+	events    int64
+	cost      stream.CostBreakdown
+	solution  stream.Solution
+	decisions []stream.Decision
+	curve     []stream.CurvePoint
+	err       error
+}
+
+// session is one tenant's serving state. The leaser and recorder are
+// owned exclusively by the shard goroutine; everyone else reads the
+// published state.
+type session struct {
+	tenant string
+	leaser stream.Leaser
+	rec    *stream.Recorder
+	state  atomic.Pointer[sessionState]
+	failed bool
+	err    error // the failure, carried into every published state
+}
+
+// publish refreshes the session's read view from its leaser.
+func (s *session) publish(keepRuns bool) {
+	st := &sessionState{
+		events:   int64(s.rec.Events()),
+		cost:     s.leaser.Cost(),
+		solution: s.leaser.Snapshot(),
+		err:      s.err,
+	}
+	if keepRuns {
+		st.decisions, st.curve = s.rec.Recorded()
+	}
+	s.state.Store(st)
+}
+
+// shard owns a subset of sessions and drains its queue on one goroutine.
+// sessions is the goroutine-private registry; reg is its copy-on-write
+// published twin for lock-free lookups by readers and Submit-side code.
+type shard struct {
+	id    int
+	cfg   Config
+	queue chan op
+
+	sessions map[string]*session                 // shard goroutine only
+	reg      atomic.Pointer[map[string]*session] // published on Open
+
+	// Counters: written only by the shard goroutine, read via atomics.
+	events   atomic.Int64
+	batches  atomic.Int64
+	dropped  atomic.Int64
+	costBits atomic.Uint64 // math.Float64bits of cumulative cost
+}
+
+func newShard(id int, cfg Config) *shard {
+	sh := &shard{
+		id:       id,
+		cfg:      cfg,
+		queue:    make(chan op, cfg.QueueDepth),
+		sessions: make(map[string]*session),
+	}
+	empty := map[string]*session{}
+	sh.reg.Store(&empty)
+	return sh
+}
+
+// lookup finds a session in the published registry without locking.
+func (sh *shard) lookup(tenant string) *session {
+	return (*sh.reg.Load())[tenant]
+}
+
+// run is the shard goroutine: block for one op, greedily drain more up
+// to BatchSize events, apply them in order, then publish the touched
+// sessions' state once. It exits on opStop, which Close enqueues last.
+func (sh *shard) run(done interface{ Done() }) {
+	defer done.Done()
+	touched := make(map[*session]struct{}, 16)
+	batch := make([]op, 0, 32)
+	for {
+		batch = append(batch[:0], <-sh.queue)
+		n := len(batch[0].events)
+	drain:
+		for n < sh.cfg.BatchSize && batch[len(batch)-1].kind != opStop {
+			select {
+			case o := <-sh.queue:
+				batch = append(batch, o)
+				n += len(o.events)
+			default:
+				break drain
+			}
+		}
+		stop := false
+		for _, o := range batch {
+			switch o.kind {
+			case opOpen:
+				o.done <- sh.open(o.tenant, o.leaser)
+			case opEvents:
+				sh.apply(o, touched)
+			case opFlush:
+				// All ops queued before this flush have been applied;
+				// publish before acking so the barrier covers reads.
+				sh.publish(touched)
+				o.done <- nil
+			case opStop:
+				stop = true
+			}
+		}
+		sh.publish(touched)
+		sh.batches.Add(1)
+		if stop {
+			return
+		}
+	}
+}
+
+// open installs a new session and republishes the registry copy.
+func (sh *shard) open(tenant string, l stream.Leaser) error {
+	if _, ok := sh.sessions[tenant]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicateTenant, tenant)
+	}
+	s := &session{tenant: tenant, leaser: l, rec: stream.NewRecorder(sh.cfg.RecordRuns)}
+	s.state.Store(&sessionState{})
+	sh.sessions[tenant] = s
+	reg := make(map[string]*session, len(sh.sessions))
+	for k, v := range sh.sessions {
+		reg[k] = v
+	}
+	sh.reg.Store(&reg)
+	return nil
+}
+
+// apply feeds one submitted batch into its session. Events for unknown
+// or failed sessions are dropped (and counted); a leaser error marks the
+// session failed and surfaces through every subsequent read.
+func (sh *shard) apply(o op, touched map[*session]struct{}) {
+	s, ok := sh.sessions[o.tenant]
+	if !ok || s.failed {
+		sh.dropped.Add(int64(len(o.events)))
+		return
+	}
+	for i, ev := range o.events {
+		d, err := s.rec.Observe(s.leaser, ev)
+		if err != nil {
+			s.failed = true
+			s.err = fmt.Errorf("engine: tenant %q: %w", o.tenant, err)
+			touched[s] = struct{}{}
+			sh.dropped.Add(int64(len(o.events) - i))
+			return
+		}
+		sh.events.Add(1)
+		sh.addCost(d.Cost)
+	}
+	touched[s] = struct{}{}
+}
+
+// publish refreshes and clears the touched set.
+func (sh *shard) publish(touched map[*session]struct{}) {
+	for s := range touched {
+		s.publish(sh.cfg.RecordRuns)
+		delete(touched, s)
+	}
+}
+
+// addCost accumulates into the float counter; single-writer, so a plain
+// load-add-store on the bits is race-free.
+func (sh *shard) addCost(c float64) {
+	sh.costBits.Store(math.Float64bits(math.Float64frombits(sh.costBits.Load()) + c))
+}
+
+func (sh *shard) metrics() ShardMetrics {
+	return ShardMetrics{
+		Shard:      sh.id,
+		Sessions:   len(*sh.reg.Load()),
+		Events:     sh.events.Load(),
+		Batches:    sh.batches.Load(),
+		Dropped:    sh.dropped.Load(),
+		QueueDepth: len(sh.queue),
+		Cost:       math.Float64frombits(sh.costBits.Load()),
+	}
+}

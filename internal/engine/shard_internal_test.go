@@ -1,0 +1,26 @@
+package engine
+
+import "testing"
+
+// shardIndex must be stable (it defines tenant placement for the
+// engine's lifetime) and in range for any shard count.
+func TestShardIndex(t *testing.T) {
+	tenants := []string{"", "a", "tenant-000", "tenant-001", "alpha", "beta"}
+	for _, n := range []int{1, 2, 8, 16} {
+		seen := map[int]bool{}
+		for _, tenant := range tenants {
+			i := shardIndex(tenant, n)
+			if i < 0 || i >= n {
+				t.Fatalf("shardIndex(%q, %d) = %d out of range", tenant, n, i)
+			}
+			if i != shardIndex(tenant, n) {
+				t.Fatalf("shardIndex(%q, %d) not stable", tenant, n)
+			}
+			seen[i] = true
+		}
+		if n >= 8 && len(seen) < 2 {
+			t.Errorf("shardIndex maps %d tenants to %d shard(s) of %d — suspicious clustering",
+				len(tenants), len(seen), n)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package engine_test
+
+// Ingestion stress test, meant to run under -race (the CI workflow does):
+// many tenants fed concurrently while readers hammer the cached state and
+// metrics. Correctness is still exact — after Flush every tenant's cost
+// must equal its single-threaded Replay.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"leasing"
+	"leasing/internal/engine"
+	"leasing/internal/stream"
+	"leasing/internal/workload"
+)
+
+func TestEngineConcurrentStress(t *testing.T) {
+	const tenants = 48
+	cfg := parityConfig(t)
+	eng := engine.New(engine.Config{Shards: 8, BatchSize: 16, QueueDepth: 32})
+	defer eng.Close()
+
+	streams := make([][]stream.Event, tenants)
+	want := make([]float64, tenants)
+	names := make([]string, tenants)
+	for i := range streams {
+		names[i] = fmt.Sprintf("tenant-%03d", i)
+		days := workload.DemandDays(rand.New(rand.NewSource(int64(100+i))), 160, 0.35)
+		streams[i] = leasing.DayEvents(days)
+		alg, err := leasing.NewDeterministicParkingPermit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := stream.Replay(leasing.NewParkingStream(alg), streams[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = run.Total()
+
+		open, err := leasing.NewDeterministicParkingPermit(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Open(names[i], leasing.NewParkingStream(open)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stop atomic.Bool
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for !stop.Load() {
+				name := names[rng.Intn(tenants)]
+				if _, err := eng.Cost(name); err != nil {
+					t.Errorf("reader cost: %v", err)
+					return
+				}
+				if _, err := eng.Snapshot(name); err != nil {
+					t.Errorf("reader snapshot: %v", err)
+					return
+				}
+				if m := eng.Metrics(); m.Sessions != tenants {
+					t.Errorf("metrics sessions = %d, want %d", m.Sessions, tenants)
+					return
+				}
+			}
+		}(r)
+	}
+
+	var producers sync.WaitGroup
+	for i := range streams {
+		producers.Add(1)
+		go func(i int) {
+			defer producers.Done()
+			evs := streams[i]
+			for len(evs) > 0 {
+				chunk := 1 + i%7
+				if chunk > len(evs) {
+					chunk = len(evs)
+				}
+				if err := eng.SubmitBatch(names[i], evs[:chunk]); err != nil {
+					t.Errorf("submit %s: %v", names[i], err)
+					return
+				}
+				evs = evs[chunk:]
+			}
+		}(i)
+	}
+	producers.Wait()
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	readers.Wait()
+
+	var total int64
+	for i := range streams {
+		cost, err := eng.Cost(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost.Total() != want[i] {
+			t.Errorf("%s: engine cost %v != replay cost %v", names[i], cost.Total(), want[i])
+		}
+		total += int64(len(streams[i]))
+	}
+	m := eng.Metrics()
+	if m.Events != total {
+		t.Errorf("metrics events = %d, want %d", m.Events, total)
+	}
+	if m.Dropped != 0 {
+		t.Errorf("metrics dropped = %d, want 0", m.Dropped)
+	}
+}

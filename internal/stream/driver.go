@@ -57,6 +57,64 @@ func (r *Run) RatioCurve(offline float64) ([]float64, error) {
 	return out, nil
 }
 
+// Recorder drives one Leaser event by event: it enforces non-decreasing
+// event times, counts events, and (when keeping) accumulates the decision
+// list and cumulative cost curve a Replay returns. It is the incremental
+// core shared by Replay and by the multi-tenant engine
+// (internal/engine), which owns one Recorder per session — that sharing
+// is what makes an engine session's recorded run byte-identical to a
+// single-threaded Replay of the same events.
+type Recorder struct {
+	keep      bool
+	n         int
+	last      int64
+	decisions []Decision
+	curve     []CurvePoint
+}
+
+// NewRecorder returns an empty Recorder. With keep false it still
+// enforces the protocol and counts events but retains no per-event
+// output, so long-lived sessions run in constant memory.
+func NewRecorder(keep bool) *Recorder { return &Recorder{keep: keep} }
+
+// Observe checks the event's time against the previous one, feeds it
+// through the Leaser, and records the outcome. On error the Leaser is
+// presumed corrupted and the Recorder must not be fed further events.
+func (r *Recorder) Observe(l Leaser, ev Event) (Decision, error) {
+	if r.n > 0 && ev.Time < r.last {
+		return Decision{}, fmt.Errorf("stream: event %d at time %d precedes %d", r.n, ev.Time, r.last)
+	}
+	r.last = ev.Time
+	d, err := l.Observe(ev)
+	if err != nil {
+		return Decision{}, fmt.Errorf("stream: event %d (t=%d): %w", r.n, ev.Time, err)
+	}
+	r.n++
+	if r.keep {
+		r.decisions = append(r.decisions, d)
+		r.curve = append(r.curve, CurvePoint{Time: ev.Time, Cost: l.Cost().Total()})
+	}
+	return d, nil
+}
+
+// Events returns the number of events observed so far.
+func (r *Recorder) Events() int { return r.n }
+
+// Recorded returns the accumulated decisions and curve. The returned
+// slice headers are stable snapshots: later Observes append past their
+// length without disturbing the prefix, so a snapshot taken between
+// events stays valid while recording continues.
+func (r *Recorder) Recorded() ([]Decision, []CurvePoint) {
+	return r.decisions[:len(r.decisions):len(r.decisions)],
+		r.curve[:len(r.curve):len(r.curve)]
+}
+
+// Run packages the recorded output with the Leaser's final cost.
+func (r *Recorder) Run(l Leaser) *Run {
+	ds, cv := r.Recorded()
+	return &Run{Decisions: ds, Curve: cv, Final: l.Cost()}
+}
+
 // Replay feeds every event through the Leaser in order and records the
 // decision and cost curve. It is the single generic code path every
 // domain's online runs go through — the experiment harness, cmd/leasesim
@@ -64,25 +122,13 @@ func (r *Run) RatioCurve(offline float64) ([]float64, error) {
 // non-decreasing; the first violation is reported before the Leaser sees
 // the event.
 func Replay(l Leaser, events []Event) (*Run, error) {
-	run := &Run{
-		Decisions: make([]Decision, 0, len(events)),
-		Curve:     make([]CurvePoint, 0, len(events)),
-	}
-	var last int64
-	for i, ev := range events {
-		if i > 0 && ev.Time < last {
-			return nil, fmt.Errorf("stream: event %d at time %d precedes %d", i, ev.Time, last)
+	rec := NewRecorder(true)
+	for _, ev := range events {
+		if _, err := rec.Observe(l, ev); err != nil {
+			return nil, err
 		}
-		last = ev.Time
-		d, err := l.Observe(ev)
-		if err != nil {
-			return nil, fmt.Errorf("stream: event %d (t=%d): %w", i, ev.Time, err)
-		}
-		run.Decisions = append(run.Decisions, d)
-		run.Curve = append(run.Curve, CurvePoint{Time: ev.Time, Cost: l.Cost().Total()})
 	}
-	run.Final = l.Cost()
-	return run, nil
+	return rec.Run(l), nil
 }
 
 // Interleave merges several event streams (each sorted by time) into one

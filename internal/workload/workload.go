@@ -242,6 +242,35 @@ func ElementStream(rng *rand.Rand, horizon int64, p float64, pick func() int, mu
 	return out
 }
 
+// ConnectRequest is one demand of the network-leasing streams: terminals
+// S and U must be connected at time T (the Steiner-tree-leasing request).
+type ConnectRequest struct {
+	T int64 `json:"t"`
+	S int   `json:"s"`
+	U int   `json:"u"`
+}
+
+// ConnectStream draws connectivity requests over [0, horizon): each day
+// with probability p a request between two distinct terminals uniform in
+// [0, n) arrives. Requests are sorted by time; n must be at least 2.
+func ConnectStream(rng *rand.Rand, horizon int64, p float64, n int) ([]ConnectRequest, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workload: connect stream needs n >= 2 terminals, got %d", n)
+	}
+	var out []ConnectRequest
+	for t := int64(0); t < horizon; t++ {
+		if rng.Float64() < p {
+			s := rng.Intn(n)
+			u := rng.Intn(n - 1)
+			if u >= s {
+				u++
+			}
+			out = append(out, ConnectRequest{T: t, S: s, U: u})
+		}
+	}
+	return out, nil
+}
+
 // MergeSortedDays merges and deduplicates two ascending day slices.
 func MergeSortedDays(a, b []int64) []int64 {
 	out := make([]int64, 0, len(a)+len(b))
