@@ -9,10 +9,12 @@
 //	leasebench -experiment all [-markdown]
 //	leasebench -json [-out BENCH_PR2.json]   # machine-readable report
 //
-// Committed BENCH_*.json snapshots track the repo's perf trajectory:
-// leasebench writes the experiment-table reports (BENCH_PR2.json) and
-// cmd/leaseload writes the multi-tenant engine throughput baselines
-// (BENCH_PR3.json).
+// Committed BENCH_*.json snapshots track the repo's perf trajectory,
+// one per serving boundary, numbered by the PR that introduced them
+// (the README documents the convention): leasebench writes the
+// experiment-table reports (BENCH_PR2.json) and cmd/leaseload writes
+// the serving-stack baselines — the in-process engine (BENCH_PR3.json)
+// and the HTTP lease service driven with -remote (BENCH_PR4.json).
 package main
 
 import (

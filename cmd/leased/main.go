@@ -1,0 +1,155 @@
+// Command leased is the network-facing lease service: an HTTP/JSON
+// daemon fronting the sharded multi-tenant engine. Remote tenants open
+// sessions from full instance specs, stream demands in (JSON arrays or
+// NDJSON), and read costs, snapshots and recorded runs back; shard-queue
+// backpressure surfaces as 429s and SIGINT/SIGTERM triggers a graceful
+// drain (stop accepting requests, process everything queued, publish
+// final state, exit 0). docs/API.md documents the protocol and
+// docs/OPERATIONS.md the operational knobs; cmd/leaseload -remote
+// load-tests a running daemon.
+//
+// Usage:
+//
+//	leased [-addr :8080] [-shards 8] [-queue 256] [-batch 64] [-record] [-auth tokens.txt]
+//
+// The -auth file enables per-tenant token scoping: one "token tenant"
+// pair per line ('#' comments), where tenant "*" is the admin scope.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"leasing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "leased:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("leased", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		shards   = fs.Int("shards", 8, "engine shards (goroutines sessions are hashed across)")
+		queue    = fs.Int("queue", 256, "engine per-shard queue depth; a full queue turns submits into 429s")
+		batch    = fs.Int("batch", 64, "engine batch size (events drained per shard wake)")
+		record   = fs.Bool("record", false, "record full per-session runs so the result endpoint works")
+		authPath = fs.String("auth", "", "token file enabling per-tenant auth: one 'token tenant' pair per line, tenant '*' is the admin scope")
+		drainFor = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests before forcing the drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards < 1 || *queue < 1 || *batch < 1 {
+		return fmt.Errorf("-shards, -queue and -batch must be >= 1")
+	}
+	tokens, err := loadAuth(*authPath)
+	if err != nil {
+		return err
+	}
+
+	eng := leasing.NewEngine(leasing.EngineConfig{
+		Shards:     *shards,
+		QueueDepth: *queue,
+		BatchSize:  *batch,
+		RecordRuns: *record,
+	})
+	handler := leasing.Serve(eng, leasing.LeaseServerConfig{Tokens: tokens})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	logger := log.New(w, "leased: ", log.LstdFlags)
+	logger.Printf("listening on %s (shards=%d queue=%d batch=%d record=%v auth=%v)",
+		ln.Addr(), *shards, *queue, *batch, *record, len(tokens) > 0)
+
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting requests, let in-flight ones
+	// finish, then close the engine — which processes everything already
+	// queued and publishes final state before stopping its shards.
+	logger.Printf("signal received, draining")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	m := eng.Metrics()
+	logger.Printf("drained: %d sessions, %d events processed, %d dropped, total cost %.2f",
+		m.Sessions, m.Events, m.Dropped, m.Cost)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadAuth parses the -auth token file: one "token tenant" pair per
+// line, blank lines and '#' comments skipped. An empty path disables
+// auth.
+func loadAuth(path string) (map[string]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tokens := map[string]string{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want 'token tenant', got %q", path, line, text)
+		}
+		if _, dup := tokens[fields[0]]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate token", path, line)
+		}
+		tokens[fields[0]] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(tokens) == 0 {
+		return nil, fmt.Errorf("%s: no tokens (auth would be disabled implicitly)", path)
+	}
+	return tokens, nil
+}

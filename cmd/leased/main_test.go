@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-shards", "0"}, os.Stderr); err == nil {
+		t.Error("shards=0 accepted")
+	}
+	if err := run([]string{"-nope"}, os.Stderr); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-auth", "/does/not/exist"}, os.Stderr); err == nil {
+		t.Error("missing auth file accepted")
+	}
+}
+
+func TestLoadAuth(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tokens.txt")
+	content := `# operator tokens
+acme-token acme
+
+root-token *
+`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tokens, err := loadAuth(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 2 || tokens["acme-token"] != "acme" || tokens["root-token"] != "*" {
+		t.Errorf("tokens = %v", tokens)
+	}
+}
+
+func TestLoadAuthRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"three fields":    "tok tenant extra\n",
+		"duplicate token": "tok a\ntok b\n",
+		"empty file":      "# only comments\n",
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, name+".txt")
+		if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadAuth(path); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadAuthEmptyPathDisables(t *testing.T) {
+	tokens, err := loadAuth("")
+	if err != nil || tokens != nil {
+		t.Errorf("loadAuth(\"\") = %v, %v; want nil, nil", tokens, err)
+	}
+}

@@ -1,27 +1,38 @@
-// Command leaseload is the load generator for the sharded multi-tenant
-// engine: it synthesizes mixed-domain tenant traffic (parking days,
-// deadlines, set-cover elements, facility batches, Steiner connects —
-// one domain per tenant, streams drawn from internal/workload), pumps it
-// through the engine from concurrent producers, and reports sustained
-// throughput plus submit-latency percentiles. With -verify every
-// tenant's engine output is additionally checked byte-identical against
-// a single-threaded Replay. Like leasebench, -json emits a
-// machine-readable report (committed snapshots are named BENCH_*.json).
+// Command leaseload is the load generator for the multi-tenant lease
+// serving stack: it synthesizes mixed-domain tenant traffic (parking
+// days, deadlines, set-cover elements, facility batches, Steiner
+// connects — one domain per tenant, streams drawn from
+// internal/workload), pumps it through the engine from concurrent
+// producers, and reports sustained throughput plus submit-latency
+// percentiles. By default it drives the in-process engine; with -remote
+// it drives the HTTP lease service instead — against a running
+// cmd/leased daemon (-addr), or against an in-process loopback daemon
+// it starts itself (no -addr) — measuring end-to-end HTTP submit
+// latency. With -verify every tenant's output is additionally checked
+// byte-identical against a single-threaded Replay (in remote mode the
+// daemon must run with -record). Like leasebench, -json emits a
+// machine-readable report (committed snapshots are named BENCH_*.json;
+// see the README's trajectory convention).
 //
 // Usage:
 //
 //	leaseload -tenants 64 -events 256 -shards 8 -batch 64 -queue 256 -producers 4
 //	leaseload -verify                        # parity-check tenants vs Replay
+//	leaseload -remote [-addr http://host:8080] [-verify]
 //	leaseload -json [-out BENCH_PR3.json]    # machine-readable report
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -30,6 +41,7 @@ import (
 
 	"leasing"
 	"leasing/internal/sim"
+	"leasing/internal/wire"
 	"leasing/internal/workload"
 )
 
@@ -40,14 +52,17 @@ func main() {
 	}
 }
 
-// tenant is one synthetic session: a name, its fixed event stream, and a
+// tenant is one synthetic session: a name, its fixed event stream, a
 // factory building a fresh deterministic leaser (called once to serve in
-// the engine and, under -verify, once more for the reference Replay).
+// the engine and, under -verify, once more for the reference Replay),
+// and the wire spec that opens the same session remotely.
 type tenant struct {
 	name   string
 	domain string
 	events []leasing.Event
 	fresh  func() (leasing.Leaser, error)
+	spec   leasing.RemoteOpenRequest
+	wevs   []leasing.RemoteEvent // events in wire form (remote mode)
 }
 
 type latencyStats struct {
@@ -59,9 +74,13 @@ type latencyStats struct {
 
 // jsonReport is the machine-readable format, the leaseload counterpart
 // of leasebench's report: configuration, throughput, latency, and the
-// engine's own per-shard counters.
+// engine's own per-shard counters. Mode records the driven boundary:
+// "engine" for in-process runs, "remote" for HTTP runs (where the
+// latency percentiles include the network round trip and any
+// backpressure retries).
 type jsonReport struct {
 	Tool            string                `json:"tool"`
+	Mode            string                `json:"mode"`
 	GoVersion       string                `json:"go_version"`
 	Seed            int64                 `json:"seed"`
 	Tenants         int                   `json:"tenants"`
@@ -88,9 +107,11 @@ func run(args []string, w io.Writer) error {
 		batch     = fs.Int("batch", 64, "engine batch size (events drained per shard wake)")
 		queue     = fs.Int("queue", 256, "engine per-shard queue depth (backpressure)")
 		producers = fs.Int("producers", 4, "concurrent producer goroutines (tenants are partitioned across them)")
-		chunk     = fs.Int("chunk", 32, "events per SubmitBatch call")
+		chunk     = fs.Int("chunk", 32, "events per SubmitBatch call (per HTTP submit in -remote mode)")
 		seed      = fs.Int64("seed", 2015, "base random seed for workload synthesis")
 		verify    = fs.Bool("verify", false, "after the run, check every tenant byte-identical to a single-threaded Replay")
+		remote    = fs.Bool("remote", false, "drive the HTTP lease service instead of the in-process engine")
+		addr      = fs.String("addr", "", "with -remote: base URL of a running leased daemon (empty starts an in-process loopback daemon)")
 		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
 		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
 	)
@@ -104,6 +125,20 @@ func run(args []string, w io.Writer) error {
 	// them instead so the report never misstates the measured config.
 	if *shards < 1 || *batch < 1 || *queue < 1 {
 		return fmt.Errorf("-shards, -batch and -queue must be >= 1")
+	}
+	if *addr != "" && !*remote {
+		return fmt.Errorf("-addr requires -remote")
+	}
+	if *addr != "" {
+		// An external daemon's engine configuration is set by the
+		// daemon; local values would misstate the measured setup.
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"shards", "batch", "queue"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s is set by the daemon; it cannot be combined with -addr", name)
+			}
+		}
 	}
 
 	cfg := leasing.PowerLeaseConfig(3, 4, 0.55)
@@ -120,11 +155,57 @@ func run(args []string, w io.Writer) error {
 		total += int64(len(t.events))
 	}
 
+	report := jsonReport{
+		Tool:        "leaseload",
+		Mode:        "engine",
+		GoVersion:   runtime.Version(),
+		Seed:        *seed,
+		Tenants:     *tenants,
+		Domains:     domains,
+		TotalEvents: total,
+		Shards:      *shards,
+		Batch:       *batch,
+		Queue:       *queue,
+		Producers:   *producers,
+		Chunk:       *chunk,
+	}
+
+	var err error
+	if *remote {
+		report.Mode = "remote"
+		err = runRemote(&report, ts, remoteParams{
+			addr: *addr, shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk, verify: *verify,
+		})
+	} else {
+		err = runEngine(&report, ts, engineParams{
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk, verify: *verify,
+		})
+	}
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		return writeJSON(report, *outPath, w)
+	}
+	printText(w, report)
+	return nil
+}
+
+type engineParams struct {
+	shards, batch, queue, producers, chunk int
+	verify                                 bool
+}
+
+// runEngine drives the in-process engine, the original leaseload mode.
+func runEngine(report *jsonReport, ts []*tenant, p engineParams) error {
 	eng := leasing.NewEngine(leasing.EngineConfig{
-		Shards:     *shards,
-		QueueDepth: *queue,
-		BatchSize:  *batch,
-		RecordRuns: *verify,
+		Shards:     p.shards,
+		QueueDepth: p.queue,
+		BatchSize:  p.batch,
+		RecordRuns: p.verify,
 	})
 	defer eng.Close()
 	for _, t := range ts {
@@ -137,86 +218,26 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	// Partition tenants across producers; each producer round-robins its
-	// tenants in chunks so shard queues see interleaved multi-tenant
-	// traffic, and records the latency of every SubmitBatch (which
-	// includes any backpressure stall).
-	lats := make([][]float64, *producers)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for p := 0; p < *producers; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			var mine []*tenant
-			for i := p; i < len(ts); i += *producers {
-				mine = append(mine, ts[i])
-			}
-			remaining := make([][]leasing.Event, len(mine))
-			for i, t := range mine {
-				remaining[i] = t.events
-			}
-			for live := len(mine); live > 0; {
-				live = 0
-				for i, t := range mine {
-					evs := remaining[i]
-					if len(evs) == 0 {
-						continue
-					}
-					n := *chunk
-					if n > len(evs) {
-						n = len(evs)
-					}
-					t0 := time.Now()
-					if err := eng.SubmitBatch(t.name, evs[:n]); err != nil {
-						return // closed mid-run; the flush below will report
-					}
-					lats[p] = append(lats[p], float64(time.Since(t0).Nanoseconds())/1e3)
-					remaining[i] = evs[n:]
-					if len(remaining[i]) > 0 {
-						live++
-					}
-				}
-			}
-		}(p)
+	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+		return eng.SubmitBatch(t.name, t.events[lo:hi])
+	}, p.chunk)
+	if err != nil {
+		return err
 	}
-	wg.Wait()
 	if err := eng.Flush(); err != nil {
 		return err
 	}
+	// Elapsed spans submission AND the flush barrier, so events still
+	// queued on shards when producers finish are not counted as done —
+	// the semantics every committed BENCH_PR*.json was measured with.
 	elapsed := time.Since(start)
 
-	report := jsonReport{
-		Tool:         "leaseload",
-		GoVersion:    runtime.Version(),
-		Seed:         *seed,
-		Tenants:      *tenants,
-		Domains:      domains,
-		TotalEvents:  total,
-		Shards:       *shards,
-		Batch:        *batch,
-		Queue:        *queue,
-		Producers:    *producers,
-		Chunk:        *chunk,
-		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
-		EventsPerSec: float64(total) / elapsed.Seconds(),
-		Engine:       eng.Metrics(),
-	}
-	var all []float64
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	sort.Float64s(all)
-	report.SubmitLatencyUS = latencyStats{
-		P50: quantileSorted(all, 0.50),
-		P90: quantileSorted(all, 0.90),
-		P99: quantileSorted(all, 0.99),
-	}
-	if len(all) > 0 {
-		report.SubmitLatencyUS.Max = all[len(all)-1]
-	}
+	report.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	report.EventsPerSec = float64(report.TotalEvents) / elapsed.Seconds()
+	report.SubmitLatencyUS = summarize(lats)
+	report.Engine = eng.Metrics()
 
-	if *verify {
+	if p.verify {
 		ok := true
 		for _, t := range ts {
 			if err := verifyTenant(eng, t); err != nil {
@@ -229,20 +250,175 @@ func run(args []string, w io.Writer) error {
 			return fmt.Errorf("engine output diverged from Replay")
 		}
 	}
-
-	if *jsonOut {
-		return writeJSON(report, *outPath, w)
-	}
-	printText(w, report)
 	return nil
 }
 
-// buildTenant synthesizes one tenant's instance, event stream and leaser
-// factory; the domain cycles with the tenant index. All randomness flows
-// from tseed, so a tenant is reproducible independent of the others.
+type remoteParams struct {
+	addr                                   string
+	shards, batch, queue, producers, chunk int
+	verify                                 bool
+}
+
+// runRemote drives the HTTP lease service: against a running daemon at
+// p.addr, or against an in-process loopback daemon started here (the
+// zero-setup path, also how the committed BENCH_PR4.json is produced).
+func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
+	ctx := context.Background()
+	addr := p.addr
+	if addr == "" {
+		eng := leasing.NewEngine(leasing.EngineConfig{
+			Shards:     p.shards,
+			QueueDepth: p.queue,
+			BatchSize:  p.batch,
+			RecordRuns: p.verify,
+		})
+		srv := &http.Server{Handler: leasing.Serve(eng, leasing.LeaseServerConfig{})}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		go srv.Serve(ln)
+		defer func() {
+			srv.Close()
+			eng.Close()
+		}()
+		addr = "http://" + ln.Addr().String()
+	}
+	cli := leasing.Dial(addr, leasing.RemoteClientOptions{Chunk: p.chunk})
+	if err := cli.Health(ctx); err != nil {
+		return fmt.Errorf("health check %s: %w", addr, err)
+	}
+
+	for _, t := range ts {
+		wevs, err := leasing.WireEvents(t.events)
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+		t.wevs = wevs
+		if err := cli.Open(ctx, t.name, t.spec); err != nil {
+			return fmt.Errorf("open %s: %w", t.name, err)
+		}
+	}
+
+	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+		_, err := cli.Submit(ctx, t.name, t.wevs[lo:hi])
+		return err
+	}, p.chunk)
+	if err != nil {
+		return err
+	}
+	if err := cli.Flush(ctx, ts[0].name); err != nil {
+		return err
+	}
+	// As in engine mode, elapsed spans submission and the flush barrier.
+	elapsed := time.Since(start)
+
+	report.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	report.EventsPerSec = float64(report.TotalEvents) / elapsed.Seconds()
+	report.SubmitLatencyUS = summarize(lats)
+	m, err := cli.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	report.Engine = m.Engine()
+	if p.addr != "" {
+		// The daemon owns its engine configuration: report the shard
+		// count it actually runs (visible in its metrics) and zero the
+		// knobs the load generator cannot observe.
+		report.Shards = len(m.Shards)
+		report.Batch, report.Queue = 0, 0
+	}
+
+	if p.verify {
+		ok := true
+		for _, t := range ts {
+			if err := verifyRemoteTenant(ctx, cli, t); err != nil {
+				ok = false
+				fmt.Fprintf(os.Stderr, "leaseload: verify %s: %v\n", t.name, err)
+			}
+		}
+		report.Verified = &ok
+		if !ok {
+			return fmt.Errorf("remote output diverged from Replay")
+		}
+	}
+	return nil
+}
+
+// produce partitions tenants across producer goroutines; each producer
+// round-robins its tenants in chunks so shard queues see interleaved
+// multi-tenant traffic, and records the latency of every submit call
+// (which includes any backpressure stall or retry). It returns the
+// submission start time so callers can measure elapsed across their
+// flush barrier, and the first submit error (a failed producer stops,
+// but the run is then reported as failed rather than as a silently
+// partial success).
+func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) error, chunk int) ([]float64, time.Time, error) {
+	lats := make([][]float64, producers)
+	errs := make([]error, producers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			var mine []*tenant
+			for i := p; i < len(ts); i += producers {
+				mine = append(mine, ts[i])
+			}
+			offset := make([]int, len(mine))
+			for live := len(mine); live > 0; {
+				live = 0
+				for i, t := range mine {
+					lo := offset[i]
+					if lo >= len(t.events) {
+						continue
+					}
+					hi := min(lo+chunk, len(t.events))
+					t0 := time.Now()
+					if err := submit(t, lo, hi); err != nil {
+						errs[p] = fmt.Errorf("producer %d: %s events [%d:%d): %w", p, t.name, lo, hi, err)
+						return
+					}
+					lats[p] = append(lats[p], float64(time.Since(t0).Nanoseconds())/1e3)
+					offset[i] = hi
+					if hi < len(t.events) {
+						live++
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all, start, errors.Join(errs...)
+}
+
+func summarize(lats []float64) latencyStats {
+	sort.Float64s(lats)
+	s := latencyStats{
+		P50: quantileSorted(lats, 0.50),
+		P90: quantileSorted(lats, 0.90),
+		P99: quantileSorted(lats, 0.99),
+	}
+	if len(lats) > 0 {
+		s.Max = lats[len(lats)-1]
+	}
+	return s
+}
+
+// buildTenant synthesizes one tenant's instance, event stream, leaser
+// factory and wire spec; the domain cycles with the tenant index. All
+// randomness flows from tseed, so a tenant is reproducible independent
+// of the others.
 func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*tenant, error) {
 	rng := rand.New(rand.NewSource(tseed))
 	horizon := int64(2 * events)
+	types := leasing.WireLeaseTypes(cfg)
 	switch i % 5 {
 	case 0:
 		days := workload.DemandDays(rng, horizon, 0.5)
@@ -257,6 +433,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 				}
 				return leasing.NewParkingStream(alg), nil
 			},
+			spec: leasing.RemoteOpenRequest{Domain: wire.DomainParking, Types: types},
 		}, nil
 
 	case 1:
@@ -268,6 +445,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 			fresh: func() (leasing.Leaser, error) {
 				return leasing.NewDeadlineStream(cfg)
 			},
+			spec: leasing.RemoteOpenRequest{Domain: wire.DomainDeadline, Types: types},
 		}, nil
 
 	case 2:
@@ -287,12 +465,26 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 		if err != nil {
 			return nil, err
 		}
+		sets := make([][]int, fam.M())
+		for s := range sets {
+			sets[s] = fam.Set(s)
+		}
+		warr := make([]wire.ElementArrival, len(arrivals))
+		for j, a := range arrivals {
+			warr[j] = wire.ElementArrival{T: a.T, Elem: a.Elem, P: a.P}
+		}
 		return &tenant{
 			name:   fmt.Sprintf("t%04d-elements", i),
 			domain: "elements",
 			events: leasing.ElementEvents(arrivals),
 			fresh: func() (leasing.Leaser, error) {
 				return leasing.NewSetCoverStream(inst, rand.New(rand.NewSource(tseed+1)))
+			},
+			spec: leasing.RemoteOpenRequest{
+				Domain: wire.DomainSetCover, Types: types, Seed: tseed + 1,
+				SetCover: &wire.SetCoverSpec{
+					Elements: n, Sets: sets, Costs: costs, Arrivals: warr,
+				},
 			},
 		}, nil
 
@@ -334,6 +526,14 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 			fresh: func() (leasing.Leaser, error) {
 				return leasing.NewFacilityStream(inst)
 			},
+			spec: leasing.RemoteOpenRequest{
+				Domain: wire.DomainFacility, Types: types,
+				Facility: &wire.FacilitySpec{
+					Sites:   wirePoints(sites),
+					Costs:   facCosts,
+					Batches: wireBatches(batches),
+				},
+			},
 		}, nil
 
 	default:
@@ -347,12 +547,18 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 			return nil, err
 		}
 		reqs := make([]leasing.SteinerRequest, len(connects))
+		wreqs := make([]wire.ConnectRequest, len(connects))
 		for j, c := range connects {
 			reqs[j] = leasing.SteinerRequest{Time: c.T, S: c.S, T: c.U}
+			wreqs[j] = wire.ConnectRequest{T: c.T, S: c.S, U: c.U}
 		}
 		inst, err := leasing.NewSteinerInstance(g, cfg, reqs)
 		if err != nil {
 			return nil, err
+		}
+		edges := make([]wire.Edge, g.M())
+		for j, e := range g.Edges() {
+			edges[j] = wire.Edge{U: e.U, V: e.V, W: e.Weight}
 		}
 		return &tenant{
 			name:   fmt.Sprintf("t%04d-steiner", i),
@@ -361,8 +567,32 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 			fresh: func() (leasing.Leaser, error) {
 				return leasing.NewSteinerStream(inst)
 			},
+			spec: leasing.RemoteOpenRequest{
+				Domain: wire.DomainSteiner, Types: types,
+				Steiner: &wire.SteinerSpec{
+					Vertices: terminals, Edges: edges, Requests: wreqs,
+				},
+			},
 		}, nil
 	}
+}
+
+func wirePoints(ps []leasing.Point) []wire.Point {
+	out := make([]wire.Point, len(ps))
+	for i, p := range ps {
+		out[i] = wire.Point{X: p.X, Y: p.Y}
+	}
+	return out
+}
+
+func wireBatches(batches [][]leasing.Point) [][]wire.Point {
+	out := make([][]wire.Point, len(batches))
+	for t, b := range batches {
+		if b != nil {
+			out[t] = wirePoints(b)
+		}
+	}
+	return out
 }
 
 // verifyTenant holds the engine to its determinism anchor: the recorded
@@ -401,6 +631,52 @@ func verifyTenant(eng *leasing.Engine, t *tenant) error {
 	return nil
 }
 
+// verifyRemoteTenant holds the service to the same anchor over the
+// network: the run fetched through the result endpoint must be
+// byte-identical to a single-threaded Replay of a leaser built from the
+// tenant's own wire spec, the cost endpoint must agree exactly, and
+// close must report the session's full event count.
+func verifyRemoteTenant(ctx context.Context, cli *leasing.RemoteClient, t *tenant) error {
+	wrun, err := cli.Result(ctx, t.name)
+	if err != nil {
+		return err
+	}
+	got := wrun.Stream()
+	ref, err := t.spec.Build()
+	if err != nil {
+		return err
+	}
+	want, err := leasing.Replay(ref, t.events)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", want) {
+		return fmt.Errorf("remote run differs from Replay")
+	}
+	cost, err := cli.Cost(ctx, t.name)
+	if err != nil {
+		return err
+	}
+	if cost.Stream() != want.Final || cost.Total != want.Final.Total() {
+		return fmt.Errorf("remote cost %+v != replay final %+v", cost, want.Final)
+	}
+	snap, err := cli.Snapshot(ctx, t.name)
+	if err != nil {
+		return err
+	}
+	if fmt.Sprintf("%#v", snap.Stream()) != fmt.Sprintf("%#v", ref.Snapshot()) {
+		return fmt.Errorf("remote snapshot differs from replay snapshot")
+	}
+	closed, err := cli.Close(ctx, t.name)
+	if err != nil {
+		return err
+	}
+	if closed.Events != int64(len(t.events)) {
+		return fmt.Errorf("close reports %d events, submitted %d", closed.Events, len(t.events))
+	}
+	return nil
+}
+
 func writeJSON(report jsonReport, outPath string, w io.Writer) error {
 	if outPath != "" {
 		f, err := os.Create(outPath)
@@ -422,6 +698,7 @@ func writeJSON(report jsonReport, outPath string, w io.Writer) error {
 }
 
 func printText(w io.Writer, r jsonReport) {
+	fmt.Fprintf(w, "mode:    %s\n", r.Mode)
 	fmt.Fprintf(w, "tenants: %d (", r.Tenants)
 	first := true
 	for _, d := range []string{"days", "deadline", "elements", "facility", "steiner"} {

@@ -98,4 +98,67 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-nope"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
 	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1"}, &buf); err == nil {
+		t.Error("-addr without -remote accepted")
+	}
+}
+
+// TestRemoteVerified drives the whole remote path end to end: an
+// in-process loopback daemon, sessions opened from wire specs, events
+// submitted over HTTP, and every tenant's result verified byte-identical
+// against a single-threaded Replay of a spec-built leaser.
+func TestRemoteVerified(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-remote", "-tenants", "10", "-events", "60", "-shards", "4",
+		"-producers", "3", "-chunk", "9", "-verify", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Mode != "remote" {
+		t.Errorf("mode = %q, want remote", rep.Mode)
+	}
+	if rep.Verified == nil || !*rep.Verified {
+		t.Error("remote run was not verified against Replay")
+	}
+	if rep.Engine.Events != rep.TotalEvents {
+		t.Errorf("daemon processed %d of %d events", rep.Engine.Events, rep.TotalEvents)
+	}
+	if rep.Engine.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", rep.Engine.Dropped)
+	}
+}
+
+// TestRemoteMatchesEngineMode asserts the HTTP boundary changes nothing
+// about the workload's outcome: a remote run and an in-process run of
+// the same seed report identical event totals and identical engine-side
+// cumulative cost.
+func TestRemoteMatchesEngineMode(t *testing.T) {
+	report := func(remote bool) jsonReport {
+		args := []string{"-tenants", "8", "-events", "50", "-json"}
+		if remote {
+			args = append(args, "-remote")
+		}
+		var buf bytes.Buffer
+		if err := run(args, &buf); err != nil {
+			t.Fatal(err)
+		}
+		var rep jsonReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	local, remote := report(false), report(true)
+	if local.TotalEvents != remote.TotalEvents {
+		t.Errorf("event totals differ: engine %d vs remote %d", local.TotalEvents, remote.TotalEvents)
+	}
+	if local.Engine.Cost != remote.Engine.Cost {
+		t.Errorf("costs differ: engine %v vs remote %v", local.Engine.Cost, remote.Engine.Cost)
+	}
 }

@@ -64,6 +64,21 @@
 // cmd/leaseload load-tests it with mixed-domain tenant traffic; see
 // docs/ARCHITECTURE.md for the layering.
 //
+// # The lease service
+//
+// Serve wraps an Engine in the HTTP/JSON lease service handler — the
+// network boundary cmd/leased runs as a daemon — and Dial returns the
+// matching Go client. Remote tenants open sessions from a
+// RemoteOpenRequest (a full instance spec; construction is
+// deterministic, so the same spec and seed always rebuild the same
+// algorithm), stream demands in as JSON arrays or NDJSON, and read
+// costs, snapshots and recorded runs back. Backpressure surfaces as
+// fail-fast 429s that the client retries transparently, resuming after
+// the server's accepted count. A remote session's result is
+// byte-identical to a local single-threaded Replay. The wire protocol
+// lives in internal/wire and docs/API.md is generated from it;
+// docs/OPERATIONS.md is the operator guide.
+//
 // # Experiments
 //
 // RunExperiment regenerates any of the twenty experiments E1..E20 indexed

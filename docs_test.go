@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"leasing/internal/experiments"
+	"leasing/internal/wire"
 )
 
 func readDoc(t *testing.T, name string) string {
@@ -47,10 +48,11 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 	readme := readDoc(t, "README.md")
 	for _, want := range []string{
 		"cmd/leasebench", "cmd/leasereport", "cmd/leaseload",
-		"examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
-		"docs/ARCHITECTURE.md", "go test", "PODC 2015",
-		"Leaser", "Replay", "Interleave", "Engine", "-json",
-		"BENCH_PR3.json",
+		"cmd/leased", "examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
+		"docs/ARCHITECTURE.md", "docs/API.md", "docs/OPERATIONS.md",
+		"go test", "PODC 2015",
+		"Leaser", "Replay", "Interleave", "Engine", "Serve", "Dial",
+		"-json", "BENCH_PR3.json", "BENCH_PR4.json",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -62,7 +64,7 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 // generated: a hand-recreated DESIGN.md without the header would silently
 // stop being checked against the registry.
 func TestGeneratedDocsCarryHeader(t *testing.T) {
-	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "docs/API.md"} {
 		if !strings.HasPrefix(readDoc(t, name), experiments.GeneratedHeader) {
 			t.Errorf("%s does not start with the cmd/leasereport generated-file header", name)
 		}
@@ -136,9 +138,9 @@ func TestInternalPackagesHaveGodoc(t *testing.T) {
 }
 
 // TestReadmeFlagsExist is the quickstart drift gate: every command-line
-// flag the README mentions must still be defined by some cmd/ tool (or
-// be a known `go test` flag), so renamed or removed flags cannot linger
-// in the docs.
+// flag the README or the operator guide mentions must still be defined
+// by some cmd/ tool (or be a known `go test` flag), so renamed or
+// removed flags cannot linger in the docs.
 func TestReadmeFlagsExist(t *testing.T) {
 	defined := map[string]bool{
 		// `go test` flags appearing in the README's test instructions.
@@ -158,21 +160,25 @@ func TestReadmeFlagsExist(t *testing.T) {
 		}
 	}
 	use := regexp.MustCompile("(?m)(?:^|[\\s`(])-([a-z][a-z0-9]*)")
-	for _, g := range use.FindAllStringSubmatch(readDoc(t, "README.md"), -1) {
-		if !defined[g[1]] {
-			t.Errorf("README.md mentions flag -%s, which no cmd/ tool defines", g[1])
+	for _, doc := range []string{"README.md", "docs/OPERATIONS.md"} {
+		for _, g := range use.FindAllStringSubmatch(readDoc(t, doc), -1) {
+			if !defined[g[1]] {
+				t.Errorf("%s mentions flag -%s, which no cmd/ tool defines", doc, g[1])
+			}
 		}
 	}
 }
 
 // TestArchitectureDocLinked keeps the architecture document discoverable
 // and honest: it must exist, be linked from README and DESIGN.md, and
-// describe the serving layers.
+// describe the serving layers including the lease service.
 func TestArchitectureDocLinked(t *testing.T) {
 	arch := readDoc(t, "docs/ARCHITECTURE.md")
 	for _, want := range []string{
 		"internal/engine", "internal/stream", "cmd/leaseload",
-		"byte-identical", "backpressure",
+		"internal/wire", "internal/server", "internal/client",
+		"cmd/leased", "byte-identical", "backpressure", "429",
+		"OPERATIONS.md", "API.md",
 	} {
 		if !strings.Contains(arch, want) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
@@ -182,6 +188,41 @@ func TestArchitectureDocLinked(t *testing.T) {
 		if !strings.Contains(readDoc(t, name), "docs/ARCHITECTURE.md") {
 			t.Errorf("%s does not link docs/ARCHITECTURE.md", name)
 		}
+	}
+}
+
+// TestOperationsDocLinked keeps the operator guide discoverable (linked
+// from README, DESIGN.md and docs/ARCHITECTURE.md) and covering the
+// operational surface: every leased flag, auth, metrics, shutdown, and
+// the sizing baselines.
+func TestOperationsDocLinked(t *testing.T) {
+	ops := readDoc(t, "docs/OPERATIONS.md")
+	for _, want := range []string{
+		"-addr", "-shards", "-queue", "-batch", "-record", "-auth", "-drain",
+		"SIGTERM", "429", "BENCH_PR3.json", "BENCH_PR4.json",
+		"/v1/metrics", "/v1/healthz", "API.md", "ARCHITECTURE.md",
+	} {
+		if !strings.Contains(ops, want) {
+			t.Errorf("docs/OPERATIONS.md does not mention %q", want)
+		}
+	}
+	for _, name := range []string{"README.md", "DESIGN.md", "docs/ARCHITECTURE.md"} {
+		if !strings.Contains(readDoc(t, name), "OPERATIONS.md") {
+			t.Errorf("%s does not link the operator guide", name)
+		}
+	}
+	if !strings.Contains(readDoc(t, "README.md"), "docs/API.md") {
+		t.Error("README.md does not link the API reference")
+	}
+}
+
+// TestAPIDocMatchesWire is the cheap in-tree twin of `leasereport
+// -check`: the committed docs/API.md must be byte-identical to the
+// reference regenerated from internal/wire's declarations.
+func TestAPIDocMatchesWire(t *testing.T) {
+	want := experiments.GeneratedHeader + string(wire.APIMarkdown())
+	if got := readDoc(t, "docs/API.md"); got != want {
+		t.Error("docs/API.md drifted from internal/wire; regenerate with: go run ./cmd/leasereport -quick")
 	}
 }
 

@@ -47,6 +47,12 @@ var (
 	// ErrNotRecording is returned by Result when the engine was built
 	// without RecordRuns.
 	ErrNotRecording = engine.ErrNotRecording
+	// ErrBackpressure is returned by TrySubmitBatch when the owning
+	// shard's queue is full (SubmitBatch would have blocked).
+	ErrBackpressure = engine.ErrBackpressure
+	// ErrTenantClosed is returned by CloseTenant for an already-closed
+	// tenant.
+	ErrTenantClosed = engine.ErrTenantClosed
 )
 
 // NewEngine starts a sharded multi-tenant engine with cfg's shard

@@ -1,8 +1,10 @@
 package leasing_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 
 	"leasing"
 )
@@ -179,6 +181,65 @@ func Example_engine() {
 	// Output:
 	// acme: $4.50 for 4 demands
 	// globex: $3.00, 3 leases held
+}
+
+// Example_remoteSession drives a session through the lease service over
+// HTTP: Serve wraps an engine as the service handler, Dial returns the
+// client, and a remote tenant opens a parking-permit session from a
+// wire spec, streams demands in, flushes, reads its cost, and closes.
+// The remote session's cost is exactly what an in-process run produces.
+func Example_remoteSession() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	eng := leasing.NewEngine(leasing.EngineConfig{Shards: 4})
+	defer eng.Close()
+	srv := httptest.NewServer(leasing.Serve(eng, leasing.LeaseServerConfig{}))
+	defer srv.Close()
+
+	ctx := context.Background()
+	cli := leasing.Dial(srv.URL, leasing.RemoteClientOptions{})
+	if err := cli.Open(ctx, "acme", leasing.RemoteOpenRequest{
+		Domain: "parking",
+		Types:  leasing.WireLeaseTypes(cfg),
+	}); err != nil {
+		fmt.Println("open:", err)
+		return
+	}
+	events, err := leasing.WireEvents(leasing.DayEvents([]int64{0, 1, 2, 3}))
+	if err != nil {
+		fmt.Println("events:", err)
+		return
+	}
+	n, err := cli.Submit(ctx, "acme", events)
+	if err != nil {
+		fmt.Println("submit:", err)
+		return
+	}
+	if err := cli.Flush(ctx, "acme"); err != nil {
+		fmt.Println("flush:", err)
+		return
+	}
+	cost, err := cli.Cost(ctx, "acme")
+	if err != nil {
+		fmt.Println("cost:", err)
+		return
+	}
+	closed, err := cli.Close(ctx, "acme")
+	if err != nil {
+		fmt.Println("close:", err)
+		return
+	}
+	fmt.Printf("submitted %d demands, cost $%.2f, closed after %d events\n",
+		n, cost.Total, closed.Events)
+	// Output:
+	// submitted 4 demands, cost $4.50, closed after 4 events
 }
 
 // Example_unifiedStream drives two interleaved demand streams through the

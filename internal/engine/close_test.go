@@ -1,0 +1,140 @@
+package engine_test
+
+// Tests for the serving-layer hooks: non-blocking ingestion
+// (TrySubmitBatch -> ErrBackpressure) and per-tenant session sealing
+// (CloseTenant), both added for the HTTP service in internal/server.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"leasing"
+	"leasing/internal/engine"
+	"leasing/internal/stream"
+)
+
+// wedgedLeaser blocks its first Observe until released, pinning the
+// shard goroutine so queue state is controllable from the test.
+type wedgedLeaser struct {
+	release <-chan struct{}
+	once    sync.Once
+}
+
+func (l *wedgedLeaser) Observe(stream.Event) (stream.Decision, error) {
+	l.once.Do(func() { <-l.release })
+	return stream.Decision{Cost: 1}, nil
+}
+func (l *wedgedLeaser) Cost() stream.CostBreakdown { return stream.CostBreakdown{} }
+func (l *wedgedLeaser) Snapshot() stream.Solution  { return stream.Solution{} }
+
+func TestTrySubmitBatchBackpressure(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1, QueueDepth: 1, BatchSize: 1})
+	defer eng.Close()
+	release := make(chan struct{})
+	if err := eng.Open("acme", &wedgedLeaser{release: release}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge the shard with one event, then fill the queue. Eventually a
+	// TrySubmitBatch must fail fast with ErrBackpressure instead of
+	// blocking like SubmitBatch would.
+	ev := []stream.Event{{Time: 0}}
+	sawBackpressure := false
+	for i := 0; i < 10 && !sawBackpressure; i++ {
+		if err := eng.TrySubmitBatch("acme", ev); err != nil {
+			if !errors.Is(err, engine.ErrBackpressure) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			sawBackpressure = true
+		}
+	}
+	if !sawBackpressure {
+		t.Fatal("queue never reported backpressure")
+	}
+	close(release)
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// With the shard drained, TrySubmitBatch accepts again.
+	if err := eng.TrySubmitBatch("acme", []stream.Event{{Time: 1}}); err != nil {
+		t.Fatalf("post-drain try-submit: %v", err)
+	}
+}
+
+func TestTrySubmitBatchAfterClose(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1})
+	eng.Close()
+	err := eng.TrySubmitBatch("acme", []stream.Event{{Time: 0}})
+	if !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("error %v, want ErrClosed", err)
+	}
+}
+
+func TestCloseTenant(t *testing.T) {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Shards: 2, RecordRuns: true})
+	defer eng.Close()
+
+	alg, err := leasing.NewDeterministicParkingPermit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Open("acme", leasing.NewParkingStream(alg)); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.CloseTenant("ghost"); !errors.Is(err, engine.ErrUnknownTenant) {
+		t.Errorf("close unknown: %v, want ErrUnknownTenant", err)
+	}
+
+	if err := eng.SubmitBatch("acme", leasing.DayEvents([]int64{0, 1, 2})); err != nil {
+		t.Fatal(err)
+	}
+	// CloseTenant is a per-tenant barrier: the three queued events are
+	// processed and published before it returns, no Flush needed.
+	if err := eng.CloseTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := eng.Events("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("events at close = %d, want 3", n)
+	}
+	cost, err := eng.Cost("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := eng.CloseTenant("acme"); !errors.Is(err, engine.ErrTenantClosed) {
+		t.Errorf("double close: %v, want ErrTenantClosed", err)
+	}
+
+	// Post-close events are dropped and counted; the final state stays.
+	if err := eng.SubmitBatch("acme", leasing.DayEvents([]int64{3, 4})); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := eng.Events("acme"); n != 3 {
+		t.Errorf("events after post-close submit = %d, want 3", n)
+	}
+	if c, _ := eng.Cost("acme"); c != cost {
+		t.Errorf("cost changed after close: %+v -> %+v", cost, c)
+	}
+	if m := eng.Metrics(); m.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", m.Dropped)
+	}
+	if run, err := eng.Result("acme"); err != nil || len(run.Decisions) != 3 {
+		t.Errorf("result after close: run %v, err %v (want 3 decisions)", run, err)
+	}
+}

@@ -40,6 +40,13 @@ var (
 	// ErrNotRecording is returned by Result when the engine was built
 	// without RecordRuns.
 	ErrNotRecording = errors.New("engine: RecordRuns disabled")
+	// ErrBackpressure is returned by TrySubmitBatch when the owning
+	// shard's queue is full, instead of blocking like SubmitBatch does.
+	// The serving layer maps it to HTTP 429.
+	ErrBackpressure = errors.New("engine: shard queue full")
+	// ErrTenantClosed is returned by CloseTenant for an already-closed
+	// tenant; events submitted after CloseTenant are dropped and counted.
+	ErrTenantClosed = errors.New("engine: tenant closed")
 )
 
 // Config sizes the engine. The zero value is usable: every field falls
@@ -167,6 +174,45 @@ func (e *Engine) SubmitBatch(tenant string, evs []stream.Event) error {
 		return nil
 	}
 	return e.send(e.shardFor(tenant), op{kind: opEvents, tenant: tenant, events: evs})
+}
+
+// TrySubmitBatch is the non-blocking SubmitBatch: if the owning shard's
+// queue has room the batch is enqueued exactly as SubmitBatch would, and
+// otherwise ErrBackpressure is returned immediately with no events
+// accepted. It is the ingestion hook for servers that must convert
+// backpressure into a retryable signal (HTTP 429) instead of stalling a
+// request-handling goroutine. Like SubmitBatch, the engine takes
+// ownership of evs on success.
+func (e *Engine) TrySubmitBatch(tenant string, evs []stream.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	sh := e.shardFor(tenant)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case sh.queue <- op{kind: opEvents, tenant: tenant, events: evs}:
+		return nil
+	default:
+		return fmt.Errorf("%w: %q", ErrBackpressure, tenant)
+	}
+}
+
+// CloseTenant seals one tenant's session: it returns once every event
+// submitted for the tenant before the call has been processed and the
+// final session state published, after which further events for the
+// tenant are dropped (and counted in Metrics) while Cost, Snapshot,
+// Events and Result keep serving the final state. Closing an unknown
+// tenant returns ErrUnknownTenant; closing twice returns ErrTenantClosed.
+func (e *Engine) CloseTenant(tenant string) error {
+	done := make(chan error, 1)
+	if err := e.send(e.shardFor(tenant), op{kind: opClose, tenant: tenant, done: done}); err != nil {
+		return err
+	}
+	return <-done
 }
 
 // Flush blocks until every event submitted before the call has been

@@ -14,6 +14,7 @@ const (
 	opOpen opKind = iota + 1
 	opEvents
 	opFlush
+	opClose
 	opStop
 )
 
@@ -50,6 +51,7 @@ type session struct {
 	rec    *stream.Recorder
 	state  atomic.Pointer[sessionState]
 	failed bool
+	closed bool  // sealed by CloseTenant; reads stay valid, events drop
 	err    error // the failure, carried into every published state
 }
 
@@ -134,6 +136,8 @@ func (sh *shard) run(done interface{ Done() }) {
 				// publish before acking so the barrier covers reads.
 				sh.publish(touched)
 				o.done <- nil
+			case opClose:
+				o.done <- sh.close(o.tenant, touched)
 			case opStop:
 				stop = true
 			}
@@ -162,12 +166,30 @@ func (sh *shard) open(tenant string, l stream.Leaser) error {
 	return nil
 }
 
-// apply feeds one submitted batch into its session. Events for unknown
-// or failed sessions are dropped (and counted); a leaser error marks the
-// session failed and surfaces through every subsequent read.
+// close seals a session: every event queued for the tenant before the
+// close op has already been applied (the queue is FIFO), so publishing
+// here makes the final state visible before the caller's CloseTenant
+// returns.
+func (sh *shard) close(tenant string, touched map[*session]struct{}) error {
+	s, ok := sh.sessions[tenant]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
+	}
+	if s.closed {
+		return fmt.Errorf("%w: %q", ErrTenantClosed, tenant)
+	}
+	s.closed = true
+	s.publish(sh.cfg.RecordRuns)
+	delete(touched, s)
+	return nil
+}
+
+// apply feeds one submitted batch into its session. Events for unknown,
+// closed or failed sessions are dropped (and counted); a leaser error
+// marks the session failed and surfaces through every subsequent read.
 func (sh *shard) apply(o op, touched map[*session]struct{}) {
 	s, ok := sh.sessions[o.tenant]
-	if !ok || s.failed {
+	if !ok || s.failed || s.closed {
 		sh.dropped.Add(int64(len(o.events)))
 		return
 	}

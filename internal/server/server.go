@@ -1,0 +1,390 @@
+// Package server is the HTTP/JSON serving layer over the sharded
+// multi-tenant engine: it routes the endpoints declared in
+// internal/wire, translates engine errors into the wire error codes,
+// maps shard-queue backpressure to fail-fast 429s, scopes requests with
+// per-tenant bearer tokens, and streams NDJSON event ingestion in
+// bounded chunks. The handler is stateless beyond the engine it fronts,
+// so graceful shutdown is the composition of http.Server.Shutdown
+// (stop accepting requests) and Engine.Close (drain queued work) — the
+// order cmd/leased performs on SIGINT/SIGTERM.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"leasing/internal/engine"
+	"leasing/internal/stream"
+	"leasing/internal/wire"
+)
+
+// Config shapes a Server. The zero value serves unauthenticated with
+// default chunking.
+type Config struct {
+	// Tokens enables auth when non-empty: it maps a bearer token to the
+	// one tenant it may act for, or to "*" for the admin scope (every
+	// tenant plus admin-only endpoints). With an empty map every request
+	// is allowed.
+	Tokens map[string]string
+	// ChunkSize caps how many events one engine enqueue carries when the
+	// submit body streams in (NDJSON) or exceeds the chunk. Default 512.
+	ChunkSize int
+	// MaxBodyBytes caps request body size. Default 64 MiB.
+	MaxBodyBytes int64
+	// Builder constructs a session's Leaser from an open spec; defaults
+	// to the spec's own Build. Tests substitute failing builders.
+	Builder func(*wire.OpenRequest) (stream.Leaser, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize < 1 {
+		c.ChunkSize = 512
+	}
+	if c.MaxBodyBytes < 1 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Builder == nil {
+		c.Builder = func(r *wire.OpenRequest) (stream.Leaser, error) { return r.Build() }
+	}
+	return c
+}
+
+// AdminScope is the Tokens value granting access to every tenant and to
+// admin-only endpoints.
+const AdminScope = "*"
+
+// Server is the http.Handler of the lease service. Create one with New;
+// it serves the endpoints declared by wire.Endpoints over the engine it
+// fronts.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+	mux *http.ServeMux
+}
+
+// New builds the service handler over eng. The caller keeps ownership
+// of the engine: close it after the HTTP server has shut down, so
+// queued work drains exactly once.
+func New(eng *engine.Engine, cfg Config) *Server {
+	s := &Server{eng: eng, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	handlers := map[string]http.HandlerFunc{
+		"open":     s.handleOpen,
+		"submit":   s.handleSubmit,
+		"flush":    s.handleFlush,
+		"close":    s.handleClose,
+		"cost":     s.handleCost,
+		"events":   s.handleEvents,
+		"snapshot": s.handleSnapshot,
+		"result":   s.handleResult,
+		"metrics":  s.handleMetrics,
+		"health":   s.handleHealth,
+	}
+	// The route table is the wire declaration itself, so the served
+	// surface cannot drift from the documented one.
+	for _, ep := range wire.Endpoints() {
+		h, ok := handlers[ep.Name]
+		if !ok {
+			panic(fmt.Sprintf("server: endpoint %q declared in wire but not implemented", ep.Name))
+		}
+		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.authorized(ep.Auth, h))
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	s.mux.ServeHTTP(w, r)
+}
+
+// authorized wraps a handler with the endpoint's auth scope.
+func (s *Server) authorized(scope string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if len(s.cfg.Tokens) == 0 || scope == wire.AuthNone {
+			h(w, r)
+			return
+		}
+		token, ok := bearerToken(r)
+		if !ok {
+			writeError(w, wire.CodeUnauthorized, "missing bearer token", 0)
+			return
+		}
+		granted, ok := s.cfg.Tokens[token]
+		if !ok {
+			writeError(w, wire.CodeUnauthorized, "unknown token", 0)
+			return
+		}
+		if granted != AdminScope {
+			if scope == wire.AuthAdmin {
+				writeError(w, wire.CodeForbidden, "admin token required", 0)
+				return
+			}
+			if tenant := r.PathValue("tenant"); tenant != granted {
+				writeError(w, wire.CodeForbidden,
+					fmt.Sprintf("token is scoped to tenant %q", granted), 0)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+func bearerToken(r *http.Request) (string, bool) {
+	auth := r.Header.Get("Authorization")
+	token, ok := strings.CutPrefix(auth, "Bearer ")
+	return token, ok && token != ""
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code, message string, accepted int) {
+	writeJSON(w, wire.HTTPStatus(code), &wire.Error{Code: code, Message: message, Accepted: accepted})
+}
+
+// writeEngineError maps an engine error onto the wire error codes.
+func writeEngineError(w http.ResponseWriter, err error, accepted int) {
+	code := wire.CodeSessionFailed
+	switch {
+	case errors.Is(err, engine.ErrClosed):
+		code = wire.CodeShuttingDown
+	case errors.Is(err, engine.ErrUnknownTenant):
+		code = wire.CodeUnknownTenant
+	case errors.Is(err, engine.ErrDuplicateTenant):
+		code = wire.CodeDuplicateTenant
+	case errors.Is(err, engine.ErrTenantClosed):
+		code = wire.CodeTenantClosed
+	case errors.Is(err, engine.ErrBackpressure):
+		code = wire.CodeBackpressure
+	case errors.Is(err, engine.ErrNotRecording):
+		code = wire.CodeNotRecording
+	}
+	writeError(w, code, err.Error(), accepted)
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	var req wire.OpenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, wire.CodeBadRequest, "decode open request: "+err.Error(), 0)
+		return
+	}
+	lsr, err := s.cfg.Builder(&req)
+	if err != nil {
+		writeError(w, wire.CodeBadRequest, "build session: "+err.Error(), 0)
+		return
+	}
+	if err := s.eng.Open(tenant, lsr); err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusCreated, wire.OpenResponse{Tenant: tenant, Domain: req.Domain})
+}
+
+// handleSubmit ingests events: a JSON array, or with Content-Type
+// application/x-ndjson one event per line, enqueued in ChunkSize chunks
+// while the body streams in. Backpressure fails fast with the accepted
+// count so callers can resume precisely.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	accepted := 0
+	push := func(chunk []stream.Event) error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := s.eng.TrySubmitBatch(tenant, chunk); err != nil {
+			return err
+		}
+		accepted += len(chunk)
+		return nil
+	}
+
+	var err error
+	if mediaType(r) == "application/x-ndjson" {
+		err = s.submitNDJSON(r.Body, push)
+	} else {
+		err = s.submitArray(r.Body, push)
+	}
+	if err != nil {
+		var badReq *badRequestError
+		if errors.As(err, &badReq) {
+			writeError(w, wire.CodeBadRequest, badReq.Error(), accepted)
+		} else {
+			writeEngineError(w, err, accepted)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.SubmitResponse{Accepted: accepted})
+}
+
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func mediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	return strings.TrimSpace(strings.ToLower(ct))
+}
+
+func (s *Server) submitArray(body io.Reader, push func([]stream.Event) error) error {
+	var wevs []wire.Event
+	if err := json.NewDecoder(body).Decode(&wevs); err != nil {
+		return &badRequestError{"decode event array: " + err.Error()}
+	}
+	evs, err := wire.StreamEvents(wevs)
+	if err != nil {
+		return &badRequestError{err.Error()}
+	}
+	// Fail a within-request time regression fast, before anything is
+	// enqueued. (A regression relative to an earlier request is only
+	// seen by the shard and surfaces as an asynchronous session
+	// failure — see the submit endpoint's documented semantics.)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time < evs[i-1].Time {
+			return &badRequestError{fmt.Sprintf(
+				"event %d (t=%d) precedes event %d (t=%d)", i, evs[i].Time, i-1, evs[i-1].Time)}
+		}
+	}
+	for len(evs) > 0 {
+		n := min(s.cfg.ChunkSize, len(evs))
+		if err := push(evs[:n:n]); err != nil {
+			return err
+		}
+		evs = evs[n:]
+	}
+	return nil
+}
+
+func (s *Server) submitNDJSON(body io.Reader, push func([]stream.Event) error) error {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	chunk := make([]stream.Event, 0, s.cfg.ChunkSize)
+	line, seen := 0, 0
+	var last int64
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var wev wire.Event
+		if err := json.Unmarshal([]byte(raw), &wev); err != nil {
+			return &badRequestError{fmt.Sprintf("ndjson line %d: %v", line, err)}
+		}
+		ev, err := wev.Stream()
+		if err != nil {
+			return &badRequestError{fmt.Sprintf("ndjson line %d: %v", line, err)}
+		}
+		// Same within-request order check as the array path; prior
+		// chunks of this request may already be enqueued, so the error
+		// reports the accepted count for precise resumption.
+		if seen > 0 && ev.Time < last {
+			return &badRequestError{fmt.Sprintf(
+				"ndjson line %d: event time %d precedes %d", line, ev.Time, last)}
+		}
+		last = ev.Time
+		seen++
+		chunk = append(chunk, ev)
+		if len(chunk) == s.cfg.ChunkSize {
+			if err := push(chunk); err != nil {
+				return err
+			}
+			chunk = make([]stream.Event, 0, s.cfg.ChunkSize)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return &badRequestError{"read ndjson body: " + err.Error()}
+	}
+	return push(chunk)
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.Flush(); err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.FlushResponse{Flushed: true})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	tenant := r.PathValue("tenant")
+	if err := s.eng.CloseTenant(tenant); err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	// CloseTenant is a per-tenant barrier, so these reads see finals.
+	// A failed session still closes successfully: Cost and Events
+	// return the state at failure alongside the session error, and the
+	// close response reports those finals (the failure itself stays
+	// visible on the session's ordinary reads).
+	cost, err := s.eng.Cost(tenant)
+	if err != nil && errors.Is(err, engine.ErrUnknownTenant) {
+		writeEngineError(w, err, 0)
+		return
+	}
+	events, err := s.eng.Events(tenant)
+	if err != nil && errors.Is(err, engine.ErrUnknownTenant) {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CloseResponse{
+		Tenant: tenant, Events: events, Cost: wire.FromStreamCost(cost),
+	})
+}
+
+func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) {
+	cost, err := s.eng.Cost(r.PathValue("tenant"))
+	if err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.FromStreamCost(cost))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n, err := s.eng.Events(r.PathValue("tenant"))
+	if err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.EventsResponse{Processed: n})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sol, err := s.eng.Snapshot(r.PathValue("tenant"))
+	if err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.FromStreamSolution(sol))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	run, err := s.eng.Result(r.PathValue("tenant"))
+	if err != nil {
+		writeEngineError(w, err, 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.FromStreamRun(run))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.FromEngineMetrics(s.eng.Metrics()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.HealthResponse{Status: "ok"})
+}

@@ -1,0 +1,454 @@
+package wire
+
+// Endpoint declarations and the generated API reference. Everything the
+// server routes on — method, path, auth scope, request/response types,
+// error codes — is declared here once; internal/server builds its mux
+// from the same constants and cmd/leasereport renders docs/API.md from
+// APIMarkdown, whose -check gate keeps the committed reference
+// byte-identical to these declarations.
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+)
+
+// Error is the body of every non-2xx response.
+type Error struct {
+	Code     string `json:"code" doc:"machine-readable error code (see the error table)"`
+	Message  string `json:"message" doc:"human-readable detail"`
+	Accepted int    `json:"accepted,omitempty" doc:"events enqueued before the failure (submit endpoint only); resume after this offset"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// Error codes, one per failure class the service reports.
+const (
+	// CodeBadRequest: malformed JSON, an unknown event kind, an invalid
+	// spec, or a time regression within one submitted batch. Not
+	// retryable. (A time regression across separate submits cannot be
+	// caught synchronously; it surfaces later as session_failed.)
+	CodeBadRequest = "bad_request"
+	// CodeUnauthorized: auth is enabled and the request carried no
+	// (or an unknown) bearer token.
+	CodeUnauthorized = "unauthorized"
+	// CodeForbidden: the token is valid but scoped to another tenant.
+	CodeForbidden = "forbidden"
+	// CodeUnknownTenant: the tenant was never opened.
+	CodeUnknownTenant = "unknown_tenant"
+	// CodeDuplicateTenant: open of an already-open tenant.
+	CodeDuplicateTenant = "duplicate_tenant"
+	// CodeTenantClosed: close of an already-closed tenant.
+	CodeTenantClosed = "tenant_closed"
+	// CodeBackpressure: the tenant's shard queue is full. Retryable:
+	// back off and resume after the reported accepted count.
+	CodeBackpressure = "backpressure"
+	// CodeNotRecording: result read from a daemon running without
+	// -record.
+	CodeNotRecording = "not_recording"
+	// CodeSessionFailed: the tenant's algorithm rejected an event; the
+	// session is sealed at its state before the failure.
+	CodeSessionFailed = "session_failed"
+	// CodeShuttingDown: the daemon is draining for shutdown.
+	CodeShuttingDown = "shutting_down"
+)
+
+// HTTPStatus maps an error code to its HTTP status.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnauthorized:
+		return http.StatusUnauthorized
+	case CodeForbidden:
+		return http.StatusForbidden
+	case CodeUnknownTenant:
+		return http.StatusNotFound
+	case CodeDuplicateTenant, CodeTenantClosed, CodeNotRecording:
+		return http.StatusConflict
+	case CodeBackpressure:
+		return http.StatusTooManyRequests
+	case CodeShuttingDown:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// OpenResponse acknowledges an opened session.
+type OpenResponse struct {
+	Tenant string `json:"tenant" doc:"the opened tenant"`
+	Domain string `json:"domain" doc:"the session's algorithm family"`
+}
+
+// SubmitResponse acknowledges enqueued events. Delivery is asynchronous:
+// acceptance means the events are queued on the tenant's shard, and the
+// flush endpoint is the barrier that makes them visible to reads.
+type SubmitResponse struct {
+	Accepted int `json:"accepted" doc:"events enqueued by this request"`
+}
+
+// FlushResponse acknowledges a completed flush barrier.
+type FlushResponse struct {
+	Flushed bool `json:"flushed" doc:"always true on success"`
+}
+
+// CloseResponse reports a sealed session's final totals.
+type CloseResponse struct {
+	Tenant string        `json:"tenant" doc:"the closed tenant"`
+	Events int64         `json:"events" doc:"events processed over the session's lifetime"`
+	Cost   CostBreakdown `json:"cost" doc:"final cost breakdown"`
+}
+
+// EventsResponse reports a session's processed-event count.
+type EventsResponse struct {
+	Processed int64 `json:"processed" doc:"events processed, current as of the last published batch"`
+}
+
+// HealthResponse is the liveness probe body.
+type HealthResponse struct {
+	Status string `json:"status" doc:"always \"ok\" while the daemon accepts work"`
+}
+
+// Endpoint declares one route of the service.
+type Endpoint struct {
+	Name     string // short identifier, e.g. "submit"
+	Method   string
+	Path     string // mux pattern; {tenant} is the tenant path variable
+	Auth     string // AuthNone, AuthTenant or AuthAdmin
+	Summary  string
+	Request  any      // zero value of the request body type; nil when none
+	Response any      // zero value of the response body type
+	Errors   []string // error codes this endpoint returns (beyond auth)
+	Notes    string   // extra semantics (streaming, barriers, retries)
+}
+
+// Auth scopes of Endpoint.Auth.
+const (
+	// AuthNone: always open, even with auth enabled.
+	AuthNone = "none"
+	// AuthTenant: requires a token scoped to the path's tenant (or the
+	// admin token) when auth is enabled.
+	AuthTenant = "tenant"
+	// AuthAdmin: requires the admin token ("*" scope) when auth is
+	// enabled.
+	AuthAdmin = "admin"
+)
+
+// Endpoints declares every route of the lease service, in documentation
+// order. internal/server registers exactly these.
+func Endpoints() []Endpoint {
+	return []Endpoint{
+		{
+			Name:    "open",
+			Method:  http.MethodPost,
+			Path:    "/v1/tenants/{tenant}",
+			Auth:    AuthTenant,
+			Summary: "Open a tenant session from a full instance spec.",
+			Request: OpenRequest{}, Response: OpenResponse{},
+			Errors: []string{CodeBadRequest, CodeDuplicateTenant, CodeShuttingDown},
+			Notes: "Construction is deterministic: the same spec (including seed) " +
+				"always builds the same algorithm, so a remote session is exactly " +
+				"reproducible by a local replay of the same spec and events.",
+		},
+		{
+			Name:    "submit",
+			Method:  http.MethodPost,
+			Path:    "/v1/tenants/{tenant}/events",
+			Auth:    AuthTenant,
+			Summary: "Submit a batch of events for the tenant.",
+			Request: []Event{}, Response: SubmitResponse{},
+			Errors: []string{CodeBadRequest, CodeBackpressure, CodeShuttingDown},
+			Notes: "The body is either a JSON array of events or, with " +
+				"Content-Type application/x-ndjson, a stream of one JSON event per " +
+				"line (the bulk-ingestion path; events are enqueued in chunks while " +
+				"the body streams in). Events must arrive in non-decreasing time " +
+				"order per tenant, from one submitter: a regression inside one " +
+				"request fails fast with 400 bad_request, while a regression " +
+				"across separate requests is only seen by the shard as it applies " +
+				"the events and therefore surfaces asynchronously — the session " +
+				"fails and later reads return session_failed. When the tenant's " +
+				"shard queue is full the request fails fast with 429 backpressure " +
+				"and reports how many events were already accepted — resume after " +
+				"that offset once the queue drains. Events for an unknown, closed " +
+				"or failed tenant are accepted and then dropped (counted in " +
+				"metrics), matching the engine's asynchronous delivery contract.",
+		},
+		{
+			Name:    "flush",
+			Method:  http.MethodPost,
+			Path:    "/v1/tenants/{tenant}/flush",
+			Auth:    AuthTenant,
+			Summary: "Block until every previously submitted event is processed and published.",
+			Request: nil, Response: FlushResponse{},
+			Errors: []string{CodeShuttingDown},
+			Notes: "The flush barrier is engine-wide: it covers every tenant's " +
+				"prior submissions, in particular this tenant's. After it returns, " +
+				"cost, snapshot and result reads reflect everything submitted " +
+				"before the flush.",
+		},
+		{
+			Name:    "close",
+			Method:  http.MethodDelete,
+			Path:    "/v1/tenants/{tenant}",
+			Auth:    AuthTenant,
+			Summary: "Seal the tenant's session and report its final totals.",
+			Request: nil, Response: CloseResponse{},
+			Errors: []string{CodeUnknownTenant, CodeTenantClosed, CodeShuttingDown},
+			Notes: "Close waits for the tenant's queued events, publishes the " +
+				"final state, then drops any later events (counted in metrics). " +
+				"Reads keep serving the final state after close.",
+		},
+		{
+			Name:    "cost",
+			Method:  http.MethodGet,
+			Path:    "/v1/tenants/{tenant}/cost",
+			Auth:    AuthTenant,
+			Summary: "Read the tenant's cumulative cost breakdown.",
+			Request: nil, Response: CostBreakdown{},
+			Errors: []string{CodeUnknownTenant, CodeSessionFailed},
+			Notes: "Served from cached per-session state, current as of the last " +
+				"batch the tenant's shard processed; flush first to synchronize.",
+		},
+		{
+			Name:    "events",
+			Method:  http.MethodGet,
+			Path:    "/v1/tenants/{tenant}/events",
+			Auth:    AuthTenant,
+			Summary: "Read how many of the tenant's events have been processed.",
+			Request: nil, Response: EventsResponse{},
+			Errors: []string{CodeUnknownTenant, CodeSessionFailed},
+		},
+		{
+			Name:    "snapshot",
+			Method:  http.MethodGet,
+			Path:    "/v1/tenants/{tenant}/snapshot",
+			Auth:    AuthTenant,
+			Summary: "Read the tenant's current solution snapshot.",
+			Request: nil, Response: Solution{},
+			Errors: []string{CodeUnknownTenant, CodeSessionFailed},
+		},
+		{
+			Name:    "result",
+			Method:  http.MethodGet,
+			Path:    "/v1/tenants/{tenant}/result",
+			Auth:    AuthTenant,
+			Summary: "Read the tenant's full recorded run (requires -record).",
+			Request: nil, Response: Run{},
+			Errors: []string{CodeUnknownTenant, CodeNotRecording, CodeSessionFailed},
+			Notes: "The run is byte-identical to what a single-threaded Replay of " +
+				"the session's events produces — the service's determinism anchor.",
+		},
+		{
+			Name:    "metrics",
+			Method:  http.MethodGet,
+			Path:    "/v1/metrics",
+			Auth:    AuthAdmin,
+			Summary: "Sample the engine's per-shard and aggregate counters.",
+			Request: nil, Response: Metrics{},
+		},
+		{
+			Name:    "health",
+			Method:  http.MethodGet,
+			Path:    "/v1/healthz",
+			Auth:    AuthNone,
+			Summary: "Liveness probe.",
+			Request: nil, Response: HealthResponse{},
+		},
+	}
+}
+
+// APIMarkdown renders the endpoint reference (the body of docs/API.md)
+// from the declarations above. The output is a pure function of this
+// package, so cmd/leasereport's -check gate can regenerate and compare
+// it byte for byte.
+func APIMarkdown() []byte {
+	var b bytes.Buffer
+	b.WriteString(`# API — the leased HTTP/JSON protocol
+
+The lease service (` + "`cmd/leased`" + `) fronts the sharded multi-tenant
+engine over HTTP/JSON. This reference is generated from the protocol
+declarations in ` + "`internal/wire`" + ` — the same declarations the server
+routes on and the Go client (` + "`internal/client`" + `, root ` + "`Dial`" + `) speaks —
+so it cannot drift from the implementation. Operator-facing setup lives
+in [OPERATIONS.md](OPERATIONS.md).
+
+## Conventions
+
+- Request and response bodies are JSON; responses are encoded with
+  Content-Type ` + "`application/json`" + `.
+- Every non-2xx response carries an ` + "`Error`" + ` body (see the error table).
+- With auth enabled (` + "`leased -auth`" + `), requests carry
+  ` + "`Authorization: Bearer <token>`" + `. A token is scoped to one tenant; the
+  ` + "`*`" + ` scope is the admin token, valid for every tenant and for
+  admin-only endpoints.
+- In ` + "`leases`" + `, ` + "`assignments`" + `, ` + "`decisions`" + ` and ` + "`curve`" + ` fields,
+  ` + "`null`" + ` and ` + "`[]`" + ` are distinct on purpose: the wire preserves the
+  in-process representation exactly, so a run fetched over HTTP compares
+  byte-identical to a local replay.
+
+## Endpoints
+
+`)
+	for _, ep := range Endpoints() {
+		fmt.Fprintf(&b, "### `%s %s` — %s\n\n%s\n\n", ep.Method, ep.Path, ep.Name, ep.Summary)
+		fmt.Fprintf(&b, "- Auth: %s\n", authDoc(ep.Auth))
+		if ep.Request != nil {
+			fmt.Fprintf(&b, "- Request: %s\n", typeRef(reflect.TypeOf(ep.Request)))
+		} else {
+			b.WriteString("- Request: none\n")
+		}
+		fmt.Fprintf(&b, "- Response: %s\n", typeRef(reflect.TypeOf(ep.Response)))
+		if len(ep.Errors) > 0 {
+			fmt.Fprintf(&b, "- Errors: `%s`\n", strings.Join(ep.Errors, "`, `"))
+		}
+		b.WriteString("\n")
+		if ep.Notes != "" {
+			fmt.Fprintf(&b, "%s\n\n", ep.Notes)
+		}
+	}
+
+	b.WriteString(`## Error codes
+
+| Code | HTTP status | Meaning |
+| --- | --- | --- |
+`)
+	for _, c := range []struct{ code, meaning string }{
+		{CodeBadRequest, "malformed JSON, unknown event kind, invalid spec, or in-request time regression; not retryable"},
+		{CodeUnauthorized, "auth enabled and no (or an unknown) bearer token presented"},
+		{CodeForbidden, "valid token scoped to a different tenant"},
+		{CodeUnknownTenant, "the tenant was never opened"},
+		{CodeDuplicateTenant, "open of an already-open tenant"},
+		{CodeTenantClosed, "close of an already-closed tenant"},
+		{CodeBackpressure, "the tenant's shard queue is full; back off and resume after the reported accepted count"},
+		{CodeNotRecording, "result read from a daemon running without -record"},
+		{CodeSessionFailed, "the tenant's algorithm rejected an event (e.g. a cross-request time regression); the session is sealed at its pre-failure state"},
+		{CodeShuttingDown, "the daemon is draining for shutdown"},
+	} {
+		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", c.code, HTTPStatus(c.code), c.meaning)
+	}
+
+	b.WriteString(`
+## Backpressure
+
+Ingestion is bounded end to end: each engine shard owns a fixed-depth
+operation queue (` + "`leased -queue`" + `), and the submit endpoint enqueues
+without blocking. A full queue fails the request fast with ` + "`429`" + ` /
+` + "`backpressure`" + ` and an ` + "`accepted`" + ` count of the events already
+enqueued; clients back off and resume after that offset (the Go client
+does this automatically). 429s are the load signal — sustained 429s mean
+the shards cannot keep up with ingestion, so add shards, deepen queues,
+or slow producers.
+
+## Wire types
+
+One table per JSON object, fields in declaration order. Types are JSON
+types; ` + "`integer`" + ` fields are 64-bit.
+
+`)
+	b.Write(schemaTables(Endpoints()))
+	b.WriteString("\n")
+	return b.Bytes()
+}
+
+func authDoc(a string) string {
+	switch a {
+	case AuthNone:
+		return "none (open even with auth enabled)"
+	case AuthTenant:
+		return "tenant token (or admin token)"
+	case AuthAdmin:
+		return "admin token"
+	default:
+		return a
+	}
+}
+
+// typeRef renders a request/response type reference for the endpoint
+// list: named object types link to their schema table.
+func typeRef(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.Slice:
+		return "JSON array of " + typeRef(t.Elem())
+	case reflect.Pointer:
+		return typeRef(t.Elem())
+	case reflect.Struct:
+		return "`" + t.Name() + "` object"
+	default:
+		return t.Kind().String()
+	}
+}
+
+// schemaTables walks every struct type reachable from the endpoints'
+// request and response declarations (plus Error, which every endpoint
+// can return) in first-reference order and renders one field table per
+// type.
+func schemaTables(eps []Endpoint) []byte {
+	var order []reflect.Type
+	seen := map[reflect.Type]bool{}
+	var walk func(t reflect.Type)
+	walk = func(t reflect.Type) {
+		switch t.Kind() {
+		case reflect.Slice, reflect.Pointer:
+			walk(t.Elem())
+		case reflect.Struct:
+			if seen[t] {
+				return
+			}
+			seen[t] = true
+			order = append(order, t)
+			for i := 0; i < t.NumField(); i++ {
+				walk(t.Field(i).Type)
+			}
+		}
+	}
+	for _, ep := range eps {
+		if ep.Request != nil {
+			walk(reflect.TypeOf(ep.Request))
+		}
+		walk(reflect.TypeOf(ep.Response))
+	}
+	walk(reflect.TypeOf(Error{}))
+
+	var b bytes.Buffer
+	for _, t := range order {
+		fmt.Fprintf(&b, "### `%s`\n\n| Field | Type | Description |\n| --- | --- | --- |\n", t.Name())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			name, opts, _ := strings.Cut(f.Tag.Get("json"), ",")
+			doc := f.Tag.Get("doc")
+			if strings.Contains(opts, "omitempty") {
+				doc = strings.TrimSuffix(doc, ".") + " (optional)"
+				doc = strings.TrimPrefix(doc, " ")
+			}
+			fmt.Fprintf(&b, "| `%s` | %s | %s |\n", name, jsonType(f.Type), doc)
+		}
+		b.WriteString("\n")
+	}
+	return bytes.TrimRight(b.Bytes(), "\n")
+}
+
+// jsonType renders a field's JSON type.
+func jsonType(t reflect.Type) string {
+	switch t.Kind() {
+	case reflect.String:
+		return "string"
+	case reflect.Bool:
+		return "boolean"
+	case reflect.Int, reflect.Int64:
+		return "integer"
+	case reflect.Float64:
+		return "number"
+	case reflect.Slice:
+		return "array of " + jsonType(t.Elem())
+	case reflect.Pointer:
+		return jsonType(t.Elem())
+	case reflect.Struct:
+		return "`" + t.Name() + "` object"
+	default:
+		return t.Kind().String()
+	}
+}

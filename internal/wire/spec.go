@@ -1,0 +1,303 @@
+package wire
+
+// Open-session specs: a remote tenant describes its whole problem
+// instance in JSON — lease configuration, domain, and the domain's
+// instance data — and Build constructs the same Leaser an in-process
+// caller would get from the root facade's NewXxxStream constructors.
+// Construction is deterministic given the spec (randomized algorithms
+// draw from a generator seeded with Seed), which is what makes a remote
+// session's output reproducible against a local Replay.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leasing/internal/deadline"
+	"leasing/internal/facility"
+	"leasing/internal/graph"
+	"leasing/internal/lease"
+	"leasing/internal/metric"
+	"leasing/internal/parking"
+	"leasing/internal/setcover"
+	"leasing/internal/steiner"
+	"leasing/internal/stream"
+	"leasing/internal/workload"
+)
+
+// Domains of OpenRequest.Domain, one per online algorithm family.
+const (
+	// DomainParking is the deterministic parking-permit algorithm
+	// consuming day events.
+	DomainParking = "parking"
+	// DomainParkingRand is the randomized parking-permit algorithm
+	// (seeded by Seed) consuming day events.
+	DomainParkingRand = "parking-rand"
+	// DomainDeadline is the leasing-with-deadlines primal-dual algorithm
+	// consuming window events.
+	DomainDeadline = "deadline"
+	// DomainSetCover is the randomized set-multicover algorithm (seeded
+	// by Seed) consuming element events; requires the SetCover spec.
+	DomainSetCover = "setcover"
+	// DomainSCLD is the randomized set-cover-leasing-with-deadlines
+	// algorithm (seeded by Seed) consuming element_window events;
+	// requires the SCLD spec.
+	DomainSCLD = "scld"
+	// DomainFacility is the facility-leasing primal-dual algorithm
+	// consuming batch events; requires the Facility spec.
+	DomainFacility = "facility"
+	// DomainSteiner is the Steiner-tree-leasing algorithm consuming
+	// connect events; requires the Steiner spec.
+	DomainSteiner = "steiner"
+)
+
+// Domains lists every accepted OpenRequest.Domain value.
+func Domains() []string {
+	return []string{
+		DomainParking, DomainParkingRand, DomainDeadline,
+		DomainSetCover, DomainSCLD, DomainFacility, DomainSteiner,
+	}
+}
+
+// LeaseType is one lease type of a session's configuration.
+type LeaseType struct {
+	Length int64   `json:"length" doc:"duration in time steps (strictly increasing across types)"`
+	Cost   float64 `json:"cost" doc:"price of one lease of this type (> 0)"`
+}
+
+// ElementArrival is one set-multicover demand of a SetCover spec.
+type ElementArrival struct {
+	T    int64 `json:"t" doc:"arrival step"`
+	Elem int   `json:"elem" doc:"element index in [0, elements)"`
+	P    int   `json:"p" doc:"cover multiplicity (distinct sets required)"`
+}
+
+// SCLDArrival is one demand of an SCLD spec.
+type SCLDArrival struct {
+	T    int64 `json:"t" doc:"arrival step"`
+	Elem int   `json:"elem" doc:"element index in [0, elements)"`
+	D    int64 `json:"d" doc:"deadline slack: coverable over [t, t+d]"`
+}
+
+// Edge is one weighted undirected edge of a Steiner spec.
+type Edge struct {
+	U int     `json:"u" doc:"first endpoint"`
+	V int     `json:"v" doc:"second endpoint"`
+	W float64 `json:"w" doc:"edge weight (per-type lease price is w * type cost)"`
+}
+
+// ConnectRequest is one connectivity demand of a Steiner spec.
+type ConnectRequest struct {
+	T int64 `json:"t" doc:"arrival step"`
+	S int   `json:"s" doc:"first terminal"`
+	U int   `json:"u" doc:"second terminal"`
+}
+
+// SetCoverSpec is the instance data of a setcover session.
+type SetCoverSpec struct {
+	Elements   int              `json:"elements" doc:"universe size n; elements are 0..n-1"`
+	Sets       [][]int          `json:"sets" doc:"the set system: sets[s] lists the elements of set s"`
+	Costs      [][]float64      `json:"costs" doc:"costs[s][k] is the price of leasing set s with type k"`
+	Arrivals   []ElementArrival `json:"arrivals" doc:"the demand stream, sorted by arrival step"`
+	PerElement bool             `json:"per_element,omitempty" doc:"multicover scope: true means every repeat arrival of an element needs a fresh set"`
+}
+
+// SCLDSpec is the instance data of an scld session.
+type SCLDSpec struct {
+	Elements int           `json:"elements" doc:"universe size n; elements are 0..n-1"`
+	Sets     [][]int       `json:"sets" doc:"the set system: sets[s] lists the elements of set s"`
+	Costs    [][]float64   `json:"costs" doc:"costs[s][k] is the price of leasing set s with type k"`
+	Arrivals []SCLDArrival `json:"arrivals" doc:"the demand stream, sorted by arrival step"`
+}
+
+// FacilitySpec is the instance data of a facility session.
+type FacilitySpec struct {
+	Sites   []Point     `json:"sites" doc:"candidate facility locations"`
+	Costs   [][]float64 `json:"costs" doc:"costs[i][k] is the price of leasing site i with type k"`
+	Batches [][]Point   `json:"batches" doc:"batches[t] lists the clients arriving at step t (empty steps allowed)"`
+}
+
+// SteinerSpec is the instance data of a steiner session.
+type SteinerSpec struct {
+	Vertices int              `json:"vertices" doc:"vertex count; vertices are 0..vertices-1"`
+	Edges    []Edge           `json:"edges" doc:"the weighted undirected edge list"`
+	Requests []ConnectRequest `json:"requests" doc:"the demand stream, sorted by arrival step"`
+}
+
+// OpenRequest opens one tenant session: the algorithm family, the lease
+// configuration, and (for the instance-based domains) the instance data.
+// Build constructs the session's Leaser deterministically from this
+// spec, so two builds of the same spec replay identically.
+type OpenRequest struct {
+	Domain   string        `json:"domain" doc:"algorithm family: parking, parking-rand, deadline, setcover, scld, facility or steiner"`
+	Types    []LeaseType   `json:"types" doc:"the lease configuration, shortest type first"`
+	Seed     int64         `json:"seed,omitempty" doc:"seed of the randomized algorithms (parking-rand, setcover, scld); ignored otherwise"`
+	SetCover *SetCoverSpec `json:"setcover,omitempty" doc:"instance data, required when domain is setcover"`
+	SCLD     *SCLDSpec     `json:"scld,omitempty" doc:"instance data, required when domain is scld"`
+	Facility *FacilitySpec `json:"facility,omitempty" doc:"instance data, required when domain is facility"`
+	Steiner  *SteinerSpec  `json:"steiner,omitempty" doc:"instance data, required when domain is steiner"`
+}
+
+// ConfigTypes converts a validated lease configuration into its spec
+// form, the Types field of an OpenRequest.
+func ConfigTypes(cfg *lease.Config) []LeaseType {
+	out := make([]LeaseType, cfg.K())
+	for k := range out {
+		out[k] = LeaseType{Length: cfg.Length(k), Cost: cfg.Cost(k)}
+	}
+	return out
+}
+
+// config validates and builds the lease configuration of the spec.
+func (r *OpenRequest) config() (*lease.Config, error) {
+	types := make([]lease.Type, len(r.Types))
+	for i, t := range r.Types {
+		types[i] = lease.Type{Length: t.Length, Cost: t.Cost}
+	}
+	cfg, err := lease.NewConfig(types...)
+	if err != nil {
+		return nil, fmt.Errorf("wire: types: %w", err)
+	}
+	return cfg, nil
+}
+
+// Build constructs the Leaser the spec describes. It is the one
+// spec-to-algorithm mapping shared by the server (serving the session)
+// and any client-side verifier (replaying the reference), so both sides
+// construct bit-identical algorithms.
+func (r *OpenRequest) Build() (stream.Leaser, error) {
+	cfg, err := r.config()
+	if err != nil {
+		return nil, err
+	}
+	switch r.Domain {
+	case DomainParking:
+		alg, err := parking.NewDeterministic(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return parking.NewLeaser(alg), nil
+
+	case DomainParkingRand:
+		alg, err := parking.NewRandomized(cfg, rand.New(rand.NewSource(r.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		return parking.NewLeaser(alg), nil
+
+	case DomainDeadline:
+		alg, err := deadline.NewOnline(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return deadline.NewLeaser(alg), nil
+
+	case DomainSetCover:
+		sp := r.SetCover
+		if sp == nil {
+			return nil, fmt.Errorf("wire: domain %s requires the setcover spec", r.Domain)
+		}
+		fam, err := setcover.NewFamily(sp.Elements, sp.Sets)
+		if err != nil {
+			return nil, err
+		}
+		arrivals := make([]workload.ElementArrival, len(sp.Arrivals))
+		for i, a := range sp.Arrivals {
+			arrivals[i] = workload.ElementArrival{T: a.T, Elem: a.Elem, P: a.P}
+		}
+		scope := setcover.PerArrival
+		if sp.PerElement {
+			scope = setcover.PerElement
+		}
+		inst, err := setcover.NewInstance(fam, cfg, sp.Costs, arrivals, scope)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := setcover.NewOnline(inst, rand.New(rand.NewSource(r.Seed)), setcover.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return setcover.NewLeaser(alg), nil
+
+	case DomainSCLD:
+		sp := r.SCLD
+		if sp == nil {
+			return nil, fmt.Errorf("wire: domain %s requires the scld spec", r.Domain)
+		}
+		fam, err := setcover.NewFamily(sp.Elements, sp.Sets)
+		if err != nil {
+			return nil, err
+		}
+		arrivals := make([]deadline.SCLDArrival, len(sp.Arrivals))
+		for i, a := range sp.Arrivals {
+			arrivals[i] = deadline.SCLDArrival{T: a.T, Elem: a.Elem, D: a.D}
+		}
+		inst, err := deadline.NewSCLDInstance(fam, cfg, sp.Costs, arrivals)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := deadline.NewSCLDOnline(inst, rand.New(rand.NewSource(r.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		return deadline.NewSCLDStream(alg), nil
+
+	case DomainFacility:
+		sp := r.Facility
+		if sp == nil {
+			return nil, fmt.Errorf("wire: domain %s requires the facility spec", r.Domain)
+		}
+		sites := make([]metric.Point, len(sp.Sites))
+		for i, p := range sp.Sites {
+			sites[i] = metric.Point{X: p.X, Y: p.Y}
+		}
+		batches := make([][]metric.Point, len(sp.Batches))
+		for t, b := range sp.Batches {
+			if b == nil {
+				continue
+			}
+			batches[t] = make([]metric.Point, len(b))
+			for i, p := range b {
+				batches[t][i] = metric.Point{X: p.X, Y: p.Y}
+			}
+		}
+		inst, err := facility.NewInstance(cfg, sites, sp.Costs, batches)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := facility.NewOnline(inst, facility.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return facility.NewLeaser(alg), nil
+
+	case DomainSteiner:
+		sp := r.Steiner
+		if sp == nil {
+			return nil, fmt.Errorf("wire: domain %s requires the steiner spec", r.Domain)
+		}
+		edges := make([]graph.Edge, len(sp.Edges))
+		for i, e := range sp.Edges {
+			edges[i] = graph.Edge{U: e.U, V: e.V, Weight: e.W}
+		}
+		g, err := graph.New(sp.Vertices, edges)
+		if err != nil {
+			return nil, err
+		}
+		reqs := make([]steiner.Request, len(sp.Requests))
+		for i, c := range sp.Requests {
+			reqs[i] = steiner.Request{Time: c.T, S: c.S, T: c.U}
+		}
+		inst, err := steiner.NewInstance(g, cfg, reqs)
+		if err != nil {
+			return nil, err
+		}
+		alg, err := steiner.NewOnline(inst)
+		if err != nil {
+			return nil, err
+		}
+		return steiner.NewLeaser(alg), nil
+
+	default:
+		return nil, fmt.Errorf("wire: unknown domain %q (want one of %v)", r.Domain, Domains())
+	}
+}
