@@ -4,13 +4,19 @@
 // NDJSON), and read costs, snapshots and recorded runs back; shard-queue
 // backpressure surfaces as 429s and SIGINT/SIGTERM triggers a graceful
 // drain (stop accepting requests, process everything queued, publish
-// final state, exit 0). docs/API.md documents the protocol and
-// docs/OPERATIONS.md the operational knobs; cmd/leaseload -remote
-// load-tests a running daemon.
+// final state, exit 0). With -data-dir the daemon is durable: every
+// acknowledged open, event batch and close is write-ahead logged before
+// it is acknowledged, and on boot every logged session is recovered —
+// so a crash (even SIGKILL) loses nothing acknowledged. docs/API.md
+// documents the protocol, docs/DURABILITY.md the log format and
+// recovery semantics, and docs/OPERATIONS.md the operational knobs;
+// cmd/leaseload -remote load-tests a running daemon and cmd/leaseload
+// -crash drills kill-and-recover against this binary.
 //
 // Usage:
 //
 //	leased [-addr :8080] [-shards 8] [-queue 256] [-batch 64] [-record] [-auth tokens.txt]
+//	       [-data-dir DIR] [-fsync] [-compact-every N]
 //
 // The -auth file enables per-tenant token scoping: one "token tenant"
 // pair per line ('#' comments), where tenant "*" is the admin scope.
@@ -52,6 +58,9 @@ func run(args []string, w io.Writer) error {
 		record   = fs.Bool("record", false, "record full per-session runs so the result endpoint works")
 		authPath = fs.String("auth", "", "token file enabling per-tenant auth: one 'token tenant' pair per line, tenant '*' is the admin scope")
 		drainFor = fs.Duration("drain", 10*time.Second, "how long shutdown waits for in-flight requests before forcing the drain")
+		dataDir  = fs.String("data-dir", "", "write-ahead-log directory enabling durability; sessions are recovered from it on boot (empty disables)")
+		fsync    = fs.Bool("fsync", false, "with -data-dir: fsync the log before acknowledging (group-committed); survives machine crashes, not just process crashes")
+		compact  = fs.Int64("compact-every", 0, "with -data-dir: compact the log after this many appended records (0 disables automatic compaction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,27 +68,60 @@ func run(args []string, w io.Writer) error {
 	if *shards < 1 || *queue < 1 || *batch < 1 {
 		return fmt.Errorf("-shards, -queue and -batch must be >= 1")
 	}
+	if *compact < 0 {
+		return fmt.Errorf("-compact-every must be >= 0")
+	}
+	if *dataDir == "" && (*fsync || *compact > 0) {
+		return fmt.Errorf("-fsync and -compact-every require -data-dir")
+	}
 	tokens, err := loadAuth(*authPath)
 	if err != nil {
 		return err
 	}
 
-	eng := leasing.NewEngine(leasing.EngineConfig{
+	logger := log.New(w, "leased: ", log.LstdFlags)
+	cfg := leasing.EngineConfig{
 		Shards:     *shards,
 		QueueDepth: *queue,
 		BatchSize:  *batch,
 		RecordRuns: *record,
-	})
+	}
+	var eng *leasing.Engine
+	var wlog *leasing.DurableLog
+	if *dataDir != "" {
+		wlog, err = leasing.OpenDurableLog(*dataDir, leasing.DurableLogOptions{
+			Fsync:        *fsync,
+			CompactEvery: *compact,
+		})
+		if err != nil {
+			return err
+		}
+		var recovered int
+		eng, recovered, err = leasing.RecoverEngine(wlog, cfg)
+		if err != nil {
+			wlog.Close()
+			return err
+		}
+		m := eng.Metrics()
+		logger.Printf("recovered %d sessions (%d events) from %s", recovered, m.Events, *dataDir)
+	} else {
+		eng = leasing.NewEngine(cfg)
+	}
+	closeAll := func() {
+		eng.Close()
+		if wlog != nil {
+			wlog.Close()
+		}
+	}
 	handler := leasing.Serve(eng, leasing.LeaseServerConfig{Tokens: tokens})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		eng.Close()
+		closeAll()
 		return err
 	}
-	logger := log.New(w, "leased: ", log.LstdFlags)
-	logger.Printf("listening on %s (shards=%d queue=%d batch=%d record=%v auth=%v)",
-		ln.Addr(), *shards, *queue, *batch, *record, len(tokens) > 0)
+	logger.Printf("listening on %s (shards=%d queue=%d batch=%d record=%v auth=%v durable=%v fsync=%v)",
+		ln.Addr(), *shards, *queue, *batch, *record, len(tokens) > 0, *dataDir != "", *fsync)
 
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
@@ -89,7 +131,7 @@ func run(args []string, w io.Writer) error {
 	defer stop()
 	select {
 	case err := <-errc:
-		eng.Close()
+		closeAll()
 		return err
 	case <-ctx.Done():
 	}
@@ -109,6 +151,14 @@ func run(args []string, w io.Writer) error {
 	m := eng.Metrics()
 	logger.Printf("drained: %d sessions, %d events processed, %d dropped, total cost %.2f",
 		m.Sessions, m.Events, m.Dropped, m.Cost)
+	if wlog != nil {
+		st := wlog.Stats()
+		if err := wlog.Close(); err != nil {
+			return err
+		}
+		logger.Printf("wal closed: %d appends, %d syncs, %d compactions (segment %08d)",
+			st.Appends, st.Syncs, st.Compactions, st.Segment)
+	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

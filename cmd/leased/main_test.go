@@ -16,6 +16,15 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-auth", "/does/not/exist"}, os.Stderr); err == nil {
 		t.Error("missing auth file accepted")
 	}
+	if err := run([]string{"-fsync"}, os.Stderr); err == nil {
+		t.Error("-fsync without -data-dir accepted")
+	}
+	if err := run([]string{"-compact-every", "100"}, os.Stderr); err == nil {
+		t.Error("-compact-every without -data-dir accepted")
+	}
+	if err := run([]string{"-data-dir", t.TempDir(), "-compact-every", "-1"}, os.Stderr); err == nil {
+		t.Error("negative -compact-every accepted")
+	}
 }
 
 func TestLoadAuth(t *testing.T) {

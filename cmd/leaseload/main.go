@@ -14,11 +14,25 @@
 // machine-readable report (committed snapshots are named BENCH_*.json;
 // see the README's trajectory convention).
 //
+// Two durability modes exercise the write-ahead log end to end. With
+// -durable-bench the in-process workload runs twice through a
+// WAL-backed engine — fsync off, then fsync on — and the combined
+// report (committed as BENCH_PR5.json) quantifies the durability
+// throughput trade-off. With -crash the tool runs the full
+// kill-and-recover drill against a real daemon: it spawns the -leased
+// binary with a WAL data dir, SIGKILLs it once half the load is
+// acknowledged, restarts it, resumes every tenant after the daemon's
+// recovered processed-event count, and verifies every tenant's result
+// byte-identical to a single-threaded Replay of its full logged
+// history.
+//
 // Usage:
 //
 //	leaseload -tenants 64 -events 256 -shards 8 -batch 64 -queue 256 -producers 4
 //	leaseload -verify                        # parity-check tenants vs Replay
 //	leaseload -remote [-addr http://host:8080] [-verify]
+//	leaseload -durable-bench [-out BENCH_PR5.json]   # fsync on/off WAL throughput
+//	leaseload -crash -leased /path/to/leased [-data-dir DIR]
 //	leaseload -json [-out BENCH_PR3.json]    # machine-readable report
 package main
 
@@ -34,9 +48,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"leasing"
@@ -112,6 +130,10 @@ func run(args []string, w io.Writer) error {
 		verify    = fs.Bool("verify", false, "after the run, check every tenant byte-identical to a single-threaded Replay")
 		remote    = fs.Bool("remote", false, "drive the HTTP lease service instead of the in-process engine")
 		addr      = fs.String("addr", "", "with -remote: base URL of a running leased daemon (empty starts an in-process loopback daemon)")
+		crash     = fs.Bool("crash", false, "kill-and-recover drill: spawn a durable leased daemon (-leased), SIGKILL it mid-load, restart, resume from the recovered counts and verify every tenant against Replay")
+		leasedBin = fs.String("leased", "", "with -crash: path to a built leased binary")
+		dataDir   = fs.String("data-dir", "", "with -crash: WAL directory for the spawned daemon (default: a fresh temp dir, removed afterwards)")
+		durable   = fs.Bool("durable-bench", false, "run the in-process workload twice through a WAL-backed engine (fsync off, then on) and emit the combined JSON report (the BENCH_PR5.json format)")
 		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
 		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
 	)
@@ -128,6 +150,18 @@ func run(args []string, w io.Writer) error {
 	}
 	if *addr != "" && !*remote {
 		return fmt.Errorf("-addr requires -remote")
+	}
+	if *crash && *leasedBin == "" {
+		return fmt.Errorf("-crash requires -leased (a built leased binary)")
+	}
+	if (*leasedBin != "" || *dataDir != "") && !*crash {
+		return fmt.Errorf("-leased and -data-dir require -crash")
+	}
+	if *crash && (*remote || *durable) {
+		return fmt.Errorf("-crash is its own mode; it cannot be combined with -remote or -durable-bench")
+	}
+	if *durable && *remote {
+		return fmt.Errorf("-durable-bench drives the in-process engine; it cannot be combined with -remote")
 	}
 	if *addr != "" {
 		// An external daemon's engine configuration is set by the
@@ -170,18 +204,35 @@ func run(args []string, w io.Writer) error {
 		Chunk:       *chunk,
 	}
 
+	if *durable {
+		// The durable benchmark is a pair of runs; its combined report
+		// is always JSON (the BENCH_PR5.json format).
+		return runDurableBench(report, ts, engineParams{
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk, verify: *verify,
+		}, *outPath, w)
+	}
+
 	var err error
-	if *remote {
+	switch {
+	case *crash:
+		report.Mode = "crash"
+		err = runCrash(&report, ts, crashParams{
+			leasedBin: *leasedBin, dataDir: *dataDir,
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk,
+		})
+	case *remote:
 		report.Mode = "remote"
 		err = runRemote(&report, ts, remoteParams{
 			addr: *addr, shards: *shards, batch: *batch, queue: *queue,
 			producers: *producers, chunk: *chunk, verify: *verify,
 		})
-	} else {
+	default:
 		err = runEngine(&report, ts, engineParams{
 			shards: *shards, batch: *batch, queue: *queue,
 			producers: *producers, chunk: *chunk, verify: *verify,
-		})
+		}, nil)
 	}
 	if err != nil {
 		return err
@@ -200,27 +251,44 @@ type engineParams struct {
 }
 
 // runEngine drives the in-process engine, the original leaseload mode.
-func runEngine(report *jsonReport, ts []*tenant, p engineParams) error {
-	eng := leasing.NewEngine(leasing.EngineConfig{
+// A non-nil wlog makes the engine durable: sessions open through
+// OpenSpec (so the log can rebuild them) and every submit is
+// write-ahead logged before it is enqueued.
+func runEngine(report *jsonReport, ts []*tenant, p engineParams, wlog *leasing.DurableLog) error {
+	cfg := leasing.EngineConfig{
 		Shards:     p.shards,
 		QueueDepth: p.queue,
 		BatchSize:  p.batch,
 		RecordRuns: p.verify,
-	})
+	}
+	if wlog != nil {
+		// Assigned only when non-nil: a typed nil pointer in the WAL
+		// interface field would read as a configured WAL.
+		cfg.WAL = wlog
+	}
+	eng := leasing.NewEngine(cfg)
 	defer eng.Close()
 	for _, t := range ts {
 		lsr, err := t.fresh()
 		if err != nil {
 			return fmt.Errorf("%s: %w", t.name, err)
 		}
-		if err := eng.Open(t.name, lsr); err != nil {
+		if wlog != nil {
+			var spec []byte
+			if spec, err = leasing.WireOpenSpec(t.spec); err == nil {
+				err = eng.OpenSpec(t.name, lsr, spec)
+			}
+		} else {
+			err = eng.Open(t.name, lsr)
+		}
+		if err != nil {
 			return fmt.Errorf("%s: %w", t.name, err)
 		}
 	}
 
 	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
 		return eng.SubmitBatch(t.name, t.events[lo:hi])
-	}, p.chunk)
+	}, p.chunk, nil)
 	if err != nil {
 		return err
 	}
@@ -304,7 +372,7 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
 		_, err := cli.Submit(ctx, t.name, t.wevs[lo:hi])
 		return err
-	}, p.chunk)
+	}, p.chunk, nil)
 	if err != nil {
 		return err
 	}
@@ -346,6 +414,262 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 	return nil
 }
 
+// durableReport is the combined fsync-on/off report -durable-bench
+// emits (committed as BENCH_PR5.json): the same workload run twice
+// through a WAL-backed engine, differing only in whether every
+// acknowledged append is fsynced.
+type durableReport struct {
+	Tool        string     `json:"tool"`
+	Mode        string     `json:"mode"`
+	GoVersion   string     `json:"go_version"`
+	Seed        int64      `json:"seed"`
+	Tenants     int        `json:"tenants"`
+	TotalEvents int64      `json:"total_events"`
+	FsyncOff    jsonReport `json:"fsync_off"`
+	FsyncOn     jsonReport `json:"fsync_on"`
+}
+
+// runDurableBench measures the WAL's cost at the engine boundary: the
+// standard in-process workload through a durable engine, once without
+// fsync (appends hit the file, group commit idle) and once with it
+// (every acknowledgement is disk-durable). Each run gets a fresh
+// temporary data dir.
+func runDurableBench(base jsonReport, ts []*tenant, p engineParams, outPath string, w io.Writer) error {
+	combined := durableReport{
+		Tool: "leaseload", Mode: "durable-bench",
+		GoVersion: base.GoVersion, Seed: base.Seed,
+		Tenants: base.Tenants, TotalEvents: base.TotalEvents,
+	}
+	runOnce := func(rep *jsonReport, fsync bool) error {
+		dir, err := os.MkdirTemp("", "leaseload-wal-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		wlog, err := leasing.OpenDurableLog(dir, leasing.DurableLogOptions{Fsync: fsync})
+		if err != nil {
+			return err
+		}
+		defer wlog.Close()
+		return runEngine(rep, ts, p, wlog)
+	}
+	for _, fsync := range []bool{false, true} {
+		rep := base
+		if fsync {
+			rep.Mode = "durable-fsync-on"
+		} else {
+			rep.Mode = "durable-fsync-off"
+		}
+		if err := runOnce(&rep, fsync); err != nil {
+			return err
+		}
+		if fsync {
+			combined.FsyncOn = rep
+		} else {
+			combined.FsyncOff = rep
+		}
+	}
+	return writeJSON(combined, outPath, w)
+}
+
+type crashParams struct {
+	leasedBin, dataDir                     string
+	shards, batch, queue, producers, chunk int
+}
+
+// runCrash is the kill-and-recover drill. Phase one spawns a durable,
+// recording, fsyncing daemon and pumps load at it from concurrent
+// producers; once half the total events are acknowledged the daemon is
+// SIGKILLed mid-flight (producers treat errors after the kill begins as
+// expected). Phase two restarts the same binary on the same data dir,
+// flushes, reads every tenant's recovered processed-event count — the
+// authoritative resume point, since the WAL can hold acknowledged
+// events whose responses were lost with the process — submits the
+// remainder of each tenant's stream, and verifies every tenant's
+// result byte-identical to a single-threaded Replay of its full logged
+// history. The recovered daemon is finally drained with SIGTERM and
+// must exit cleanly.
+func runCrash(report *jsonReport, ts []*tenant, p crashParams) error {
+	ctx := context.Background()
+	dir := p.dataDir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "leaseload-crash-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	port, err := freePort()
+	if err != nil {
+		return err
+	}
+	hostport := fmt.Sprintf("127.0.0.1:%d", port)
+	daemonArgs := []string{
+		"-addr", hostport, "-record", "-data-dir", dir, "-fsync",
+		"-shards", strconv.Itoa(p.shards),
+		"-queue", strconv.Itoa(p.queue),
+		"-batch", strconv.Itoa(p.batch),
+	}
+	start := func() (*exec.Cmd, error) {
+		cmd := exec.Command(p.leasedBin, daemonArgs...)
+		cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("start %s: %w", p.leasedBin, err)
+		}
+		return cmd, nil
+	}
+	cli := leasing.Dial("http://"+hostport, leasing.RemoteClientOptions{Chunk: p.chunk})
+	t0 := time.Now()
+
+	// Phase one: spawn, open every tenant, pump load, SIGKILL mid-load.
+	daemon, err := start()
+	if err != nil {
+		return err
+	}
+	kill := func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	}
+	if err := waitHealthy(ctx, cli, 15*time.Second); err != nil {
+		kill()
+		return err
+	}
+	for _, t := range ts {
+		wevs, err := leasing.WireEvents(t.events)
+		if err != nil {
+			kill()
+			return fmt.Errorf("%s: %w", t.name, err)
+		}
+		t.wevs = wevs
+		if err := cli.Open(ctx, t.name, t.spec); err != nil {
+			kill()
+			return fmt.Errorf("open %s: %w", t.name, err)
+		}
+	}
+
+	var accepted atomic.Int64
+	var dying atomic.Bool
+	killAt := max(report.TotalEvents/2, 1)
+	doneProducing := make(chan struct{})
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if accepted.Load() < killAt {
+					continue
+				}
+			case <-doneProducing:
+			}
+			dying.Store(true)
+			daemon.Process.Kill()
+			return
+		}
+	}()
+
+	// Errors once the kill is underway are the whole point of the drill;
+	// anything earlier is a real failure.
+	_, _, err = produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+		n, err := cli.Submit(ctx, t.name, t.wevs[lo:hi])
+		accepted.Add(int64(n))
+		return err
+	}, p.chunk, func(error) bool { return dying.Load() })
+	close(doneProducing)
+	<-killed
+	daemon.Wait() // reap; a kill-induced exit error is expected
+	if err != nil {
+		return fmt.Errorf("pre-kill failure: %w", err)
+	}
+
+	// Phase two: restart on the same data dir, resume, verify, drain.
+	daemon2, err := start()
+	if err != nil {
+		return err
+	}
+	graceful := false
+	defer func() {
+		if !graceful {
+			daemon2.Process.Kill()
+			daemon2.Wait()
+		}
+	}()
+	if err := waitHealthy(ctx, cli, 15*time.Second); err != nil {
+		return err
+	}
+	if err := cli.Flush(ctx, ts[0].name); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		n, err := cli.Processed(ctx, t.name)
+		if err != nil {
+			return fmt.Errorf("recovered count of %s: %w", t.name, err)
+		}
+		if n > int64(len(t.wevs)) {
+			return fmt.Errorf("%s: recovered %d events, only %d were ever submitted", t.name, n, len(t.wevs))
+		}
+		if _, err := cli.Submit(ctx, t.name, t.wevs[n:]); err != nil {
+			return fmt.Errorf("resume %s after %d: %w", t.name, n, err)
+		}
+	}
+	if err := cli.Flush(ctx, ts[0].name); err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	report.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	report.EventsPerSec = float64(report.TotalEvents) / elapsed.Seconds()
+
+	if m, err := cli.Metrics(ctx); err == nil {
+		report.Engine = m.Engine()
+	}
+	ok := true
+	for _, t := range ts {
+		if err := verifyRemoteTenant(ctx, cli, t); err != nil {
+			ok = false
+			fmt.Fprintf(os.Stderr, "leaseload: verify %s: %v\n", t.name, err)
+		}
+	}
+	report.Verified = &ok
+
+	if err := daemon2.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	if err := daemon2.Wait(); err != nil {
+		return fmt.Errorf("recovered daemon did not drain cleanly: %w", err)
+	}
+	graceful = true
+	if !ok {
+		return fmt.Errorf("kill-and-recover parity failed: a recovered tenant diverged from Replay of its logged history")
+	}
+	return nil
+}
+
+// waitHealthy polls the daemon's liveness probe until it answers.
+func waitHealthy(ctx context.Context, cli *leasing.RemoteClient, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := cli.Health(ctx); err == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon not healthy within %v", timeout)
+}
+
+// freePort reserves-and-releases an ephemeral port for the spawned
+// daemon. The race between release and reuse is acceptable for a drill.
+func freePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
 // produce partitions tenants across producer goroutines; each producer
 // round-robins its tenants in chunks so shard queues see interleaved
 // multi-tenant traffic, and records the latency of every submit call
@@ -353,8 +677,10 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 // submission start time so callers can measure elapsed across their
 // flush barrier, and the first submit error (a failed producer stops,
 // but the run is then reported as failed rather than as a silently
-// partial success).
-func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) error, chunk int) ([]float64, time.Time, error) {
+// partial success). A non-nil tolerate classifies submit errors: a
+// tolerated error stops the producer without failing the run — how the
+// crash drill absorbs the daemon dying under it.
+func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) error, chunk int, tolerate func(error) bool) ([]float64, time.Time, error) {
 	lats := make([][]float64, producers)
 	errs := make([]error, producers)
 	var wg sync.WaitGroup
@@ -378,7 +704,9 @@ func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) err
 					hi := min(lo+chunk, len(t.events))
 					t0 := time.Now()
 					if err := submit(t, lo, hi); err != nil {
-						errs[p] = fmt.Errorf("producer %d: %s events [%d:%d): %w", p, t.name, lo, hi, err)
+						if tolerate == nil || !tolerate(err) {
+							errs[p] = fmt.Errorf("producer %d: %s events [%d:%d): %w", p, t.name, lo, hi, err)
+						}
 						return
 					}
 					lats[p] = append(lats[p], float64(time.Since(t0).Nanoseconds())/1e3)
@@ -677,7 +1005,7 @@ func verifyRemoteTenant(ctx context.Context, cli *leasing.RemoteClient, t *tenan
 	return nil
 }
 
-func writeJSON(report jsonReport, outPath string, w io.Writer) error {
+func writeJSON(report any, outPath string, w io.Writer) error {
 	if outPath != "" {
 		f, err := os.Create(outPath)
 		if err != nil {
@@ -692,7 +1020,7 @@ func writeJSON(report jsonReport, outPath string, w io.Writer) error {
 		return err
 	}
 	if outPath != "" {
-		fmt.Printf("leaseload: wrote %s (%d tenants, %d events)\n", outPath, report.Tenants, report.TotalEvents)
+		fmt.Printf("leaseload: wrote %s\n", outPath)
 	}
 	return nil
 }

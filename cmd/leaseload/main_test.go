@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os/exec"
+	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -100,6 +103,92 @@ func TestBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "http://127.0.0.1:1"}, &buf); err == nil {
 		t.Error("-addr without -remote accepted")
+	}
+	if err := run([]string{"-crash"}, &buf); err == nil {
+		t.Error("-crash without -leased accepted")
+	}
+	if err := run([]string{"-leased", "/tmp/leased"}, &buf); err == nil {
+		t.Error("-leased without -crash accepted")
+	}
+	if err := run([]string{"-data-dir", "/tmp/x"}, &buf); err == nil {
+		t.Error("-data-dir without -crash accepted")
+	}
+	if err := run([]string{"-crash", "-leased", "/tmp/leased", "-remote"}, &buf); err == nil {
+		t.Error("-crash combined with -remote accepted")
+	}
+	if err := run([]string{"-durable-bench", "-remote"}, &buf); err == nil {
+		t.Error("-durable-bench combined with -remote accepted")
+	}
+}
+
+// TestDurableBenchReport runs the fsync on/off pair on a small workload
+// and checks the combined report: both halves complete, process every
+// event, and are verified against Replay.
+func TestDurableBenchReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-durable-bench", "-tenants", "8", "-events", "50",
+		"-shards", "4", "-producers", "2", "-verify",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep durableReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Mode != "durable-bench" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	for name, half := range map[string]jsonReport{"fsync_off": rep.FsyncOff, "fsync_on": rep.FsyncOn} {
+		if half.Engine.Events != rep.TotalEvents {
+			t.Errorf("%s: processed %d of %d events", name, half.Engine.Events, rep.TotalEvents)
+		}
+		if half.Verified == nil || !*half.Verified {
+			t.Errorf("%s: not verified against Replay", name)
+		}
+	}
+	if rep.FsyncOff.Engine.Cost != rep.FsyncOn.Engine.Cost {
+		t.Errorf("fsync changed the workload outcome: %v vs %v",
+			rep.FsyncOff.Engine.Cost, rep.FsyncOn.Engine.Cost)
+	}
+}
+
+// TestCrashRecovery runs the real kill-and-recover drill: build the
+// daemon, SIGKILL it mid-load, restart it on the same data dir, resume
+// every tenant from its recovered count, and verify byte-identity with
+// Replay of each tenant's full logged history.
+func TestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash drill builds and spawns the daemon")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("drill relies on SIGKILL/SIGTERM")
+	}
+	bin := filepath.Join(t.TempDir(), "leased")
+	if out, err := exec.Command("go", "build", "-o", bin, "../leased").CombinedOutput(); err != nil {
+		t.Fatalf("build leased: %v\n%s", err, out)
+	}
+	var buf bytes.Buffer
+	err := run([]string{
+		"-crash", "-leased", bin, "-tenants", "8", "-events", "60",
+		"-shards", "4", "-producers", "2", "-json",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep jsonReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if rep.Mode != "crash" {
+		t.Errorf("mode = %q", rep.Mode)
+	}
+	if rep.Verified == nil || !*rep.Verified {
+		t.Error("kill-and-recover run was not verified against Replay")
+	}
+	if rep.Engine.Events != rep.TotalEvents {
+		t.Errorf("recovered daemon processed %d of %d events", rep.Engine.Events, rep.TotalEvents)
 	}
 }
 

@@ -1,11 +1,14 @@
 // Command leasereport regenerates the generated documentation: DESIGN.md
 // (architecture and the E1..E20 experiment index) and EXPERIMENTS.md
 // (paper-predicted vs measured, one table per experiment) from the
-// experiment registry, and docs/API.md (the lease service's endpoint
-// reference) from the protocol declarations in internal/wire. The docs
-// are generated artifacts — they cannot drift from the code, and -check
-// turns that promise into a CI gate by regenerating all three files in
-// memory and failing when the committed bytes differ.
+// experiment registry, docs/API.md (the lease service's endpoint
+// reference) from the protocol declarations in internal/wire, and
+// docs/DURABILITY.md (the write-ahead log format, recovery semantics
+// and runbook) from internal/wal — quantified from the committed
+// BENCH_PR5.json when present. The docs are generated artifacts — they
+// cannot drift from the code, and -check turns that promise into a CI
+// gate by regenerating all four files in memory and failing when the
+// committed bytes differ.
 //
 // Usage:
 //
@@ -21,6 +24,7 @@ import (
 	"path/filepath"
 
 	"leasing/internal/experiments"
+	"leasing/internal/wal"
 	"leasing/internal/wire"
 )
 
@@ -57,10 +61,10 @@ func run(args []string) error {
 
 	if *check {
 		// Cheap failures first: read all committed files and compare the
-		// run-free DESIGN.md and docs/API.md before spending the full
-		// experiment sweep on EXPERIMENTS.md.
+		// run-free DESIGN.md, docs/API.md and docs/DURABILITY.md before
+		// spending the full experiment sweep on EXPERIMENTS.md.
 		committed := map[string][]byte{}
-		for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", apiDocPath} {
+		for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", apiDocPath, durabilityDocPath} {
 			got, err := os.ReadFile(filepath.Join(*dir, name))
 			if err != nil {
 				return fmt.Errorf("%s: %w (generate it with: %s)", name, err, regen)
@@ -73,6 +77,13 @@ func run(args []string) error {
 		if err := checkDoc(apiDocPath, committed[apiDocPath], apiMarkdown(), regen); err != nil {
 			return err
 		}
+		durability, err := durabilityMarkdown(*dir)
+		if err != nil {
+			return err
+		}
+		if err := checkDoc(durabilityDocPath, committed[durabilityDocPath], durability, regen); err != nil {
+			return err
+		}
 		record, err := experiments.ExperimentsMarkdown(cfg)
 		if err != nil {
 			return err
@@ -80,12 +91,16 @@ func run(args []string) error {
 		if err := checkDoc("EXPERIMENTS.md", committed["EXPERIMENTS.md"], record, regen); err != nil {
 			return err
 		}
-		fmt.Printf("leasereport: DESIGN.md, EXPERIMENTS.md and %s match the code (%d experiments, %d endpoints)\n",
-			apiDocPath, len(experiments.IDs()), len(wire.Endpoints()))
+		fmt.Printf("leasereport: DESIGN.md, EXPERIMENTS.md, %s and %s match the code (%d experiments, %d endpoints)\n",
+			apiDocPath, durabilityDocPath, len(experiments.IDs()), len(wire.Endpoints()))
 		return nil
 	}
 
 	record, err := experiments.ExperimentsMarkdown(cfg)
+	if err != nil {
+		return err
+	}
+	durability, err := durabilityMarkdown(*dir)
 	if err != nil {
 		return err
 	}
@@ -96,6 +111,7 @@ func run(args []string) error {
 		{"DESIGN.md", experiments.DesignMarkdown()},
 		{"EXPERIMENTS.md", record},
 		{apiDocPath, apiMarkdown()},
+		{durabilityDocPath, durability},
 	}
 	for _, d := range docs {
 		path := filepath.Join(*dir, d.name)
@@ -118,6 +134,22 @@ const apiDocPath = "docs/API.md"
 // followed by the endpoint reference generated from internal/wire.
 func apiMarkdown() []byte {
 	return append([]byte(experiments.GeneratedHeader), wire.APIMarkdown()...)
+}
+
+// durabilityDocPath is where the generated WAL reference lives,
+// relative to -dir.
+const durabilityDocPath = "docs/DURABILITY.md"
+
+// durabilityMarkdown renders docs/DURABILITY.md from internal/wal,
+// quantifying the fsync trade-off from the committed BENCH_PR5.json in
+// dir when present (a missing benchmark renders the unquantified
+// fallback, so fresh checkouts and test dirs still generate).
+func durabilityMarkdown(dir string) ([]byte, error) {
+	bench, err := wal.LoadBenchPair(filepath.Join(dir, "BENCH_PR5.json"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	return append([]byte(experiments.GeneratedHeader), wal.DurabilityMarkdown(bench)...), nil
 }
 
 // checkDoc compares a committed doc against its regenerated bytes; regen

@@ -79,6 +79,22 @@
 // lives in internal/wire and docs/API.md is generated from it;
 // docs/OPERATIONS.md is the operator guide.
 //
+// # Durability
+//
+// OpenDurableLog opens the segmented, CRC-framed write-ahead log a
+// durable Engine appends to (EngineConfig.WAL): every acknowledged
+// OpenSpec, Submit and CloseTenant is logged before its caller learns
+// it succeeded, with optional group-committed fsync. RecoverEngine rebuilds every
+// logged session into a fresh engine after a crash — the algorithm is
+// reconstructed deterministically from the logged spec and the logged
+// history replayed, so a recovered session's Result is byte-identical
+// to a single-threaded Replay of that history. Torn tail records are
+// CRC-detected and truncated rather than replayed, and snapshot
+// compaction reclaims closed sessions. cmd/leased exposes this as
+// -data-dir/-fsync/-compact-every and cmd/leaseload -crash drills
+// SIGKILL-and-recover end to end; docs/DURABILITY.md (generated from
+// internal/wal) documents the format, semantics and runbook.
+//
 // # Experiments
 //
 // RunExperiment regenerates any of the twenty experiments E1..E20 indexed

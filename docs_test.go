@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"leasing/internal/experiments"
+	"leasing/internal/wal"
 	"leasing/internal/wire"
 )
 
@@ -50,9 +51,10 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 		"cmd/leasebench", "cmd/leasereport", "cmd/leaseload",
 		"cmd/leased", "examples/quickstart", "DESIGN.md", "EXPERIMENTS.md",
 		"docs/ARCHITECTURE.md", "docs/API.md", "docs/OPERATIONS.md",
-		"go test", "PODC 2015",
+		"docs/DURABILITY.md", "go test", "PODC 2015",
 		"Leaser", "Replay", "Interleave", "Engine", "Serve", "Dial",
-		"-json", "BENCH_PR3.json", "BENCH_PR4.json",
+		"OpenDurableLog", "RecoverEngine",
+		"-json", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -64,7 +66,7 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 // generated: a hand-recreated DESIGN.md without the header would silently
 // stop being checked against the registry.
 func TestGeneratedDocsCarryHeader(t *testing.T) {
-	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "docs/API.md"} {
+	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "docs/API.md", "docs/DURABILITY.md"} {
 		if !strings.HasPrefix(readDoc(t, name), experiments.GeneratedHeader) {
 			t.Errorf("%s does not start with the cmd/leasereport generated-file header", name)
 		}
@@ -138,13 +140,16 @@ func TestInternalPackagesHaveGodoc(t *testing.T) {
 }
 
 // TestReadmeFlagsExist is the quickstart drift gate: every command-line
-// flag the README or the operator guide mentions must still be defined
-// by some cmd/ tool (or be a known `go test` flag), so renamed or
-// removed flags cannot linger in the docs.
+// flag the README or any document under docs/ mentions must still be
+// defined by some cmd/ tool (or be a known `go test` flag), so renamed
+// or removed flags cannot linger anywhere in the docs. The doc list is
+// globbed, not enumerated — a new docs/*.md is gated the day it lands.
 func TestReadmeFlagsExist(t *testing.T) {
 	defined := map[string]bool{
-		// `go test` flags appearing in the README's test instructions.
+		// `go test` / `go build` flags appearing in the docs' command
+		// lines.
 		"bench": true, "benchmem": true, "race": true, "run": true,
+		"o": true,
 	}
 	mains, err := filepath.Glob("cmd/*/main.go")
 	if err != nil {
@@ -153,17 +158,27 @@ func TestReadmeFlagsExist(t *testing.T) {
 	if len(mains) == 0 {
 		t.Fatal("no cmd mains found")
 	}
-	def := regexp.MustCompile(`fs\.[A-Za-z0-9]+\("([a-z][a-z0-9]*)"`)
+	def := regexp.MustCompile(`fs\.[A-Za-z0-9]+\("([a-z][a-z0-9-]*)"`)
 	for _, m := range mains {
 		for _, g := range def.FindAllStringSubmatch(readDoc(t, m), -1) {
 			defined[g[1]] = true
 		}
 	}
-	use := regexp.MustCompile("(?m)(?:^|[\\s`(])-([a-z][a-z0-9]*)")
-	for _, doc := range []string{"README.md", "docs/OPERATIONS.md"} {
+	docs := []string{"README.md"}
+	more, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(more) < 4 {
+		t.Fatalf("docs glob found only %v", more)
+	}
+	docs = append(docs, more...)
+	use := regexp.MustCompile("(?m)(?:^|[\\s`(])-([a-z][a-z0-9-]*)")
+	for _, doc := range docs {
 		for _, g := range use.FindAllStringSubmatch(readDoc(t, doc), -1) {
-			if !defined[g[1]] {
-				t.Errorf("%s mentions flag -%s, which no cmd/ tool defines", doc, g[1])
+			flag := strings.TrimRight(g[1], "-")
+			if !defined[flag] {
+				t.Errorf("%s mentions flag -%s, which no cmd/ tool defines", doc, flag)
 			}
 		}
 	}
@@ -171,7 +186,8 @@ func TestReadmeFlagsExist(t *testing.T) {
 
 // TestArchitectureDocLinked keeps the architecture document discoverable
 // and honest: it must exist, be linked from README and DESIGN.md, and
-// describe the serving layers including the lease service.
+// describe the serving layers including the lease service and the
+// durability layer.
 func TestArchitectureDocLinked(t *testing.T) {
 	arch := readDoc(t, "docs/ARCHITECTURE.md")
 	for _, want := range []string{
@@ -179,6 +195,7 @@ func TestArchitectureDocLinked(t *testing.T) {
 		"internal/wire", "internal/server", "internal/client",
 		"cmd/leased", "byte-identical", "backpressure", "429",
 		"OPERATIONS.md", "API.md",
+		"internal/wal", "DURABILITY.md", "write-ahead",
 	} {
 		if !strings.Contains(arch, want) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
@@ -199,8 +216,10 @@ func TestOperationsDocLinked(t *testing.T) {
 	ops := readDoc(t, "docs/OPERATIONS.md")
 	for _, want := range []string{
 		"-addr", "-shards", "-queue", "-batch", "-record", "-auth", "-drain",
-		"SIGTERM", "429", "BENCH_PR3.json", "BENCH_PR4.json",
+		"-data-dir", "-fsync", "-compact-every",
+		"SIGTERM", "429", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
 		"/v1/metrics", "/v1/healthz", "API.md", "ARCHITECTURE.md",
+		"DURABILITY.md", "Backup", "compact",
 	} {
 		if !strings.Contains(ops, want) {
 			t.Errorf("docs/OPERATIONS.md does not mention %q", want)
@@ -223,6 +242,44 @@ func TestAPIDocMatchesWire(t *testing.T) {
 	want := experiments.GeneratedHeader + string(wire.APIMarkdown())
 	if got := readDoc(t, "docs/API.md"); got != want {
 		t.Error("docs/API.md drifted from internal/wire; regenerate with: go run ./cmd/leasereport -quick")
+	}
+}
+
+// TestDurabilityDocMatchesWal is the same gate for the WAL reference:
+// the committed docs/DURABILITY.md must be byte-identical to the
+// document regenerated from internal/wal and the committed
+// BENCH_PR5.json.
+func TestDurabilityDocMatchesWal(t *testing.T) {
+	bench, err := wal.LoadBenchPair("BENCH_PR5.json")
+	if err != nil {
+		t.Fatalf("BENCH_PR5.json must be committed alongside docs/DURABILITY.md: %v", err)
+	}
+	want := experiments.GeneratedHeader + string(wal.DurabilityMarkdown(bench))
+	if got := readDoc(t, "docs/DURABILITY.md"); got != want {
+		t.Error("docs/DURABILITY.md drifted from internal/wal; regenerate with: go run ./cmd/leasereport -quick")
+	}
+}
+
+// TestDurabilityDocLinked keeps the durability reference discoverable:
+// linked from the README, the generated DESIGN.md, the architecture
+// document and the operator guide, and covering the load-bearing
+// pieces (record framing, torn-tail truncation, compaction, the
+// crash-recovery runbook and the quantified fsync trade-off).
+func TestDurabilityDocLinked(t *testing.T) {
+	doc := readDoc(t, "docs/DURABILITY.md")
+	for _, want := range []string{
+		"CRC-32C", "torn", "snapshot", "compaction", "fsync",
+		"group commit", "BENCH_PR5.json", "runbook", "byte-identical",
+		"OPERATIONS.md", "ARCHITECTURE.md",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/DURABILITY.md does not mention %q", want)
+		}
+	}
+	for _, name := range []string{"README.md", "DESIGN.md", "docs/ARCHITECTURE.md", "docs/OPERATIONS.md"} {
+		if !strings.Contains(readDoc(t, name), "DURABILITY.md") {
+			t.Errorf("%s does not link the durability reference", name)
+		}
 	}
 }
 

@@ -16,6 +16,15 @@
 // the single-threaded Replay driver, a tenant's recorded run is
 // byte-identical to Replay of that tenant's events for any shard count
 // and any batch size — the determinism anchor the parity tests enforce.
+//
+// With Config.WAL set the engine is durable: every acknowledged
+// operation is in the write-ahead log before its caller learns it
+// succeeded — event batches and closes are appended before the owning
+// shard even sees them, and opens are appended once the shard installs
+// the session (so racing duplicate opens log only the winning spec) —
+// and Restore replays a recovered history back into a fresh engine
+// without re-logging it. The log implementation lives in internal/wal;
+// the engine only speaks the WAL interface.
 package engine
 
 import (
@@ -47,7 +56,31 @@ var (
 	// ErrTenantClosed is returned by CloseTenant for an already-closed
 	// tenant; events submitted after CloseTenant are dropped and counted.
 	ErrTenantClosed = errors.New("engine: tenant closed")
+	// ErrWAL wraps write-ahead-log append failures. The operation was
+	// not applied (nothing reaches a shard unlogged), so the session is
+	// exactly as durable as the last successful append.
+	ErrWAL = errors.New("engine: wal append failed")
+	// ErrSpecRequired is returned by Open on a durable engine: without a
+	// spec the session could never be rebuilt on recovery, so durable
+	// sessions must be opened through OpenSpec.
+	ErrSpecRequired = errors.New("engine: durable engine requires an open spec")
 )
+
+// WAL is the durability hook: when Config.WAL is set, the engine appends
+// every acknowledged open, event batch and close through it before the
+// owning shard applies the operation. internal/wal implements it; the
+// engine deliberately depends only on this interface so the log can
+// reuse the wire encodings without an import cycle.
+type WAL interface {
+	// LogOpen appends a session open: the tenant and the spec that
+	// deterministically rebuilds its algorithm on recovery.
+	LogOpen(tenant string, spec []byte) error
+	// LogEvents appends one acknowledged event batch in submission
+	// order. It must be durable when it returns nil.
+	LogEvents(tenant string, evs []stream.Event) error
+	// LogClose appends a session seal.
+	LogClose(tenant string) error
+}
 
 // Config sizes the engine. The zero value is usable: every field falls
 // back to the default documented on it.
@@ -67,6 +100,10 @@ type Config struct {
 	// tests compare against Replay). Off by default: long-lived sessions
 	// then run in constant memory.
 	RecordRuns bool
+	// WAL, when non-nil, makes the engine durable: every acknowledged
+	// write is appended through it before its shard applies it. Sessions
+	// must then be opened with OpenSpec so recovery can rebuild them.
+	WAL WAL
 }
 
 func (c Config) withDefaults() Config {
@@ -146,16 +183,50 @@ func (e *Engine) send(sh *shard, o op) error {
 
 // Open registers a new tenant session served by l. It returns once the
 // owning shard has installed the session, so events submitted afterwards
-// (from the same goroutine) are guaranteed to find it.
+// (from the same goroutine) are guaranteed to find it. On a durable
+// engine Open fails with ErrSpecRequired — use OpenSpec, so recovery
+// can rebuild the session.
 func (e *Engine) Open(tenant string, l stream.Leaser) error {
+	return e.OpenSpec(tenant, l, nil)
+}
+
+// OpenSpec is Open carrying the spec that deterministically rebuilds the
+// session's algorithm. On a durable engine the owning shard appends the
+// spec to the WAL as it installs the session — after the duplicate
+// check, so racing duplicate opens log only the winning spec, and
+// before the registry publish, so no submit can observe (and log events
+// for) a session ahead of its own open record. A failed append leaves
+// the session uninstalled. Recovery replays the spec through the same
+// spec-to-algorithm mapping the caller used to build l. Without a WAL
+// the spec is ignored.
+func (e *Engine) OpenSpec(tenant string, l stream.Leaser, spec []byte) error {
 	if l == nil {
 		return fmt.Errorf("engine: open %q: nil leaser", tenant)
 	}
+	if e.cfg.WAL == nil {
+		return e.open(tenant, l, nil)
+	}
+	if len(spec) == 0 {
+		return fmt.Errorf("%w: %q", ErrSpecRequired, tenant)
+	}
+	return e.open(tenant, l, spec)
+}
+
+// open installs the session; the shard logs spec during the install
+// when non-nil (Restore passes nil — its open is already logged).
+func (e *Engine) open(tenant string, l stream.Leaser, spec []byte) error {
 	done := make(chan error, 1)
-	if err := e.send(e.shardFor(tenant), op{kind: opOpen, tenant: tenant, leaser: l, done: done}); err != nil {
+	if err := e.send(e.shardFor(tenant), op{kind: opOpen, tenant: tenant, leaser: l, spec: spec, done: done}); err != nil {
 		return err
 	}
 	return <-done
+}
+
+// isClosed samples the closed flag; the authoritative check is send's.
+func (e *Engine) isClosed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.closed
 }
 
 // Submit enqueues one event for the tenant, blocking while the owning
@@ -168,12 +239,49 @@ func (e *Engine) Submit(tenant string, ev stream.Event) error {
 
 // SubmitBatch enqueues a batch of events for the tenant as one queue
 // operation (the cheap path for bulk ingestion). The engine takes
-// ownership of evs; callers must not mutate it afterwards.
+// ownership of evs; callers must not mutate it afterwards. On a durable
+// engine the batch is appended to the WAL before it is enqueued, so a
+// nil return means the events are both logged and queued. (In the
+// narrow crash window where the batch was logged but the submit still
+// failed with ErrClosed, recovery replays it anyway — the authoritative
+// resume point after a restart is the tenant's processed-event count,
+// not the submitter's last acknowledged offset.)
 func (e *Engine) SubmitBatch(tenant string, evs []stream.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
-	return e.send(e.shardFor(tenant), op{kind: opEvents, tenant: tenant, events: evs})
+	sh := e.shardFor(tenant)
+	if e.cfg.WAL != nil && loggable(sh, tenant) {
+		if e.isClosed() {
+			return ErrClosed
+		}
+		if err := e.cfg.WAL.LogEvents(tenant, evs); err != nil {
+			return fmt.Errorf("%w: %q: %v", ErrWAL, tenant, err)
+		}
+	}
+	return e.send(sh, op{kind: opEvents, tenant: tenant, events: evs})
+}
+
+// loggable reports whether a batch for the tenant belongs in the WAL: a
+// batch the shard will only drop (never-opened, sealed or failed
+// session) is not logged — recovery would drop it identically, and
+// logging it would let a misaddressed or misbehaving producer grow the
+// log without bound. The check is best-effort against the published
+// state, and under the documented ordering contract — a tenant's
+// submits come from one goroutine, and CloseTenant is ordered with them
+// — it is exact: the registry publishes before Open returns and seals
+// publish before CloseTenant returns. A CloseTenant racing an in-flight
+// submit from another goroutine is outside that contract: the raced
+// batch may be logged ahead of the close record and dropped live but
+// replayed on recovery (or vice versa) — per-tenant determinism is
+// defined by submission order, which a race leaves undefined.
+func loggable(sh *shard, tenant string) bool {
+	s := sh.lookup(tenant)
+	if s == nil {
+		return false
+	}
+	st := s.state.Load()
+	return !st.closed && st.err == nil
 }
 
 // TrySubmitBatch is the non-blocking SubmitBatch: if the owning shard's
@@ -188,17 +296,48 @@ func (e *Engine) TrySubmitBatch(tenant string, evs []stream.Event) error {
 		return nil
 	}
 	sh := e.shardFor(tenant)
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
+	if e.cfg.WAL == nil || !loggable(sh, tenant) {
+		// No WAL, or a batch the shard will only drop and count —
+		// nothing to make durable (see loggable).
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		if e.closed {
+			return ErrClosed
+		}
+		select {
+		case sh.queue <- op{kind: opEvents, tenant: tenant, events: evs}:
+			return nil
+		default:
+			return fmt.Errorf("%w: %q", ErrBackpressure, tenant)
+		}
+	}
+	// Durable path: the admission decision comes first, so a batch that
+	// 429s is never in the log — logging first and discovering a full
+	// queue after would make the client's resubmission a duplicate that
+	// recovery replays twice. Admission reserves a queue slot (under the
+	// brief ingest lock only), then the WAL append runs outside every
+	// lock so concurrent tenants share group-committed fsyncs, then the
+	// reserved enqueue completes. The send can still wait briefly if a
+	// control op takes the measured slot, but it can never deadlock (the
+	// shard goroutine always drains) and never turns into a 429.
+	if e.isClosed() {
 		return ErrClosed
 	}
-	select {
-	case sh.queue <- op{kind: opEvents, tenant: tenant, events: evs}:
-		return nil
-	default:
+	sh.ingest.Lock()
+	if int(sh.reserved.Load())+len(sh.queue) >= cap(sh.queue) {
+		sh.ingest.Unlock()
 		return fmt.Errorf("%w: %q", ErrBackpressure, tenant)
 	}
+	sh.reserved.Add(1)
+	sh.ingest.Unlock()
+	defer sh.reserved.Add(-1)
+	if err := e.cfg.WAL.LogEvents(tenant, evs); err != nil {
+		return fmt.Errorf("%w: %q: %v", ErrWAL, tenant, err)
+	}
+	// In the narrow window where Close began after the append, the batch
+	// is logged but not applied; recovery replays it, and resuming
+	// clients follow the processed-event count (see SubmitBatch).
+	return e.send(sh, op{kind: opEvents, tenant: tenant, events: evs})
 }
 
 // CloseTenant seals one tenant's session: it returns once every event
@@ -213,6 +352,48 @@ func (e *Engine) CloseTenant(tenant string) error {
 		return err
 	}
 	return <-done
+}
+
+// Restored is one recovered tenant session: the leaser rebuilt from its
+// logged spec, its full logged event history in order, and whether it
+// was sealed.
+type Restored struct {
+	Tenant string
+	Leaser stream.Leaser
+	Events []stream.Event
+	Closed bool
+}
+
+// Restore replays recovered sessions into the engine, bypassing the WAL
+// (the history is already logged): each session is opened, its events
+// are enqueued in order, sealed sessions are re-sealed, and Restore
+// returns after a full flush — so every recovered session's published
+// state is current when it returns. Because the replay runs through the
+// same per-session Recorder as live traffic, a restored session is
+// byte-identical to one that processed the history live, including
+// sessions whose algorithm failed mid-history. Call it once, before
+// serving new traffic.
+func (e *Engine) Restore(sessions []Restored) error {
+	for _, s := range sessions {
+		if err := e.open(s.Tenant, s.Leaser, nil); err != nil {
+			return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
+		}
+		if len(s.Events) > 0 {
+			if err := e.send(e.shardFor(s.Tenant), op{kind: opEvents, tenant: s.Tenant, events: s.Events}); err != nil {
+				return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
+			}
+		}
+		if s.Closed {
+			done := make(chan error, 1)
+			if err := e.send(e.shardFor(s.Tenant), op{kind: opClose, tenant: s.Tenant, nolog: true, done: done}); err != nil {
+				return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
+			}
+			if err := <-done; err != nil {
+				return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
+			}
+		}
+	}
+	return e.Flush()
 }
 
 // Flush blocks until every event submitted before the call has been

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"leasing/internal/stream"
@@ -26,6 +27,8 @@ type op struct {
 	tenant string
 	leaser stream.Leaser
 	events []stream.Event
+	spec   []byte // open spec to WAL-log during install; nil = don't log
+	nolog  bool   // close op: skip WAL logging (Restore replays)
 	done   chan error
 }
 
@@ -39,6 +42,7 @@ type sessionState struct {
 	solution  stream.Solution
 	decisions []stream.Decision
 	curve     []stream.CurvePoint
+	closed    bool // sealed; the shard drops further events
 	err       error
 }
 
@@ -61,6 +65,7 @@ func (s *session) publish(keepRuns bool) {
 		events:   int64(s.rec.Events()),
 		cost:     s.leaser.Cost(),
 		solution: s.leaser.Snapshot(),
+		closed:   s.closed,
 		err:      s.err,
 	}
 	if keepRuns {
@@ -76,6 +81,13 @@ type shard struct {
 	id    int
 	cfg   Config
 	queue chan op
+
+	// ingest makes durable TrySubmitBatch admissions atomic (room check
+	// + reservation); reserved counts slots admitted but not yet
+	// enqueued, so the WAL append can run outside the lock without a
+	// later admission stealing the room. Unused without a WAL.
+	ingest   sync.Mutex
+	reserved atomic.Int64
 
 	sessions map[string]*session                 // shard goroutine only
 	reg      atomic.Pointer[map[string]*session] // published on Open
@@ -128,7 +140,7 @@ func (sh *shard) run(done interface{ Done() }) {
 		for _, o := range batch {
 			switch o.kind {
 			case opOpen:
-				o.done <- sh.open(o.tenant, o.leaser)
+				o.done <- sh.open(o.tenant, o.leaser, o.spec)
 			case opEvents:
 				sh.apply(o, touched)
 			case opFlush:
@@ -137,7 +149,7 @@ func (sh *shard) run(done interface{ Done() }) {
 				sh.publish(touched)
 				o.done <- nil
 			case opClose:
-				o.done <- sh.close(o.tenant, touched)
+				o.done <- sh.close(o.tenant, o.nolog, touched)
 			case opStop:
 				stop = true
 			}
@@ -150,10 +162,20 @@ func (sh *shard) run(done interface{ Done() }) {
 	}
 }
 
-// open installs a new session and republishes the registry copy.
-func (sh *shard) open(tenant string, l stream.Leaser) error {
+// open installs a new session and republishes the registry copy. On a
+// durable engine the open record is appended here, between the
+// duplicate check and the registry publish: only the winning spec of
+// racing duplicate opens is logged, and no submit can observe (and
+// therefore log events for) a session whose own open record is not
+// already in the log.
+func (sh *shard) open(tenant string, l stream.Leaser, spec []byte) error {
 	if _, ok := sh.sessions[tenant]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateTenant, tenant)
+	}
+	if sh.cfg.WAL != nil && spec != nil {
+		if err := sh.cfg.WAL.LogOpen(tenant, spec); err != nil {
+			return fmt.Errorf("%w: open %q: %v", ErrWAL, tenant, err)
+		}
 	}
 	s := &session{tenant: tenant, leaser: l, rec: stream.NewRecorder(sh.cfg.RecordRuns)}
 	s.state.Store(&sessionState{})
@@ -169,14 +191,23 @@ func (sh *shard) open(tenant string, l stream.Leaser) error {
 // close seals a session: every event queued for the tenant before the
 // close op has already been applied (the queue is FIFO), so publishing
 // here makes the final state visible before the caller's CloseTenant
-// returns.
-func (sh *shard) close(tenant string, touched map[*session]struct{}) error {
+// returns. On a durable engine the close record is appended here, after
+// validation (unknown and double closes never pollute the log) and in
+// the shard's own apply order, so for a well-ordered client the log's
+// close position matches the live seal exactly. Restore passes nolog:
+// its close is already in the log.
+func (sh *shard) close(tenant string, nolog bool, touched map[*session]struct{}) error {
 	s, ok := sh.sessions[tenant]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownTenant, tenant)
 	}
 	if s.closed {
 		return fmt.Errorf("%w: %q", ErrTenantClosed, tenant)
+	}
+	if sh.cfg.WAL != nil && !nolog {
+		if err := sh.cfg.WAL.LogClose(tenant); err != nil {
+			return fmt.Errorf("%w: close %q: %v", ErrWAL, tenant, err)
+		}
 	}
 	s.closed = true
 	s.publish(sh.cfg.RecordRuns)

@@ -1,0 +1,309 @@
+package engine
+
+// Durable-engine contract tests against a fake WAL: logging happens
+// before application, a durable TrySubmitBatch never logs a batch it
+// 429s (the no-duplicate-on-backpressure admission), Open without a
+// spec is rejected, WAL failures fail the write without applying it,
+// and Restore replays without re-logging.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"leasing/internal/stream"
+)
+
+// fakeWAL counts appends and can be armed to fail.
+type fakeWAL struct {
+	mu     sync.Mutex
+	opens  []string
+	events map[string]int
+	closes []string
+	fail   error
+}
+
+func newFakeWAL() *fakeWAL { return &fakeWAL{events: map[string]int{}} }
+
+func (w *fakeWAL) LogOpen(tenant string, spec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.opens = append(w.opens, tenant)
+	return nil
+}
+
+func (w *fakeWAL) LogEvents(tenant string, evs []stream.Event) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.events[tenant] += len(evs)
+	return nil
+}
+
+func (w *fakeWAL) LogClose(tenant string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.fail != nil {
+		return w.fail
+	}
+	w.closes = append(w.closes, tenant)
+	return nil
+}
+
+func (w *fakeWAL) loggedEvents(tenant string) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.events[tenant]
+}
+
+// gateLeaser blocks every Observe until released, to pin a shard
+// goroutine while its queue fills.
+type gateLeaser struct {
+	gate chan struct{}
+}
+
+func (g *gateLeaser) Observe(stream.Event) (stream.Decision, error) {
+	<-g.gate
+	return stream.Decision{}, nil
+}
+func (g *gateLeaser) Cost() stream.CostBreakdown { return stream.CostBreakdown{} }
+func (g *gateLeaser) Snapshot() stream.Solution  { return stream.Solution{} }
+
+func day(t int64) stream.Event { return stream.Event{Time: t, Payload: stream.Day{}} }
+
+// TestDurableOpenRequiresSpec: a durable engine must reject Open so
+// recovery can always rebuild sessions.
+func TestDurableOpenRequiresSpec(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, WAL: w})
+	defer e.Close()
+	if err := e.Open("a", &gateLeaser{gate: make(chan struct{})}); !errors.Is(err, ErrSpecRequired) {
+		t.Fatalf("Open on durable engine: %v, want ErrSpecRequired", err)
+	}
+	if err := e.OpenSpec("a", &gateLeaser{gate: make(chan struct{})}, []byte(`{}`)); err != nil {
+		t.Fatalf("OpenSpec: %v", err)
+	}
+	if len(w.opens) != 1 || w.opens[0] != "a" {
+		t.Fatalf("logged opens = %v", w.opens)
+	}
+}
+
+// TestDurableOpenLogFailureNotInstalled: if the open record cannot be
+// appended, the session must not be installed — no event could ever be
+// acknowledged for a tenant recovery knows nothing about — and the name
+// stays free for a retry once storage heals.
+func TestDurableOpenLogFailureNotInstalled(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, WAL: w})
+	defer e.Close()
+	g := &gateLeaser{gate: make(chan struct{})}
+	close(g.gate)
+	w.mu.Lock()
+	w.fail = errors.New("no space left")
+	w.mu.Unlock()
+	if err := e.OpenSpec("a", g, []byte(`{}`)); !errors.Is(err, ErrWAL) {
+		t.Fatalf("open with failing WAL: %v, want ErrWAL", err)
+	}
+	if _, err := e.Events("a"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("failed open installed the session: %v", err)
+	}
+	w.mu.Lock()
+	w.fail = nil
+	w.mu.Unlock()
+	// The name is free again: the retry succeeds and serves normally.
+	if err := e.OpenSpec("a", g, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch("a", []stream.Event{day(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.Events("a"); n != 1 {
+		t.Fatalf("retried session applied %d events", n)
+	}
+}
+
+// TestDurableWritesLogBeforeApply: every acknowledged write is in the
+// log; a WAL failure fails the write and nothing reaches the shard.
+func TestDurableWritesLogBeforeApply(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, WAL: w})
+	defer e.Close()
+	g := &gateLeaser{gate: make(chan struct{})}
+	close(g.gate) // never block
+	if err := e.OpenSpec("a", g, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SubmitBatch("a", []stream.Event{day(0), day(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e.Events("a"); err != nil || n != 2 {
+		t.Fatalf("events = %d, %v", n, err)
+	}
+	if got := w.loggedEvents("a"); got != 2 {
+		t.Fatalf("logged %d events, want 2", got)
+	}
+
+	boom := errors.New("disk on fire")
+	w.mu.Lock()
+	w.fail = boom
+	w.mu.Unlock()
+	if err := e.SubmitBatch("a", []stream.Event{day(2)}); !errors.Is(err, ErrWAL) {
+		t.Fatalf("submit with failing WAL: %v, want ErrWAL", err)
+	}
+	if err := e.CloseTenant("a"); !errors.Is(err, ErrWAL) {
+		t.Fatalf("close with failing WAL: %v, want ErrWAL", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.Events("a"); n != 2 {
+		t.Fatalf("failed write reached the shard: events = %d", n)
+	}
+}
+
+// TestDurableTrySubmitNeverLogsRejectedBatch is the admission property
+// behind resumable 429s: a batch TrySubmitBatch rejects with
+// ErrBackpressure must not be in the log — the client will resubmit it,
+// and a logged-then-429d batch would be replayed twice on recovery.
+func TestDurableTrySubmitNeverLogsRejectedBatch(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, QueueDepth: 2, BatchSize: 1, WAL: w})
+	defer e.Close()
+	g := &gateLeaser{gate: make(chan struct{})}
+	if err := e.OpenSpec("a", g, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the shard on the first event, then fill the queue until
+	// backpressure. Every accepted batch is logged; every rejected one
+	// is not.
+	if err := e.SubmitBatch("a", []stream.Event{day(0)}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the shard to pick the pinned op off the queue.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(e.shards[0].queue) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	accepted := 1
+	sawBackpressure := false
+	for i := 1; i < 50; i++ {
+		err := e.TrySubmitBatch("a", []stream.Event{day(int64(i))})
+		if err == nil {
+			accepted++
+			continue
+		}
+		if !errors.Is(err, ErrBackpressure) {
+			t.Fatalf("try submit: %v", err)
+		}
+		sawBackpressure = true
+		break
+	}
+	if !sawBackpressure {
+		t.Fatal("queue never filled")
+	}
+	if got := w.loggedEvents("a"); got != accepted {
+		t.Fatalf("logged %d events, accepted %d — a rejected batch was logged", got, accepted)
+	}
+	close(g.gate)
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.Events("a"); int(n) != accepted {
+		t.Fatalf("processed %d, accepted %d", n, accepted)
+	}
+}
+
+// TestDurableUnknownTenantSubmitNotLogged: a batch for a never-opened
+// tenant is dropped (and counted) by the shard and must not reach the
+// log — recovery would drop it anyway, and logging it would let a
+// misaddressed producer grow the log without bound.
+func TestDurableUnknownTenantSubmitNotLogged(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, WAL: w})
+	defer e.Close()
+	if err := e.SubmitBatch("ghost", []stream.Event{day(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TrySubmitBatch("ghost", []stream.Event{day(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.loggedEvents("ghost"); got != 0 {
+		t.Fatalf("unknown-tenant submits logged %d events", got)
+	}
+	if m := e.Metrics(); m.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", m.Dropped)
+	}
+}
+
+// TestDurableCloseTenantLogging: close is logged for known tenants and
+// rejected without logging for unknown ones.
+func TestDurableCloseTenantLogging(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 1, WAL: w})
+	defer e.Close()
+	if err := e.CloseTenant("ghost"); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("close unknown: %v", err)
+	}
+	if len(w.closes) != 0 {
+		t.Fatalf("unknown-tenant close polluted the log: %v", w.closes)
+	}
+	g := &gateLeaser{gate: make(chan struct{})}
+	close(g.gate)
+	if err := e.OpenSpec("a", g, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CloseTenant("a"); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.closes) != 1 || w.closes[0] != "a" {
+		t.Fatalf("logged closes = %v", w.closes)
+	}
+}
+
+// TestRestoreBypassesWAL: replaying a recovered history must not append
+// anything — it is already logged.
+func TestRestoreBypassesWAL(t *testing.T) {
+	w := newFakeWAL()
+	e := New(Config{Shards: 2, RecordRuns: true, WAL: w})
+	defer e.Close()
+	g := &gateLeaser{gate: make(chan struct{})}
+	close(g.gate)
+	err := e.Restore([]Restored{
+		{Tenant: "a", Leaser: g, Events: []stream.Event{day(0), day(1), day(2)}},
+		{Tenant: "b", Leaser: &gateLeaser{gate: g.gate}, Events: []stream.Event{day(5)}, Closed: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.opens) != 0 || len(w.closes) != 0 || w.loggedEvents("a")+w.loggedEvents("b") != 0 {
+		t.Fatalf("restore logged: opens=%v closes=%v events=%v", w.opens, w.closes, w.events)
+	}
+	if n, err := e.Events("a"); err != nil || n != 3 {
+		t.Fatalf("restored a: %d, %v", n, err)
+	}
+	if err := e.CloseTenant("b"); !errors.Is(err, ErrTenantClosed) {
+		t.Fatalf("restored b not sealed: %v", err)
+	}
+	// New traffic after restore is logged again.
+	if err := e.SubmitBatch("a", []stream.Event{day(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.loggedEvents("a"); got != 1 {
+		t.Fatalf("post-restore submit logged %d events, want 1", got)
+	}
+}

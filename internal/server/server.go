@@ -168,6 +168,8 @@ func writeEngineError(w http.ResponseWriter, err error, accepted int) {
 		code = wire.CodeBackpressure
 	case errors.Is(err, engine.ErrNotRecording):
 		code = wire.CodeNotRecording
+	case errors.Is(err, engine.ErrWAL):
+		code = wire.CodeStorageFailed
 	}
 	writeError(w, code, err.Error(), accepted)
 }
@@ -184,7 +186,15 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, wire.CodeBadRequest, "build session: "+err.Error(), 0)
 		return
 	}
-	if err := s.eng.Open(tenant, lsr); err != nil {
+	// The re-marshaled (canonical) spec rides along so a durable engine
+	// can log it: recovery rebuilds the session from exactly these bytes
+	// through the same wire.OpenRequest.Build mapping.
+	spec, err := json.Marshal(&req)
+	if err != nil {
+		writeError(w, wire.CodeBadRequest, "encode open spec: "+err.Error(), 0)
+		return
+	}
+	if err := s.eng.OpenSpec(tenant, lsr, spec); err != nil {
 		writeEngineError(w, err, 0)
 		return
 	}

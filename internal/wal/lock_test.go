@@ -1,0 +1,30 @@
+//go:build unix
+
+package wal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenLocksDirectory: a second writer on the same data dir must
+// fail fast instead of truncating and interleaving with the first, and
+// Close must release the lock for the next life.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second open of a locked dir: %v", err)
+	}
+	if err := l.LogOpen("a", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	if got := re.Recover(); len(got) != 1 {
+		t.Fatalf("recovered %+v after relock", got)
+	}
+}

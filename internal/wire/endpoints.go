@@ -52,6 +52,9 @@ const (
 	// CodeSessionFailed: the tenant's algorithm rejected an event; the
 	// session is sealed at its state before the failure.
 	CodeSessionFailed = "session_failed"
+	// CodeStorageFailed: the daemon runs durable (-data-dir) and the
+	// write-ahead-log append failed; the operation was not applied.
+	CodeStorageFailed = "storage_failed"
 	// CodeShuttingDown: the daemon is draining for shutdown.
 	CodeShuttingDown = "shutting_down"
 )
@@ -73,6 +76,8 @@ func HTTPStatus(code string) int {
 		return http.StatusTooManyRequests
 	case CodeShuttingDown:
 		return http.StatusServiceUnavailable
+	case CodeStorageFailed:
+		return http.StatusInternalServerError
 	default:
 		return http.StatusInternalServerError
 	}
@@ -149,10 +154,13 @@ func Endpoints() []Endpoint {
 			Auth:    AuthTenant,
 			Summary: "Open a tenant session from a full instance spec.",
 			Request: OpenRequest{}, Response: OpenResponse{},
-			Errors: []string{CodeBadRequest, CodeDuplicateTenant, CodeShuttingDown},
+			Errors: []string{CodeBadRequest, CodeDuplicateTenant, CodeStorageFailed, CodeShuttingDown},
 			Notes: "Construction is deterministic: the same spec (including seed) " +
 				"always builds the same algorithm, so a remote session is exactly " +
-				"reproducible by a local replay of the same spec and events.",
+				"reproducible by a local replay of the same spec and events. On a " +
+				"durable daemon (-data-dir) the spec is write-ahead logged before " +
+				"the open is acknowledged, and recovery rebuilds the session from " +
+				"it after a restart (see docs/DURABILITY.md).",
 		},
 		{
 			Name:    "submit",
@@ -161,7 +169,7 @@ func Endpoints() []Endpoint {
 			Auth:    AuthTenant,
 			Summary: "Submit a batch of events for the tenant.",
 			Request: []Event{}, Response: SubmitResponse{},
-			Errors: []string{CodeBadRequest, CodeBackpressure, CodeShuttingDown},
+			Errors: []string{CodeBadRequest, CodeBackpressure, CodeStorageFailed, CodeShuttingDown},
 			Notes: "The body is either a JSON array of events or, with " +
 				"Content-Type application/x-ndjson, a stream of one JSON event per " +
 				"line (the bulk-ingestion path; events are enqueued in chunks while " +
@@ -197,10 +205,12 @@ func Endpoints() []Endpoint {
 			Auth:    AuthTenant,
 			Summary: "Seal the tenant's session and report its final totals.",
 			Request: nil, Response: CloseResponse{},
-			Errors: []string{CodeUnknownTenant, CodeTenantClosed, CodeShuttingDown},
+			Errors: []string{CodeUnknownTenant, CodeTenantClosed, CodeStorageFailed, CodeShuttingDown},
 			Notes: "Close waits for the tenant's queued events, publishes the " +
 				"final state, then drops any later events (counted in metrics). " +
-				"Reads keep serving the final state after close.",
+				"Reads keep serving the final state after close. On a durable " +
+				"daemon, close is also the retention boundary: the next WAL " +
+				"compaction reclaims a closed tenant's logged history.",
 		},
 		{
 			Name:    "cost",
@@ -326,6 +336,7 @@ in [OPERATIONS.md](OPERATIONS.md).
 		{CodeBackpressure, "the tenant's shard queue is full; back off and resume after the reported accepted count"},
 		{CodeNotRecording, "result read from a daemon running without -record"},
 		{CodeSessionFailed, "the tenant's algorithm rejected an event (e.g. a cross-request time regression); the session is sealed at its pre-failure state"},
+		{CodeStorageFailed, "the durable daemon's write-ahead-log append failed; the operation was not applied"},
 		{CodeShuttingDown, "the daemon is draining for shutdown"},
 	} {
 		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", c.code, HTTPStatus(c.code), c.meaning)

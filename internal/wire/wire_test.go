@@ -249,7 +249,8 @@ func TestEndpointsDeclared(t *testing.T) {
 	for _, c := range []string{
 		CodeBadRequest, CodeUnauthorized, CodeForbidden, CodeUnknownTenant,
 		CodeDuplicateTenant, CodeTenantClosed, CodeBackpressure,
-		CodeNotRecording, CodeSessionFailed, CodeShuttingDown,
+		CodeNotRecording, CodeSessionFailed, CodeStorageFailed,
+		CodeShuttingDown,
 	} {
 		codes[c] = true
 	}
