@@ -113,7 +113,13 @@ func run(args []string, w io.Writer) error {
 			wlog.Close()
 		}
 	}
-	handler := leasing.Serve(eng, leasing.LeaseServerConfig{Tokens: tokens})
+	scfg := leasing.LeaseServerConfig{Tokens: tokens}
+	if wlog != nil {
+		// Durable daemons expose the log's counters on the Prometheus
+		// scrape alongside the engine families.
+		scfg.WALStats = wlog.Stats
+	}
+	handler := leasing.Serve(eng, scfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -26,6 +26,19 @@
 // byte-identical to a single-threaded Replay of its full logged
 // history.
 //
+// The synthesized traffic is shaped by pluggable arrival processes
+// (-arrival constant|diurnal|bursty; internal/workload) and optionally
+// by Zipf-skewed per-tenant volumes (-zipf-sizes), all deterministic in
+// -seed. With -ramp the tool runs the SLA-driven stepped harness
+// instead of one fixed load: tenant concurrency grows by -step-tenants
+// per step (fresh engine each step, -step-duration submission deadline)
+// until the submit-latency SLA (-sla-p99 milliseconds at
+// -sla-percentile) breaks, and the report's ramp section records the
+// whole trajectory plus the maximum sustainable throughput under SLA
+// (the BENCH_PR6.json format). With -gate the run is compared against a
+// committed BENCH_*.json snapshot of the same mode and fails on
+// regression beyond -gate-tolerance — the CI perf gate.
+//
 // Usage:
 //
 //	leaseload -tenants 64 -events 256 -shards 8 -batch 64 -queue 256 -producers 4
@@ -33,6 +46,9 @@
 //	leaseload -remote [-addr http://host:8080] [-verify]
 //	leaseload -durable-bench [-out BENCH_PR5.json]   # fsync on/off WAL throughput
 //	leaseload -crash -leased /path/to/leased [-data-dir DIR]
+//	leaseload -ramp -sla-p99 5 [-step-tenants 8] [-step-duration 2s]
+//	leaseload -arrival diurnal -zipf-sizes 1.2   # shaped, skewed traffic
+//	leaseload -ramp -json -gate BENCH_PR6.json [-gate-tolerance 0.15]
 //	leaseload -json [-out BENCH_PR3.json]    # machine-readable report
 package main
 
@@ -43,14 +59,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"os/exec"
 	"runtime"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -58,10 +72,17 @@ import (
 	"time"
 
 	"leasing"
+	"leasing/internal/benchgate"
 	"leasing/internal/sim"
+	"leasing/internal/stats"
 	"leasing/internal/wire"
 	"leasing/internal/workload"
 )
+
+// latReservoirCap bounds the submit-latency sample: produce records
+// every call into a fixed-size reservoir (Vitter's algorithm R), so
+// memory stays flat however long a run or ramp step submits.
+const latReservoirCap = 4096
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -114,6 +135,39 @@ type jsonReport struct {
 	SubmitLatencyUS latencyStats          `json:"submit_latency_us"`
 	Engine          leasing.EngineMetrics `json:"engine"`
 	Verified        *bool                 `json:"verified,omitempty"`
+	Ramp            *rampReport           `json:"ramp,omitempty"`
+}
+
+// rampReport is the -ramp section of the report: the SLA, the step
+// schedule, every executed step, and the knee — the largest tenant
+// count (and its throughput) that still met the SLA. In ramp mode the
+// report's top-level events_per_sec and submit_latency_us mirror the
+// last sustainable step, so the BENCH trajectory and the perf gate read
+// ramp snapshots like any other.
+type rampReport struct {
+	SLAPercentile           float64    `json:"sla_percentile"`
+	SLALatencyMS            float64    `json:"sla_latency_ms"`
+	StepTenants             int        `json:"step_tenants"`
+	StepDurationMS          float64    `json:"step_duration_ms"`
+	Arrival                 string     `json:"arrival"`
+	Steps                   []rampStep `json:"steps"`
+	MaxTenantsUnderSLA      int        `json:"max_tenants_under_sla"`
+	MaxEventsPerSecUnderSLA float64    `json:"max_events_per_sec_under_sla"`
+}
+
+// rampStep is one rung of the ramp: a fresh engine serving the first
+// Tenants tenants. Completed reports whether the whole step load was
+// submitted before the step deadline; a cut-off step is never
+// sustainable, whatever its latency sample says.
+type rampStep struct {
+	Tenants         int          `json:"tenants"`
+	SubmittedEvents int64        `json:"submitted_events"`
+	Completed       bool         `json:"completed"`
+	ElapsedMS       float64      `json:"elapsed_ms"`
+	EventsPerSec    float64      `json:"events_per_sec"`
+	SubmitLatencyUS latencyStats `json:"submit_latency_us"`
+	LatencyAtSLAUS  float64      `json:"latency_at_sla_percentile_us"`
+	SLAMet          bool         `json:"sla_met"`
 }
 
 func run(args []string, w io.Writer) error {
@@ -136,6 +190,16 @@ func run(args []string, w io.Writer) error {
 		durable   = fs.Bool("durable-bench", false, "run the in-process workload twice through a WAL-backed engine (fsync off, then on) and emit the combined JSON report (the BENCH_PR5.json format)")
 		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
 		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
+		arrival   = fs.String("arrival", "constant", "arrival process shaping every tenant's stream: constant, diurnal or bursty (deterministic in -seed)")
+		arrPeriod = fs.Int64("arrival-period", 64, "with -arrival diurnal: oscillation period in steps")
+		zipfSizes = fs.Float64("zipf-sizes", 0, "skew per-tenant event volumes by a Zipf(s) rank-size law (0 = equal volumes); the total volume is preserved")
+		ramp      = fs.Bool("ramp", false, "SLA-driven stepped harness: grow tenant concurrency by -step-tenants per step (up to -tenants) until the submit-latency SLA breaks; reports max sustainable throughput under SLA (in-process engine only)")
+		slaP99    = fs.Float64("sla-p99", 5, "with -ramp: submit-latency SLA threshold in milliseconds, checked at -sla-percentile")
+		slaPct    = fs.Float64("sla-percentile", 0.99, "with -ramp: latency percentile the SLA is checked at, in (0, 1]")
+		stepTen   = fs.Int("step-tenants", 8, "with -ramp: tenants added per ramp step")
+		stepDur   = fs.Duration("step-duration", 2*time.Second, "with -ramp: per-step submission deadline; a step cut off here is reported as unsustainable")
+		gatePath  = fs.String("gate", "", "compare the run against this committed BENCH_*.json snapshot (same tool and mode) and fail on regression beyond -gate-tolerance")
+		gateTol   = fs.Float64("gate-tolerance", 0.15, "with -gate: allowed fractional regression before the gate fails")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -163,6 +227,43 @@ func run(args []string, w io.Writer) error {
 	if *durable && *remote {
 		return fmt.Errorf("-durable-bench drives the in-process engine; it cannot be combined with -remote")
 	}
+	if *ramp && (*remote || *crash || *durable) {
+		return fmt.Errorf("-ramp drives the in-process engine; it cannot be combined with -remote, -crash or -durable-bench")
+	}
+	if *ramp && *verify {
+		return fmt.Errorf("-ramp measures saturation (steps may be cut off mid-stream); it cannot be combined with -verify")
+	}
+	if !*ramp {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, name := range []string{"sla-p99", "sla-percentile", "step-tenants", "step-duration"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s requires -ramp", name)
+			}
+		}
+	}
+	if *slaP99 <= 0 || *slaPct <= 0 || *slaPct > 1 {
+		return fmt.Errorf("-sla-p99 must be > 0 and -sla-percentile in (0, 1]")
+	}
+	if *stepTen < 1 || *stepDur <= 0 {
+		return fmt.Errorf("-step-tenants must be >= 1 and -step-duration > 0")
+	}
+	if *zipfSizes < 0 {
+		return fmt.Errorf("-zipf-sizes must be >= 0")
+	}
+	if *gatePath == "" {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["gate-tolerance"] {
+			return fmt.Errorf("-gate-tolerance requires -gate")
+		}
+	}
+	// Probe the arrival process once so a bad -arrival fails before any
+	// work; tenants each get their own instance (the processes are
+	// stateful) built from the same name.
+	if _, err := workload.NewArrival(*arrival, 0.5, *arrPeriod); err != nil {
+		return err
+	}
 	if *addr != "" {
 		// An external daemon's engine configuration is set by the
 		// daemon; local values would misstate the measured setup.
@@ -176,11 +277,21 @@ func run(args []string, w io.Writer) error {
 	}
 
 	cfg := leasing.PowerLeaseConfig(3, 4, 0.55)
+	sizes := make([]int, *tenants)
+	for i := range sizes {
+		sizes[i] = *events
+	}
+	if *zipfSizes > 0 {
+		var err error
+		if sizes, err = workload.ZipfSizes(*tenants, *zipfSizes, *tenants**events); err != nil {
+			return err
+		}
+	}
 	ts := make([]*tenant, *tenants)
 	domains := map[string]int{}
 	var total int64
 	for i := range ts {
-		t, err := buildTenant(i, cfg, sim.TrialSeed(*seed, i), *events)
+		t, err := buildTenant(i, cfg, sim.TrialSeed(*seed, i), sizes[i], *arrival, *arrPeriod)
 		if err != nil {
 			return fmt.Errorf("tenant %d: %w", i, err)
 		}
@@ -207,14 +318,30 @@ func run(args []string, w io.Writer) error {
 	if *durable {
 		// The durable benchmark is a pair of runs; its combined report
 		// is always JSON (the BENCH_PR5.json format).
-		return runDurableBench(report, ts, engineParams{
+		combined, err := runDurableBench(report, ts, engineParams{
 			shards: *shards, batch: *batch, queue: *queue,
 			producers: *producers, chunk: *chunk, verify: *verify,
-		}, *outPath, w)
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(combined, *outPath, w); err != nil {
+			return err
+		}
+		return gateCheck(combined, *gatePath, *gateTol, w)
 	}
 
 	var err error
 	switch {
+	case *ramp:
+		report.Mode = "ramp"
+		err = runRamp(&report, ts, rampParams{
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk,
+			stepTenants: *stepTen, stepDur: *stepDur,
+			slaPct: *slaPct, slaMS: *slaP99,
+			seed: *seed, arrival: *arrival,
+		})
 	case *crash:
 		report.Mode = "crash"
 		err = runCrash(&report, ts, crashParams{
@@ -239,9 +366,28 @@ func run(args []string, w io.Writer) error {
 	}
 
 	if *jsonOut {
-		return writeJSON(report, *outPath, w)
+		if err := writeJSON(report, *outPath, w); err != nil {
+			return err
+		}
+	} else {
+		printText(w, report)
 	}
-	printText(w, report)
+	return gateCheck(report, *gatePath, *gateTol, w)
+}
+
+// gateCheck runs the perf-regression gate when -gate is set: the just-
+// measured report is compared against the committed snapshot and the
+// run fails on regression beyond the tolerance.
+func gateCheck(report any, gatePath string, tolerance float64, w io.Writer) error {
+	if gatePath == "" {
+		return nil
+	}
+	measured, ref, err := benchgate.GateReport(report, gatePath, tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "gate:    ok, %s %.1f vs %s %.1f (tolerance %.0f%%)\n",
+		measured.Name, measured.Value, gatePath, ref.Value, 100*tolerance)
 	return nil
 }
 
@@ -286,9 +432,10 @@ func runEngine(report *jsonReport, ts []*tenant, p engineParams, wlog *leasing.D
 		}
 	}
 
-	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+	res := stats.NewReservoir(latReservoirCap, report.Seed)
+	_, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
 		return eng.SubmitBatch(t.name, t.events[lo:hi])
-	}, p.chunk, nil)
+	}, p.chunk, res, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -302,7 +449,7 @@ func runEngine(report *jsonReport, ts []*tenant, p engineParams, wlog *leasing.D
 
 	report.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	report.EventsPerSec = float64(report.TotalEvents) / elapsed.Seconds()
-	report.SubmitLatencyUS = summarize(lats)
+	report.SubmitLatencyUS = summarize(res)
 	report.Engine = eng.Metrics()
 
 	if p.verify {
@@ -369,10 +516,11 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 		}
 	}
 
-	lats, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+	res := stats.NewReservoir(latReservoirCap, report.Seed)
+	_, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
 		_, err := cli.Submit(ctx, t.name, t.wevs[lo:hi])
 		return err
-	}, p.chunk, nil)
+	}, p.chunk, res, nil, nil)
 	if err != nil {
 		return err
 	}
@@ -384,7 +532,7 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 
 	report.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	report.EventsPerSec = float64(report.TotalEvents) / elapsed.Seconds()
-	report.SubmitLatencyUS = summarize(lats)
+	report.SubmitLatencyUS = summarize(res)
 	m, err := cli.Metrics(ctx)
 	if err != nil {
 		return fmt.Errorf("metrics: %w", err)
@@ -434,7 +582,7 @@ type durableReport struct {
 // fsync (appends hit the file, group commit idle) and once with it
 // (every acknowledgement is disk-durable). Each run gets a fresh
 // temporary data dir.
-func runDurableBench(base jsonReport, ts []*tenant, p engineParams, outPath string, w io.Writer) error {
+func runDurableBench(base jsonReport, ts []*tenant, p engineParams) (durableReport, error) {
 	combined := durableReport{
 		Tool: "leaseload", Mode: "durable-bench",
 		GoVersion: base.GoVersion, Seed: base.Seed,
@@ -461,7 +609,7 @@ func runDurableBench(base jsonReport, ts []*tenant, p engineParams, outPath stri
 			rep.Mode = "durable-fsync-off"
 		}
 		if err := runOnce(&rep, fsync); err != nil {
-			return err
+			return combined, err
 		}
 		if fsync {
 			combined.FsyncOn = rep
@@ -469,7 +617,112 @@ func runDurableBench(base jsonReport, ts []*tenant, p engineParams, outPath stri
 			combined.FsyncOff = rep
 		}
 	}
-	return writeJSON(combined, outPath, w)
+	return combined, nil
+}
+
+type rampParams struct {
+	shards, batch, queue, producers, chunk int
+	stepTenants                            int
+	stepDur                                time.Duration
+	slaPct, slaMS                          float64
+	seed                                   int64
+	arrival                                string
+}
+
+// runRamp is the SLA-driven stepped harness: each step serves the first
+// n tenants from a fresh engine (so steps are independent measurements,
+// not survivors of earlier saturation), n growing by stepTenants until
+// either the SLA breaks or the -tenants ceiling holds it. A step meets
+// the SLA when its whole load was submitted before the step deadline
+// AND the configured latency percentile stays under the threshold. The
+// knee — the last step that met the SLA — is the report's headline:
+// max sustainable throughput under SLA.
+func runRamp(report *jsonReport, ts []*tenant, p rampParams) error {
+	slaUS := p.slaMS * 1000
+	r := &rampReport{
+		SLAPercentile:  p.slaPct,
+		SLALatencyMS:   p.slaMS,
+		StepTenants:    p.stepTenants,
+		StepDurationMS: float64(p.stepDur.Milliseconds()),
+		Arrival:        p.arrival,
+	}
+	report.Ramp = r
+	var totalSubmitted int64
+	var totalElapsedMS float64
+	for n := min(p.stepTenants, len(ts)); ; n += p.stepTenants {
+		n = min(n, len(ts))
+		step, m, err := runRampStep(ts[:n], p, slaUS)
+		if err != nil {
+			return err
+		}
+		r.Steps = append(r.Steps, step)
+		totalSubmitted += step.SubmittedEvents
+		totalElapsedMS += step.ElapsedMS
+		report.Engine = m
+		if step.SLAMet {
+			r.MaxTenantsUnderSLA = step.Tenants
+			r.MaxEventsPerSecUnderSLA = step.EventsPerSec
+			report.SubmitLatencyUS = step.SubmitLatencyUS
+		}
+		if !step.SLAMet || n == len(ts) {
+			break
+		}
+	}
+	// In ramp mode the top-level totals describe the whole ramp, and the
+	// headline throughput is the knee's — what the perf gate compares.
+	report.TotalEvents = totalSubmitted
+	report.ElapsedMS = totalElapsedMS
+	report.EventsPerSec = r.MaxEventsPerSecUnderSLA
+	return nil
+}
+
+// runRampStep measures one rung: open the step's tenants on a fresh
+// engine, submit their streams until done or deadline, flush, and
+// sample the latency reservoir at the SLA percentile.
+func runRampStep(ts []*tenant, p rampParams, slaUS float64) (rampStep, leasing.EngineMetrics, error) {
+	eng := leasing.NewEngine(leasing.EngineConfig{
+		Shards:     p.shards,
+		QueueDepth: p.queue,
+		BatchSize:  p.batch,
+	})
+	defer eng.Close()
+	var total int64
+	for _, t := range ts {
+		lsr, err := t.fresh()
+		if err != nil {
+			return rampStep{}, leasing.EngineMetrics{}, fmt.Errorf("%s: %w", t.name, err)
+		}
+		if err := eng.Open(t.name, lsr); err != nil {
+			return rampStep{}, leasing.EngineMetrics{}, fmt.Errorf("%s: %w", t.name, err)
+		}
+		total += int64(len(t.events))
+	}
+	res := stats.NewReservoir(latReservoirCap, p.seed)
+	deadline := time.Now().Add(p.stepDur)
+	submitted, start, err := produce(ts, p.producers, func(t *tenant, lo, hi int) error {
+		return eng.SubmitBatch(t.name, t.events[lo:hi])
+	}, p.chunk, res, nil, func() bool { return !time.Now().Before(deadline) })
+	if err != nil {
+		return rampStep{}, leasing.EngineMetrics{}, err
+	}
+	if err := eng.Flush(); err != nil {
+		return rampStep{}, leasing.EngineMetrics{}, err
+	}
+	elapsed := time.Since(start)
+
+	lat := res.Quantiles(p.slaPct)[0]
+	completed := submitted == total
+	step := rampStep{
+		Tenants:         len(ts),
+		SubmittedEvents: submitted,
+		Completed:       completed,
+		ElapsedMS:       float64(elapsed.Microseconds()) / 1000,
+		EventsPerSec:    float64(submitted) / elapsed.Seconds(),
+		SubmitLatencyUS: summarize(res),
+		LatencyAtSLAUS:  lat,
+		SLAMet:          completed && lat <= slaUS,
+	}
+	return step, eng.Metrics(), nil
 }
 
 type crashParams struct {
@@ -577,7 +830,7 @@ func runCrash(report *jsonReport, ts []*tenant, p crashParams) error {
 		n, err := cli.Submit(ctx, t.name, t.wevs[lo:hi])
 		accepted.Add(int64(n))
 		return err
-	}, p.chunk, func(error) bool { return dying.Load() })
+	}, p.chunk, stats.NewReservoir(latReservoirCap, report.Seed), func(error) bool { return dying.Load() }, nil)
 	close(doneProducing)
 	<-killed
 	daemon.Wait() // reap; a kill-induced exit error is expected
@@ -673,16 +926,20 @@ func freePort() (int, error) {
 // produce partitions tenants across producer goroutines; each producer
 // round-robins its tenants in chunks so shard queues see interleaved
 // multi-tenant traffic, and records the latency of every submit call
-// (which includes any backpressure stall or retry). It returns the
-// submission start time so callers can measure elapsed across their
-// flush barrier, and the first submit error (a failed producer stops,
+// (which includes any backpressure stall or retry) into res — a
+// fixed-size reservoir, so the sample's memory is bounded no matter how
+// long the run submits. It returns how many events were submitted and
+// the submission start time so callers can measure elapsed across their
+// flush barrier, plus the first submit error (a failed producer stops,
 // but the run is then reported as failed rather than as a silently
 // partial success). A non-nil tolerate classifies submit errors: a
 // tolerated error stops the producer without failing the run — how the
-// crash drill absorbs the daemon dying under it.
-func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) error, chunk int, tolerate func(error) bool) ([]float64, time.Time, error) {
-	lats := make([][]float64, producers)
+// crash drill absorbs the daemon dying under it. A non-nil stop is
+// polled between submits; once it reports true producers wind down
+// cleanly — how a ramp step enforces its deadline.
+func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) error, chunk int, res *stats.Reservoir, tolerate func(error) bool, stop func() bool) (int64, time.Time, error) {
 	errs := make([]error, producers)
+	var submitted atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
 	for p := 0; p < producers; p++ {
@@ -697,6 +954,9 @@ func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) err
 			for live := len(mine); live > 0; {
 				live = 0
 				for i, t := range mine {
+					if stop != nil && stop() {
+						return
+					}
 					lo := offset[i]
 					if lo >= len(t.events) {
 						continue
@@ -709,7 +969,8 @@ func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) err
 						}
 						return
 					}
-					lats[p] = append(lats[p], float64(time.Since(t0).Nanoseconds())/1e3)
+					res.Add(float64(time.Since(t0).Nanoseconds()) / 1e3)
+					submitted.Add(int64(hi - lo))
 					offset[i] = hi
 					if hi < len(t.events) {
 						live++
@@ -719,37 +980,34 @@ func produce(ts []*tenant, producers int, submit func(t *tenant, lo, hi int) err
 		}(p)
 	}
 	wg.Wait()
-	var all []float64
-	for _, l := range lats {
-		all = append(all, l...)
-	}
-	return all, start, errors.Join(errs...)
+	return submitted.Load(), start, errors.Join(errs...)
 }
 
-func summarize(lats []float64) latencyStats {
-	sort.Float64s(lats)
-	s := latencyStats{
-		P50: quantileSorted(lats, 0.50),
-		P90: quantileSorted(lats, 0.90),
-		P99: quantileSorted(lats, 0.99),
-	}
-	if len(lats) > 0 {
-		s.Max = lats[len(lats)-1]
-	}
-	return s
+func summarize(res *stats.Reservoir) latencyStats {
+	qs := res.Quantiles(0.50, 0.90, 0.99)
+	return latencyStats{P50: qs[0], P90: qs[1], P99: qs[2], Max: res.Max()}
 }
 
 // buildTenant synthesizes one tenant's instance, event stream, leaser
 // factory and wire spec; the domain cycles with the tenant index. All
 // randomness flows from tseed, so a tenant is reproducible independent
-// of the others.
-func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*tenant, error) {
+// of the others. The arrival process named by arrivalName gates which
+// steps carry demand; each tenant gets its own instance (the processes
+// are stateful), with mean rate 0.5 so every process lands near the
+// same event volume. "constant" consumes the rng exactly like the
+// original Bernoulli(0.5) streams, so default traffic is unchanged
+// across committed seeds and BENCH snapshots.
+func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int, arrivalName string, period int64) (*tenant, error) {
 	rng := rand.New(rand.NewSource(tseed))
 	horizon := int64(2 * events)
+	arr, err := workload.NewArrival(arrivalName, 0.5, period)
+	if err != nil {
+		return nil, err
+	}
 	types := leasing.WireLeaseTypes(cfg)
 	switch i % 5 {
 	case 0:
-		days := workload.DemandDays(rng, horizon, 0.5)
+		days := workload.ArrivalDays(rng, horizon, arr)
 		return &tenant{
 			name:   fmt.Sprintf("t%04d-days", i),
 			domain: "days",
@@ -765,7 +1023,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 		}, nil
 
 	case 1:
-		clients := workload.DeadlineStream(rng, horizon, 0.5, 12)
+		clients := workload.DeadlineArrivals(rng, horizon, arr, 12)
 		return &tenant{
 			name:   fmt.Sprintf("t%04d-deadline", i),
 			domain: "deadline",
@@ -782,7 +1040,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 		if err != nil {
 			return nil, err
 		}
-		arrivals := workload.ElementStream(rng, horizon, 0.5,
+		arrivals := workload.ElementArrivals(rng, horizon, arr,
 			zipf.Draw, func() int { return 1 + rng.Intn(2) })
 		fam, err := leasing.RandomSetFamily(rng, n, m, delta)
 		if err != nil {
@@ -835,9 +1093,19 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 		}
 		// Steps are halved so a facility tenant lands near the same event
 		// count as the others while still exercising multi-client steps.
+		// The constant process keeps the original per-step client draw
+		// byte-for-byte (committed BENCH traffic); other processes gate
+		// which steps receive clients, like every other domain.
 		batches := make([][]leasing.Point, events/2+1)
 		for t := range batches {
-			for c := rng.Intn(3); c > 0; c-- {
+			c := rng.Intn(3)
+			if arrivalName != "constant" {
+				c = 0
+				if arr.Step(rng, int64(t)) {
+					c = 1 + rng.Intn(2)
+				}
+			}
+			for ; c > 0; c-- {
 				s := sites[rng.Intn(sitesN)]
 				batches[t] = append(batches[t], leasing.Point{
 					X: s.X + rng.Float64()*4, Y: s.Y + rng.Float64()*4})
@@ -870,7 +1138,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int) (*ten
 		if err != nil {
 			return nil, err
 		}
-		connects, err := workload.ConnectStream(rng, horizon, 0.5, terminals)
+		connects, err := workload.ConnectArrivals(rng, horizon, arr, terminals)
 		if err != nil {
 			return nil, err
 		}
@@ -1050,21 +1318,25 @@ func printText(w io.Writer, r jsonReport) {
 	if r.Verified != nil {
 		fmt.Fprintf(w, "verified: every tenant byte-identical to single-threaded Replay: %v\n", *r.Verified)
 	}
-}
-
-// quantileSorted is stats.Quantile's linear interpolation over an
-// already-sorted sample, so the latency set is sorted once instead of
-// per percentile. Returns 0 for an empty sample.
-func quantileSorted(s []float64, q float64) float64 {
-	if len(s) == 0 {
-		return 0
+	if rp := r.Ramp; rp != nil {
+		fmt.Fprintf(w, "ramp:    SLA p%g <= %.1fms, +%d tenants per step, %.0fms step deadline, %s arrivals\n",
+			100*rp.SLAPercentile, rp.SLALatencyMS, rp.StepTenants, rp.StepDurationMS, rp.Arrival)
+		for _, s := range rp.Steps {
+			verdict := "SLA met"
+			if !s.SLAMet {
+				verdict = "SLA broken"
+				if !s.Completed {
+					verdict = "SLA broken (cut off at deadline)"
+				}
+			}
+			fmt.Fprintf(w, "  %4d tenants: %8.0f events/s  p%g=%.0fµs  %s\n",
+				s.Tenants, s.EventsPerSec, 100*rp.SLAPercentile, s.LatencyAtSLAUS, verdict)
+		}
+		if rp.MaxTenantsUnderSLA > 0 {
+			fmt.Fprintf(w, "max sustainable under SLA: %d tenants at %.0f events/s\n",
+				rp.MaxTenantsUnderSLA, rp.MaxEventsPerSecUnderSLA)
+		} else {
+			fmt.Fprintln(w, "max sustainable under SLA: none — the first step already broke the SLA")
+		}
 	}
-	pos := q * float64(len(s)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return s[lo]
-	}
-	frac := pos - float64(lo)
-	return s[lo]*(1-frac) + s[hi]*frac
 }

@@ -55,6 +55,7 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 		"Leaser", "Replay", "Interleave", "Engine", "Serve", "Dial",
 		"OpenDurableLog", "RecoverEngine",
 		"-json", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
+		"BENCH_PR6.json", "-ramp", "-gate", "Prometheus",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -149,7 +150,7 @@ func TestReadmeFlagsExist(t *testing.T) {
 		// `go test` / `go build` flags appearing in the docs' command
 		// lines.
 		"bench": true, "benchmem": true, "race": true, "run": true,
-		"o": true,
+		"o": true, "update": true,
 	}
 	mains, err := filepath.Glob("cmd/*/main.go")
 	if err != nil {
@@ -218,8 +219,13 @@ func TestOperationsDocLinked(t *testing.T) {
 		"-addr", "-shards", "-queue", "-batch", "-record", "-auth", "-drain",
 		"-data-dir", "-fsync", "-compact-every",
 		"SIGTERM", "429", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
-		"/v1/metrics", "/v1/healthz", "API.md", "ARCHITECTURE.md",
-		"DURABILITY.md", "Backup", "compact",
+		"BENCH_PR6.json", "/v1/metrics", "/v1/healthz", "API.md",
+		"ARCHITECTURE.md", "DURABILITY.md", "Backup", "compact",
+		"Capacity planning", "-ramp", "-sla-p99", "-step-tenants",
+		"-step-duration", "-gate", "-gate-tolerance", "-arrival",
+		"-zipf-sizes", "promtool", "format=prometheus",
+		"leased_engine_events_total", "leased_wal_appends_total",
+		"leased_http_requests_total",
 	} {
 		if !strings.Contains(ops, want) {
 			t.Errorf("docs/OPERATIONS.md does not mention %q", want)

@@ -1,0 +1,260 @@
+// Package promtext encodes and parses the Prometheus text exposition
+// format (version 0.0.4): families of counter and gauge samples with
+// HELP and TYPE headers and optional labels. The lease service's
+// metrics endpoint serves this encoding to scrapers; internal/wire maps
+// the engine's counters onto families and internal/server appends the
+// WAL and HTTP ones. Parse understands exactly what Encode writes, so a
+// golden-file round trip can prove a renamed or malformed metric never
+// ships silently.
+package promtext
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family types of the exposition format this package emits.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one measured value of a family, with optional labels.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one metric family: a name, its type, a help line, and its
+// samples.
+type Family struct {
+	Name    string
+	Type    string // TypeCounter or TypeGauge
+	Help    string
+	Samples []Sample
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Validate rejects families the exposition format (or promtool's lints)
+// would not accept: bad names, unknown types, empty help, counters not
+// ending in _total, and duplicate sample label sets.
+func Validate(fams []Family) error {
+	seenFam := map[string]bool{}
+	for _, f := range fams {
+		if !nameRe.MatchString(f.Name) {
+			return fmt.Errorf("promtext: invalid metric name %q", f.Name)
+		}
+		if seenFam[f.Name] {
+			return fmt.Errorf("promtext: duplicate family %q", f.Name)
+		}
+		seenFam[f.Name] = true
+		if f.Type != TypeCounter && f.Type != TypeGauge {
+			return fmt.Errorf("promtext: family %q has unknown type %q", f.Name, f.Type)
+		}
+		if strings.TrimSpace(f.Help) == "" {
+			return fmt.Errorf("promtext: family %q has no help text", f.Name)
+		}
+		if f.Type == TypeCounter && !strings.HasSuffix(f.Name, "_total") {
+			return fmt.Errorf("promtext: counter %q does not end in _total", f.Name)
+		}
+		seenSample := map[string]bool{}
+		for _, s := range f.Samples {
+			for _, l := range s.Labels {
+				if !labelRe.MatchString(l.Name) {
+					return fmt.Errorf("promtext: family %q has invalid label name %q", f.Name, l.Name)
+				}
+			}
+			key := labelKey(s.Labels)
+			if seenSample[key] {
+				return fmt.Errorf("promtext: family %q has duplicate sample {%s}", f.Name, key)
+			}
+			seenSample[key] = true
+			if math.IsNaN(s.Value) {
+				return fmt.Errorf("promtext: family %q has a NaN sample", f.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func labelKey(ls []Label) string {
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Name + "=" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Encode renders the families in order as exposition text. It validates
+// first, so a malformed family is an error rather than a scrape that
+// fails later.
+func Encode(fams []Family) ([]byte, error) {
+	if err := Validate(fams); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Type)
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+				}
+				b.WriteByte('}')
+			}
+			fmt.Fprintf(&b, " %s\n", formatValue(s.Value))
+		}
+	}
+	return b.Bytes(), nil
+}
+
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+func unescapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\n`, "\n")
+	return strings.ReplaceAll(h, `\\`, `\`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trippable float.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Parse decodes exposition text produced by Encode back into families —
+// the round-trip half of the golden-file gate. It requires every sample
+// to follow its family's HELP and TYPE headers and re-validates the
+// result, so hand-edited or truncated expositions fail loudly.
+func Parse(text []byte) ([]Family, error) {
+	var fams []Family
+	var cur *Family
+	help := map[string]string{}
+	for ln, raw := range strings.Split(string(text), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, h, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("promtext: line %d: HELP without text", ln+1)
+			}
+			help[name] = unescapeHelp(h)
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("promtext: line %d: TYPE without type", ln+1)
+			}
+			h, ok := help[name]
+			if !ok {
+				return nil, fmt.Errorf("promtext: line %d: TYPE %s before its HELP", ln+1, name)
+			}
+			fams = append(fams, Family{Name: name, Type: typ, Help: h})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(line, "#"):
+			// Other comments are legal exposition; skip.
+		default:
+			name, sample, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("promtext: line %d: %w", ln+1, err)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("promtext: line %d: sample %s outside its family block", ln+1, name)
+			}
+			cur.Samples = append(cur.Samples, sample)
+		}
+	}
+	if err := Validate(fams); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parseSample decodes one `name{l="v",...} value` line.
+func parseSample(line string) (string, Sample, error) {
+	var s Sample
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		close := strings.LastIndexByte(line, '}')
+		if close < i {
+			return "", s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels := line[i+1 : close]
+		rest = strings.TrimSpace(line[close+1:])
+		for len(labels) > 0 {
+			eq := strings.IndexByte(labels, '=')
+			if eq < 0 {
+				return "", s, fmt.Errorf("label without '=' in %q", line)
+			}
+			lname := labels[:eq]
+			val, n, err := scanQuoted(labels[eq+1:])
+			if err != nil {
+				return "", s, fmt.Errorf("label value in %q: %w", line, err)
+			}
+			s.Labels = append(s.Labels, Label{Name: lname, Value: val})
+			labels = labels[eq+1+n:]
+			labels = strings.TrimPrefix(labels, ",")
+		}
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return "", s, fmt.Errorf("want 'name value', got %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", s, fmt.Errorf("sample value in %q: %w", line, err)
+	}
+	s.Value = v
+	return name, s, nil
+}
+
+// scanQuoted reads a leading Go-quoted string and reports how many
+// input bytes it consumed.
+func scanQuoted(in string) (string, int, error) {
+	if len(in) == 0 || in[0] != '"' {
+		return "", 0, fmt.Errorf("want quoted value, got %q", in)
+	}
+	for i := 1; i < len(in); i++ {
+		if in[i] == '\\' {
+			i++
+			continue
+		}
+		if in[i] == '"' {
+			val, err := strconv.Unquote(in[:i+1])
+			return val, i + 1, err
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated quoted value %q", in)
+}

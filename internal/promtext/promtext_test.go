@@ -1,0 +1,116 @@
+package promtext
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleFamilies() []Family {
+	return []Family{
+		{
+			Name: "leased_engine_events_total", Type: TypeCounter,
+			Help:    "Events processed engine-wide.",
+			Samples: []Sample{{Value: 14761}},
+		},
+		{
+			Name: "leased_engine_queue_depth", Type: TypeGauge,
+			Help: "Queued operations per shard at sample time.",
+			Samples: []Sample{
+				{Labels: []Label{{Name: "shard", Value: "0"}}, Value: 3},
+				{Labels: []Label{{Name: "shard", Value: "1"}}, Value: 0},
+			},
+		},
+		{
+			Name: "leased_engine_cost_total", Type: TypeCounter,
+			Help:    "Cumulative cost with a \\ and\na newline.",
+			Samples: []Sample{{Value: 11958.953594820541}},
+		},
+	}
+}
+
+// TestEncodeParseRoundTrip: Parse(Encode(f)) == f, float bits and label
+// order included — the half of the golden gate that catches a renamed
+// metric or a broken encoder.
+func TestEncodeParseRoundTrip(t *testing.T) {
+	fams := sampleFamilies()
+	text, err := Encode(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse of own encoding failed: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(fams, back) {
+		t.Fatalf("round trip diverged:\nin:  %#v\nout: %#v", fams, back)
+	}
+	// And a second encode is byte-identical (stability for golden files).
+	text2, err := Encode(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text, text2) {
+		t.Fatalf("re-encode not byte-identical:\n%s\nvs\n%s", text, text2)
+	}
+}
+
+// TestEncodeRejectsMalformed: the validator fires on everything a stock
+// promtool check metrics would flag.
+func TestEncodeRejectsMalformed(t *testing.T) {
+	cases := map[string][]Family{
+		"bad name": {{Name: "1bad", Type: TypeGauge, Help: "h", Samples: []Sample{{Value: 1}}}},
+		"bad type": {{Name: "ok_metric", Type: "histogram", Help: "h"}},
+		"no help":  {{Name: "ok_metric", Type: TypeGauge, Help: "  "}},
+		"counter without _total": {
+			{Name: "leased_events", Type: TypeCounter, Help: "h"}},
+		"duplicate family": {
+			{Name: "ok_metric", Type: TypeGauge, Help: "h"},
+			{Name: "ok_metric", Type: TypeGauge, Help: "h"}},
+		"duplicate sample": {
+			{Name: "ok_metric", Type: TypeGauge, Help: "h", Samples: []Sample{{Value: 1}, {Value: 2}}}},
+		"bad label": {
+			{Name: "ok_metric", Type: TypeGauge, Help: "h",
+				Samples: []Sample{{Labels: []Label{{Name: "0bad", Value: "x"}}, Value: 1}}}},
+	}
+	for name, fams := range cases {
+		if _, err := Encode(fams); err == nil {
+			t.Errorf("%s: encoded without error", name)
+		}
+	}
+}
+
+// TestParseRejectsMangled: truncations and hand edits that silently
+// change meaning must fail to parse.
+func TestParseRejectsMangled(t *testing.T) {
+	good, err := Encode(sampleFamilies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangle := map[string]string{
+		"sample before family":   "leased_x 1\n",
+		"TYPE without HELP":      "# TYPE leased_x gauge\nleased_x 1\n",
+		"non-numeric value":      strings.Replace(string(good), "14761", "fast", 1),
+		"renamed sample line":    strings.Replace(string(good), "leased_engine_events_total 14761", "leased_engine_event_total 14761", 1),
+		"unterminated label set": "# HELP leased_x h\n# TYPE leased_x gauge\nleased_x{shard=\"0\" 1\n",
+	}
+	for name, text := range mangle {
+		if _, err := Parse([]byte(text)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestParseSkipsForeignComments: ordinary comments and blank lines are
+// legal exposition text.
+func TestParseSkipsForeignComments(t *testing.T) {
+	text := "# scraped at t0\n\n# HELP m h\n# TYPE m gauge\nm 4\n"
+	fams, err := Parse([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 1 || fams[0].Samples[0].Value != 4 {
+		t.Fatalf("parsed %#v", fams)
+	}
+}

@@ -1,0 +1,171 @@
+package server
+
+// Prometheus exposition of the service's counters. The metrics endpoint
+// keeps serving its JSON sample by default; a scraper that asks for
+// text/plain (or ?format=prometheus) gets the same counters in the
+// Prometheus text format instead: the engine families mapped by
+// internal/wire, the write-ahead log's counters when the daemon runs
+// durable, and the server's own per-endpoint request/error counters.
+// The exposition is gated by a golden-file test plus a promtext parse
+// round trip, so a renamed metric cannot ship silently.
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"leasing/internal/engine"
+	"leasing/internal/promtext"
+	"leasing/internal/wal"
+	"leasing/internal/wire"
+)
+
+// endpointCounter tracks one declared endpoint's traffic: requests
+// routed to it and non-2xx responses it produced.
+type endpointCounter struct {
+	name     string
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// statusRecorder captures the response status for the error counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps an endpoint's handler with its counters.
+func (s *Server) instrumented(c *endpointCounter, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		if rec.status >= 400 {
+			c.errors.Add(1)
+		}
+	}
+}
+
+// endpointSample is one endpoint's counter snapshot, the input of the
+// pure exposition builder (and of its golden test).
+type endpointSample struct {
+	name             string
+	requests, failed int64
+}
+
+func (s *Server) endpointSamples() []endpointSample {
+	out := make([]endpointSample, len(s.reqs))
+	for i, c := range s.reqs {
+		out[i] = endpointSample{name: c.name, requests: c.requests.Load(), failed: c.errors.Load()}
+	}
+	return out
+}
+
+// prometheusFamilies assembles the full exposition: engine families
+// from the wire mapping, WAL families when a stats hook is configured,
+// and the HTTP per-endpoint counters. Pure in its inputs so the golden
+// test can pin the output byte for byte.
+func prometheusFamilies(m engine.Metrics, ws *wal.Stats, eps []endpointSample) []promtext.Family {
+	fams := wire.FromEngineMetrics(m).PrometheusFamilies()
+	if ws != nil {
+		fams = append(fams,
+			promtext.Family{
+				Name: "leased_wal_appends_total", Type: promtext.TypeCounter,
+				Help:    "Write-ahead-log records acknowledged since start.",
+				Samples: []promtext.Sample{{Value: float64(ws.Appends)}},
+			},
+			promtext.Family{
+				Name: "leased_wal_syncs_total", Type: promtext.TypeCounter,
+				Help:    "Fsyncs issued; smaller than appends under group commit.",
+				Samples: []promtext.Sample{{Value: float64(ws.Syncs)}},
+			},
+			promtext.Family{
+				Name: "leased_wal_compactions_total", Type: promtext.TypeCounter,
+				Help:    "Completed write-ahead-log compactions.",
+				Samples: []promtext.Sample{{Value: float64(ws.Compactions)}},
+			},
+			promtext.Family{
+				Name: "leased_wal_compaction_failures_total", Type: promtext.TypeCounter,
+				Help:    "Automatic compactions that failed (the log keeps appending).",
+				Samples: []promtext.Sample{{Value: float64(ws.CompactionFailures)}},
+			},
+			promtext.Family{
+				Name: "leased_wal_segment", Type: promtext.TypeGauge,
+				Help:    "Active write-ahead-log segment index.",
+				Samples: []promtext.Sample{{Value: float64(ws.Segment)}},
+			},
+			promtext.Family{
+				Name: "leased_wal_segment_bytes", Type: promtext.TypeGauge,
+				Help:    "Active write-ahead-log segment size in bytes.",
+				Samples: []promtext.Sample{{Value: float64(ws.SegmentBytes)}},
+			},
+		)
+	}
+	reqSamples := make([]promtext.Sample, len(eps))
+	errSamples := make([]promtext.Sample, len(eps))
+	for i, ep := range eps {
+		labels := []promtext.Label{{Name: "endpoint", Value: ep.name}}
+		reqSamples[i] = promtext.Sample{Labels: labels, Value: float64(ep.requests)}
+		errSamples[i] = promtext.Sample{Labels: labels, Value: float64(ep.failed)}
+	}
+	return append(fams,
+		promtext.Family{
+			Name: "leased_http_requests_total", Type: promtext.TypeCounter,
+			Help:    "HTTP requests routed per declared endpoint.",
+			Samples: reqSamples,
+		},
+		promtext.Family{
+			Name: "leased_http_errors_total", Type: promtext.TypeCounter,
+			Help:    "Non-2xx HTTP responses per declared endpoint.",
+			Samples: errSamples,
+		},
+	)
+}
+
+// wantsPrometheus reports whether the request asked for the text
+// exposition: an explicit ?format=prometheus, or an Accept header
+// preferring text/plain (the accept header Prometheus scrapers send).
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		switch mt {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// serveMetricsText writes the Prometheus exposition.
+func (s *Server) serveMetricsText(w http.ResponseWriter) {
+	var ws *wal.Stats
+	if s.cfg.WALStats != nil {
+		st := s.cfg.WALStats()
+		ws = &st
+	}
+	text, err := promtext.Encode(prometheusFamilies(s.eng.Metrics(), ws, s.endpointSamples()))
+	if err != nil {
+		// Unreachable for the families built here; surfacing it beats a
+		// silent half-scrape if a future family regresses.
+		writeError(w, wire.CodeSessionFailed, fmt.Sprintf("encode metrics: %v", err), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(text)
+}

@@ -1,0 +1,205 @@
+package server
+
+// In-package tests of the Prometheus exposition. prometheusFamilies is
+// pure in its inputs, so the golden file pins the scrape byte for byte:
+// renaming a metric, changing a type, or dropping a family diffs
+// against testdata/metrics.golden and fails here before it breaks a
+// dashboard. Refresh deliberately with:
+//
+//	go test ./internal/server/ -run TestPrometheusGolden -update
+//
+// The negotiation test drives the real endpoint over HTTP and parses
+// the scrape back with promtext, closing the round trip.
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"leasing/internal/engine"
+	"leasing/internal/promtext"
+	"leasing/internal/wal"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenInputs is a fixed sample of every exposition input: a two-shard
+// engine snapshot, WAL counters, and per-endpoint HTTP counters.
+func goldenInputs() (engine.Metrics, *wal.Stats, []endpointSample) {
+	m := engine.Metrics{
+		Shards: []engine.ShardMetrics{
+			{Shard: 0, Sessions: 2, Events: 9000, Batches: 120, Dropped: 1, QueueDepth: 3, Cost: 7611.25},
+			{Shard: 1, Sessions: 1, Events: 5761, Batches: 96, Dropped: 0, QueueDepth: 0, Cost: 4347.703594820541},
+		},
+		Sessions:   3,
+		Events:     14761,
+		Batches:    216,
+		Dropped:    1,
+		QueueDepth: 3,
+		Cost:       11958.953594820541,
+	}
+	ws := &wal.Stats{Appends: 14761, Syncs: 310, Compactions: 2, CompactionFailures: 0, Segment: 4, SegmentBytes: 65536}
+	eps := []endpointSample{
+		{name: "open", requests: 3, failed: 0},
+		{name: "submit", requests: 250, failed: 12},
+		{name: "metrics", requests: 40, failed: 0},
+	}
+	return m, ws, eps
+}
+
+// TestPrometheusGolden pins the full exposition — engine, WAL, and HTTP
+// families — against the committed golden file.
+func TestPrometheusGolden(t *testing.T) {
+	m, ws, eps := goldenInputs()
+	text, err := promtext.Encode(prometheusFamilies(m, ws, eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(path, text, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(text, want) {
+		t.Fatalf("exposition drifted from %s (rerun with -update if deliberate):\n--- got ---\n%s\n--- want ---\n%s", path, text, want)
+	}
+}
+
+// TestPrometheusRoundTrip: the exposition parses back to exactly the
+// families that produced it, so the golden bytes are also semantically
+// well formed (names, types, help, label sets).
+func TestPrometheusRoundTrip(t *testing.T) {
+	m, ws, eps := goldenInputs()
+	fams := prometheusFamilies(m, ws, eps)
+	text, err := promtext.Encode(fams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := promtext.Parse(text)
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v\n%s", err, text)
+	}
+	if len(back) != len(fams) {
+		t.Fatalf("round trip: %d families in, %d out", len(fams), len(back))
+	}
+	for i := range fams {
+		if back[i].Name != fams[i].Name || back[i].Type != fams[i].Type {
+			t.Errorf("family %d: got %s/%s, want %s/%s", i, back[i].Name, back[i].Type, fams[i].Name, fams[i].Type)
+		}
+	}
+}
+
+// TestPrometheusOmitsWALWithoutHook: a non-durable daemon has no WAL, so
+// its scrape must not report frozen leased_wal_* zeros.
+func TestPrometheusOmitsWALWithoutHook(t *testing.T) {
+	m, _, eps := goldenInputs()
+	text, err := promtext.Encode(prometheusFamilies(m, nil, eps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(text), "leased_wal_") {
+		t.Fatalf("WAL families present without a stats hook:\n%s", text)
+	}
+}
+
+// TestMetricsContentNegotiation drives the live endpoint: JSON stays the
+// default, Accept: text/plain and ?format=prometheus switch to the text
+// exposition, and the scrape includes the server's own request counters.
+func TestMetricsContentNegotiation(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 2})
+	srv := New(eng, Config{WALStats: func() wal.Stats {
+		return wal.Stats{Appends: 7, Syncs: 7, Segment: 1}
+	}})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+
+	get := func(path, accept string) (string, string) {
+		t.Helper()
+		req, err := http.NewRequest("GET", ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, ct := get("/v1/metrics", ""); !strings.HasPrefix(ct, "application/json") || !strings.Contains(body, `"shards"`) {
+		t.Errorf("default scrape not JSON: ct %q body %s", ct, body)
+	}
+	// A browser-style Accept that lists application/json first keeps JSON.
+	if _, ct := get("/v1/metrics", "application/json, text/plain;q=0.5"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("json-preferring Accept got ct %q", ct)
+	}
+	for _, req := range []struct{ path, accept string }{
+		{"/v1/metrics", "text/plain"},
+		{"/v1/metrics", "application/openmetrics-text; version=1.0.0"},
+		{"/v1/metrics?format=prometheus", ""},
+	} {
+		body, ct := get(req.path, req.accept)
+		if !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+			t.Fatalf("%s (Accept %q): content type %q", req.path, req.accept, ct)
+		}
+		fams, err := promtext.Parse([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: scrape does not parse: %v\n%s", req.path, err, body)
+		}
+		names := map[string]bool{}
+		for _, f := range fams {
+			names[f.Name] = true
+		}
+		for _, want := range []string{"leased_engine_events_total", "leased_wal_appends_total", "leased_http_requests_total", "leased_http_errors_total"} {
+			if !names[want] {
+				t.Errorf("%s: scrape missing family %s", req.path, want)
+			}
+		}
+	}
+
+	// The endpoint counters actually count: the scrapes above all hit the
+	// metrics endpoint, and an unauthorized open lands in errors_total.
+	srv2 := New(eng, Config{Tokens: map[string]string{"root": AdminScope}})
+	ts2 := httptest.NewServer(srv2)
+	t.Cleanup(ts2.Close)
+	resp, err := http.Post(ts2.URL+"/v1/tenants/acme", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless open: status %d", resp.StatusCode)
+	}
+	samples := srv2.endpointSamples()
+	var open endpointSample
+	for _, s := range samples {
+		if s.name == "open" {
+			open = s
+		}
+	}
+	if open.requests != 1 || open.failed != 1 {
+		t.Errorf("open counters after rejected request: %+v", open)
+	}
+}

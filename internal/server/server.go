@@ -20,6 +20,7 @@ import (
 
 	"leasing/internal/engine"
 	"leasing/internal/stream"
+	"leasing/internal/wal"
 	"leasing/internal/wire"
 )
 
@@ -39,6 +40,10 @@ type Config struct {
 	// Builder constructs a session's Leaser from an open spec; defaults
 	// to the spec's own Build. Tests substitute failing builders.
 	Builder func(*wire.OpenRequest) (stream.Leaser, error)
+	// WALStats, when non-nil, samples the daemon's write-ahead log so
+	// the Prometheus exposition of the metrics endpoint includes the
+	// leased_wal_* families (cmd/leased wires it when run durable).
+	WALStats func() wal.Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -62,9 +67,10 @@ const AdminScope = "*"
 // it serves the endpoints declared by wire.Endpoints over the engine it
 // fronts.
 type Server struct {
-	eng *engine.Engine
-	cfg Config
-	mux *http.ServeMux
+	eng  *engine.Engine
+	cfg  Config
+	mux  *http.ServeMux
+	reqs []*endpointCounter // one per declared endpoint, in declaration order
 }
 
 // New builds the service handler over eng. The caller keeps ownership
@@ -91,7 +97,9 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		if !ok {
 			panic(fmt.Sprintf("server: endpoint %q declared in wire but not implemented", ep.Name))
 		}
-		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.authorized(ep.Auth, h))
+		c := &endpointCounter{name: ep.Name}
+		s.reqs = append(s.reqs, c)
+		s.mux.HandleFunc(ep.Method+" "+ep.Path, s.instrumented(c, s.authorized(ep.Auth, h)))
 	}
 	return s
 }
@@ -391,7 +399,14 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.FromStreamRun(run))
 }
 
+// handleMetrics serves the engine counters: JSON by default, the
+// Prometheus text exposition (engine + WAL + HTTP families) when the
+// request asks for text/plain or ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.serveMetricsText(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, wire.FromEngineMetrics(s.eng.Metrics()))
 }
 

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestReservoirBounded: the retained sample never outgrows its
+// capacity, whatever flows through — the property that keeps long load
+// ramps from distorting the measurement path.
+func TestReservoirBounded(t *testing.T) {
+	r := NewReservoir(128, 1)
+	for i := 0; i < 100000; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.N(); got != 100000 {
+		t.Fatalf("N = %d, want 100000", got)
+	}
+	if qs := r.Quantiles(0.5); len(qs) != 1 {
+		t.Fatalf("Quantiles returned %d values", len(qs))
+	}
+	if got := r.Max(); got != 99999 {
+		t.Fatalf("Max = %v, want exact 99999", got)
+	}
+	if got := r.Min(); got != 0 {
+		t.Fatalf("Min = %v, want exact 0", got)
+	}
+}
+
+// TestReservoirQuantileAccuracy: on a uniform stream far larger than
+// the capacity, sampled quantiles must land within a few percent of
+// truth — unbiasedness of algorithm R.
+func TestReservoirQuantileAccuracy(t *testing.T) {
+	r := NewReservoir(4096, 7)
+	rng := rand.New(rand.NewSource(9))
+	const n = 500000
+	for i := 0; i < n; i++ {
+		r.Add(rng.Float64())
+	}
+	qs := r.Quantiles(0.5, 0.9, 0.99)
+	for i, want := range []float64{0.5, 0.9, 0.99} {
+		if math.Abs(qs[i]-want) > 0.03 {
+			t.Errorf("q%.2f = %.4f, want within 0.03 of %.4f", want, qs[i], want)
+		}
+	}
+	if q1 := r.Quantiles(1)[0]; q1 != r.Max() {
+		t.Errorf("q=1 is %v, want the exact max %v", q1, r.Max())
+	}
+}
+
+// TestReservoirSmallStream: below capacity the sample is exact.
+func TestReservoirSmallStream(t *testing.T) {
+	r := NewReservoir(1000, 1)
+	for _, x := range []float64{5, 1, 3} {
+		r.Add(x)
+	}
+	qs := r.Quantiles(0, 0.5, 1)
+	if qs[0] != 1 || qs[1] != 3 || qs[2] != 5 {
+		t.Fatalf("quantiles %v, want [1 3 5]", qs)
+	}
+}
+
+// TestReservoirEmpty: an empty reservoir reports zeros, not NaNs.
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(8, 1)
+	if r.Max() != 0 || r.Min() != 0 {
+		t.Fatalf("empty max/min = %v/%v, want 0/0", r.Max(), r.Min())
+	}
+	if q := r.Quantiles(0.99)[0]; q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestReservoirConcurrentAdd: Add is safe under concurrent producers
+// and loses no counts (run with -race).
+func TestReservoirConcurrentAdd(t *testing.T) {
+	r := NewReservoir(64, 1)
+	var wg sync.WaitGroup
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add(float64(p*1000 + i))
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := r.N(); got != 8000 {
+		t.Fatalf("N = %d, want 8000", got)
+	}
+	if got := r.Max(); got != 7999 {
+		t.Fatalf("Max = %v, want 7999", got)
+	}
+}

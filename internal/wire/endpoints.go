@@ -259,6 +259,9 @@ func Endpoints() []Endpoint {
 			Auth:    AuthAdmin,
 			Summary: "Sample the engine's per-shard and aggregate counters.",
 			Request: nil, Response: Metrics{},
+			Notes: "Content-negotiated: JSON by default; `Accept: text/plain` or " +
+				"`?format=prometheus` returns the same counters in the Prometheus " +
+				"text exposition (plus WAL and per-endpoint HTTP families).",
 		},
 		{
 			Name:    "health",

@@ -1,0 +1,80 @@
+package wire
+
+// Prometheus mapping of the engine metrics. The JSON metrics encoding
+// (Metrics/ShardMetrics) and this text mapping live side by side in the
+// protocol package, so the two representations of the engine's counters
+// cannot drift apart: both are derived from the same sample, and the
+// exposition served by the metrics endpoint is exactly these families
+// (plus the WAL and HTTP families internal/server appends).
+
+import (
+	"strconv"
+
+	"leasing/internal/promtext"
+)
+
+// PrometheusFamilies renders the engine sample as Prometheus metric
+// families: one aggregate family per counter, and one shard-labelled
+// family per per-shard counter. Names are stable scrape targets —
+// renaming one is a breaking change gated by the server's golden
+// exposition test.
+func (m Metrics) PrometheusFamilies() []promtext.Family {
+	shardSamples := func(pick func(ShardMetrics) float64) []promtext.Sample {
+		out := make([]promtext.Sample, len(m.Shards))
+		for i, sm := range m.Shards {
+			out[i] = promtext.Sample{
+				Labels: []promtext.Label{{Name: "shard", Value: strconv.Itoa(sm.Shard)}},
+				Value:  pick(sm),
+			}
+		}
+		return out
+	}
+	one := func(v float64) []promtext.Sample { return []promtext.Sample{{Value: v}} }
+	return []promtext.Family{
+		{
+			Name: "leased_engine_sessions", Type: promtext.TypeGauge,
+			Help:    "Open tenant sessions engine-wide.",
+			Samples: one(float64(m.Sessions)),
+		},
+		{
+			Name: "leased_engine_events_total", Type: promtext.TypeCounter,
+			Help:    "Events processed engine-wide since start.",
+			Samples: one(float64(m.Events)),
+		},
+		{
+			Name: "leased_engine_batches_total", Type: promtext.TypeCounter,
+			Help:    "Shard processing wakes; events/batches is the batching factor.",
+			Samples: one(float64(m.Batches)),
+		},
+		{
+			Name: "leased_engine_dropped_total", Type: promtext.TypeCounter,
+			Help:    "Events dropped for unknown, closed or failed tenants.",
+			Samples: one(float64(m.Dropped)),
+		},
+		{
+			Name: "leased_engine_queue_depth", Type: promtext.TypeGauge,
+			Help:    "Queued operations engine-wide at sample time.",
+			Samples: one(float64(m.QueueDepth)),
+		},
+		{
+			Name: "leased_engine_cost_total", Type: promtext.TypeCounter,
+			Help:    "Cumulative cost of every decision engine-wide.",
+			Samples: one(m.Cost),
+		},
+		{
+			Name: "leased_engine_shard_sessions", Type: promtext.TypeGauge,
+			Help:    "Open sessions per shard.",
+			Samples: shardSamples(func(s ShardMetrics) float64 { return float64(s.Sessions) }),
+		},
+		{
+			Name: "leased_engine_shard_events_total", Type: promtext.TypeCounter,
+			Help:    "Events processed per shard since start.",
+			Samples: shardSamples(func(s ShardMetrics) float64 { return float64(s.Events) }),
+		},
+		{
+			Name: "leased_engine_shard_queue_depth", Type: promtext.TypeGauge,
+			Help:    "Queued operations per shard at sample time; pinned at the -queue limit means the shard is saturated.",
+			Samples: shardSamples(func(s ShardMetrics) float64 { return float64(s.QueueDepth) }),
+		},
+	}
+}

@@ -21,13 +21,9 @@ import (
 // day independently carries demand with probability p (the "rainy day"
 // stream of the parking permit problem).
 func DemandDays(rng *rand.Rand, horizon int64, p float64) []int64 {
-	var out []int64
-	for t := int64(0); t < horizon; t++ {
-		if rng.Float64() < p {
-			out = append(out, t)
-		}
-	}
-	return out
+	// Delegates to the arrival-process form; Constant{P: p} draws the
+	// rng once per step, exactly as the inline gate did.
+	return ArrivalDays(rng, horizon, &Constant{P: p})
 }
 
 // BurstyDays returns sorted distinct demand days from a two-state Markov
@@ -196,17 +192,10 @@ type DeadlineClient struct {
 // DeadlineStream draws clients with Bernoulli(p) arrivals per day and i.i.d.
 // slack D uniform in [0, dmax]. The stream is sorted by arrival day.
 func DeadlineStream(rng *rand.Rand, horizon int64, p float64, dmax int64) []DeadlineClient {
-	var out []DeadlineClient
-	for t := int64(0); t < horizon; t++ {
-		if rng.Float64() < p {
-			d := int64(0)
-			if dmax > 0 {
-				d = rng.Int63n(dmax + 1)
-			}
-			out = append(out, DeadlineClient{T: t, D: d})
-		}
-	}
-	return out
+	// Constant{P: p} consumes one rng draw per step, exactly like the
+	// inline Bernoulli gate this wrapped before arrival processes
+	// existed, so committed seeds keep their streams.
+	return DeadlineArrivals(rng, horizon, &Constant{P: p}, dmax)
 }
 
 // UniformDeadlineStream draws clients with Bernoulli(p) arrivals and the
@@ -233,13 +222,7 @@ type ElementArrival struct {
 // probability p an element chosen by pick() arrives needing cover
 // multiplicity drawn by mult(). Arrivals are sorted by time.
 func ElementStream(rng *rand.Rand, horizon int64, p float64, pick func() int, mult func() int) []ElementArrival {
-	var out []ElementArrival
-	for t := int64(0); t < horizon; t++ {
-		if rng.Float64() < p {
-			out = append(out, ElementArrival{T: t, Elem: pick(), P: mult()})
-		}
-	}
-	return out
+	return ElementArrivals(rng, horizon, &Constant{P: p}, pick, mult)
 }
 
 // ConnectRequest is one demand of the network-leasing streams: terminals
@@ -254,21 +237,7 @@ type ConnectRequest struct {
 // with probability p a request between two distinct terminals uniform in
 // [0, n) arrives. Requests are sorted by time; n must be at least 2.
 func ConnectStream(rng *rand.Rand, horizon int64, p float64, n int) ([]ConnectRequest, error) {
-	if n < 2 {
-		return nil, fmt.Errorf("workload: connect stream needs n >= 2 terminals, got %d", n)
-	}
-	var out []ConnectRequest
-	for t := int64(0); t < horizon; t++ {
-		if rng.Float64() < p {
-			s := rng.Intn(n)
-			u := rng.Intn(n - 1)
-			if u >= s {
-				u++
-			}
-			out = append(out, ConnectRequest{T: t, S: s, U: u})
-		}
-	}
-	return out, nil
+	return ConnectArrivals(rng, horizon, &Constant{P: p}, n)
 }
 
 // MergeSortedDays merges and deduplicates two ascending day slices.
