@@ -1,0 +1,114 @@
+// Command leasevet runs the repository's custom static-analysis suite:
+// the determinism, WAL-ordering and wire-protocol invariants that plain
+// `go vet` cannot see. It speaks two protocols with one binary:
+//
+//   - As a vet tool, driven per package by the go command:
+//
+//     go build -o /tmp/leasevet ./cmd/leasevet
+//     go vet -vettool=/tmp/leasevet ./...
+//
+//   - Standalone, analyzing the module in one process:
+//
+//     go run ./cmd/leasevet ./...
+//
+// Standalone mode prints the stable per-analyzer summary the CI lint
+// job records (analyzer name → finding count, identical shape whether
+// or not anything fired), then the diagnostics; it exits 2 when any
+// invariant is violated. docs/LINTING.md documents every analyzer and
+// the //lint:allow-<name> <reason> suppression syntax.
+//
+// Usage:
+//
+//	leasevet [-summary=false] [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"leasing/internal/analysis"
+	"leasing/internal/analysis/vet"
+)
+
+// version participates in `go vet` build caching: the go command runs
+// `leasevet -V=full` and mixes the reported buildID into its cache key,
+// so bumping it invalidates previously cached vet results.
+const version = "1"
+
+func main() {
+	// The go vet driver protocol comes first: `-flags`, `-V=full`, or a
+	// single JSON config file argument per package.
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasPrefix(args[0], "-V"):
+			fmt.Printf("%s version %s buildID=leasevet-%s\n", os.Args[0], version, version)
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			diags, err := vet.RunUnit(args[0], analysis.Analyzers())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "leasevet:", err)
+				os.Exit(1)
+			}
+			if len(diags) > 0 {
+				for _, d := range diags {
+					fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+				}
+				os.Exit(2)
+			}
+			return
+		}
+	}
+	os.Exit(run(args, os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("leasevet", flag.ContinueOnError)
+	var (
+		summary = fs.Bool("summary", true, "print the stable per-analyzer finding-count table before any diagnostics")
+		list    = fs.Bool("list", false, "list the registered analyzers with their documentation and exit")
+	)
+	fs.SetOutput(errw)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%s\n    %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errw, "leasevet:", err)
+		return 1
+	}
+	res, err := vet.RunStandalone(dir, analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintln(errw, "leasevet:", err)
+		return 1
+	}
+	if *summary {
+		fmt.Fprint(out, res.Summary())
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(errw, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 2
+	}
+	return 0
+}

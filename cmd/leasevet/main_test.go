@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"leasing/internal/analysis"
+)
+
+// TestListCoversRegistry pins -list output to the registry: every
+// registered analyzer appears with its documentation.
+func TestListCoversRegistry(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errw.String())
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out.String(), a.Name+"\n") {
+			t.Errorf("-list output missing analyzer %q", a.Name)
+		}
+	}
+}
+
+// TestStandaloneCleanTree runs the suite over this package — a cheap
+// end-to-end check of the standalone driver, summary shape included.
+func TestStandaloneCleanTree(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"."}, &out, &errw); code != 0 {
+		t.Fatalf("run(.) = %d, stderr: %s", code, errw.String())
+	}
+	if !strings.HasPrefix(out.String(), "leasevet: 1 package(s), 0 finding(s)\n") {
+		t.Errorf("unexpected summary header:\n%s", out.String())
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("summary missing analyzer %q:\n%s", a.Name, out.String())
+		}
+	}
+}

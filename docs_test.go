@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"leasing/internal/analysis"
 	"leasing/internal/experiments"
 	"leasing/internal/wal"
 	"leasing/internal/wire"
@@ -151,6 +152,8 @@ func TestReadmeFlagsExist(t *testing.T) {
 		// lines.
 		"bench": true, "benchmem": true, "race": true, "run": true,
 		"o": true, "update": true,
+		// `go vet` flags appearing in docs/LINTING.md's command lines.
+		"vettool": true,
 	}
 	mains, err := filepath.Glob("cmd/*/main.go")
 	if err != nil {
@@ -285,6 +288,36 @@ func TestDurabilityDocLinked(t *testing.T) {
 	for _, name := range []string{"README.md", "DESIGN.md", "docs/ARCHITECTURE.md", "docs/OPERATIONS.md"} {
 		if !strings.Contains(readDoc(t, name), "DURABILITY.md") {
 			t.Errorf("%s does not link the durability reference", name)
+		}
+	}
+}
+
+// TestLintingDocMatchesAnalyzers keeps docs/LINTING.md in lockstep
+// with the leasevet registry: every registered analyzer has a `###`
+// section, every `###` section names a registered analyzer, and the
+// document stays discoverable from README and the architecture doc.
+func TestLintingDocMatchesAnalyzers(t *testing.T) {
+	doc := readDoc(t, "docs/LINTING.md")
+	registered := map[string]bool{}
+	for _, a := range analysis.Analyzers() {
+		registered[a.Name] = true
+		if !strings.Contains(doc, "### "+a.Name+"\n") {
+			t.Errorf("docs/LINTING.md has no section for analyzer %q", a.Name)
+		}
+	}
+	for _, m := range regexp.MustCompile(`(?m)^### ([a-z][a-z0-9-]*)$`).FindAllStringSubmatch(doc, -1) {
+		if !registered[m[1]] {
+			t.Errorf("docs/LINTING.md documents %q, which cmd/leasevet does not register", m[1])
+		}
+	}
+	for _, want := range []string{"-vettool", "//lint:allow-", "wallclock", "cmd/leasevet", "ci.yml"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/LINTING.md does not mention %q", want)
+		}
+	}
+	for _, name := range []string{"README.md", "docs/ARCHITECTURE.md"} {
+		if !strings.Contains(readDoc(t, name), "LINTING.md") {
+			t.Errorf("%s does not link docs/LINTING.md", name)
 		}
 	}
 }

@@ -1,0 +1,26 @@
+// Package analysis is the leasevet analyzer registry: the one place
+// that decides which static checks the suite ships. cmd/leasevet runs
+// exactly this list, docs/LINTING.md is gated against it, and the CI
+// summary enumerates it — so adding an analyzer here is the entire
+// registration step.
+package analysis
+
+import (
+	"leasing/internal/analysis/atomicfields"
+	"leasing/internal/analysis/detorder"
+	"leasing/internal/analysis/seededrand"
+	"leasing/internal/analysis/vet"
+	"leasing/internal/analysis/walorder"
+	"leasing/internal/analysis/wiretags"
+)
+
+// Analyzers returns the full suite in stable (alphabetical) order.
+func Analyzers() []*vet.Analyzer {
+	return []*vet.Analyzer{
+		atomicfields.Analyzer,
+		detorder.Analyzer,
+		seededrand.Analyzer,
+		walorder.Analyzer,
+		wiretags.Analyzer,
+	}
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"leasing/internal/analysis"
+	"leasing/internal/analysis/vet/vettest"
+)
+
+// TestRegistry pins the registry's shape: stable alphabetical order,
+// unique names, and documentation on every analyzer — the properties
+// the summary table, the suppression directives and the LINTING.md
+// gate all rely on.
+func TestRegistry(t *testing.T) {
+	as := analysis.Analyzers()
+	if len(as) < 5 {
+		t.Fatalf("registry has %d analyzers, want at least 5", len(as))
+	}
+	var names []string
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing name, doc or run function", a.Name)
+		}
+		names = append(names, a.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("registry not in alphabetical order: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate analyzer name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+// TestDirectiveScope proves a //lint:allow-<name> directive suppresses
+// only the analyzer whose directive it names: a single line violating
+// both seededrand and detorder keeps its detorder diagnostic when
+// annotated with allow-wallclock.
+func TestDirectiveScope(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vettest.RunAnalyzers(t, dir, analysis.Analyzers(), "example/internal/stream")
+}

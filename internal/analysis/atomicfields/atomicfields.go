@@ -1,0 +1,149 @@
+// Package atomicfields enforces all-or-nothing atomicity on struct
+// fields: a field accessed through sync/atomic anywhere in the module
+// may never be read or written with a plain load or store elsewhere.
+//
+// Mixing the two access modes is a data race the race detector only
+// catches when both sides happen to run concurrently under -race; the
+// compiled code is wrong regardless. The repository's own convention is
+// the typed atomics (atomic.Int64, atomic.Pointer), which make the
+// mixed pattern unrepresentable — this analyzer exists to keep the
+// old-style `atomic.AddInt64(&s.n, 1)` + `s.n` pairing from creeping
+// in, including across package boundaries via exported fields, which it
+// tracks with facts.
+package atomicfields
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"leasing/internal/analysis/vet"
+)
+
+// Analyzer is the atomicfields check.
+var Analyzer = &vet.Analyzer{
+	Name: "atomicfields",
+	Doc: "flags plain reads or writes of a struct field that is accessed via " +
+		"sync/atomic anywhere (in any package — atomic use is exported as a " +
+		"fact); mixed access is a data race even when the plain side looks " +
+		"harmless",
+	Run: run,
+}
+
+func run(pass *vet.Pass) error {
+	// Atomic field keys discovered in dependencies.
+	atomic := map[string]bool{}
+	for _, dep := range pass.DepPaths() {
+		if payload, ok := pass.ImportFact(dep, "fields"); ok {
+			for _, key := range strings.Split(payload, ",") {
+				if key != "" {
+					atomic[key] = true
+				}
+			}
+		}
+	}
+
+	// First pass: find sync/atomic calls taking &x.f, mark the field
+	// atomic, and remember the sanctioned selector nodes.
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if key := fieldKey(pass, sel); key != "" {
+					atomic[key] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	// Export the union, so the fact reaches indirect dependents through
+	// this package's bundle as well.
+	var keys []string
+	for key := range atomic {
+		keys = append(keys, key)
+	}
+	if len(keys) > 0 {
+		sort.Strings(keys)
+		pass.ExportFact("fields", strings.Join(keys, ","))
+	}
+
+	// Second pass: every other selector resolving to an atomic field is
+	// a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			key := fieldKey(pass, sel)
+			if key == "" || !atomic[key] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to %s, which is accessed with sync/atomic elsewhere; every load and store must go through sync/atomic (or migrate the field to a typed atomic)",
+				key)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function.
+func isAtomicCall(pass *vet.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// fieldKey names the struct field a selector denotes, as
+// "pkgpath.Type.Field" — stable across packages, so it can travel as a
+// fact. Non-field selectors yield "".
+func fieldKey(pass *vet.Pass, sel *ast.SelectorExpr) string {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok || !field.IsField() {
+		return ""
+	}
+	recv := selection.Recv()
+	for {
+		ptr, ok := recv.(*types.Pointer)
+		if !ok {
+			break
+		}
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	pkgPath := ""
+	if obj.Pkg() != nil {
+		pkgPath = vet.StripTestVariant(obj.Pkg().Path())
+	}
+	return pkgPath + "." + obj.Name() + "." + field.Name()
+}

@@ -1,0 +1,21 @@
+package atomicfields_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leasing/internal/analysis/atomicfields"
+	"leasing/internal/analysis/vet/vettest"
+)
+
+func TestAtomicFields(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// counter before reader: the atomic-field fact flows forward.
+	vettest.Run(t, dir, atomicfields.Analyzer,
+		"example/counter",
+		"example/reader",
+	)
+}

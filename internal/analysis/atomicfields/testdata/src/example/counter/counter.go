@@ -1,0 +1,46 @@
+// Package counter is golden-test input for the atomicfields analyzer:
+// the Hits field is accessed through sync/atomic, so every plain access
+// — here and in dependent packages — must fire.
+package counter
+
+import "sync/atomic"
+
+// Stats mixes an old-style atomic counter with plain fields.
+type Stats struct {
+	Hits  int64
+	Local int64        // never touched atomically; plain access is fine
+	Typed atomic.Int64 // typed atomics make the mix unrepresentable
+}
+
+// Bump and Snapshot are the sanctioned atomic accesses.
+func (s *Stats) Bump() {
+	atomic.AddInt64(&s.Hits, 1)
+}
+
+func (s *Stats) Snapshot() int64 {
+	return atomic.LoadInt64(&s.Hits)
+}
+
+// Peek reads the atomic field plainly and fires.
+func (s *Stats) Peek() int64 {
+	return s.Hits // want "plain access to example/counter.Stats.Hits"
+}
+
+// Reset writes it plainly and fires too.
+func (s *Stats) Reset() {
+	s.Hits = 0 // want "plain access to example/counter.Stats.Hits"
+}
+
+// PlainOnly fields and typed atomics never fire.
+func (s *Stats) Other() int64 {
+	s.Typed.Add(1)
+	return s.Local + s.Typed.Load()
+}
+
+// Annotated single-threaded access (e.g. inside a constructor before
+// the value escapes) is suppressed.
+func New(seed int64) *Stats {
+	s := &Stats{}
+	s.Hits = seed //lint:allow-atomicfields constructor runs before the value escapes to any other goroutine
+	return s
+}

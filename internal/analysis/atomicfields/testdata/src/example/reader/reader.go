@@ -1,0 +1,15 @@
+// Package reader is golden-test input for the atomicfields analyzer's
+// cross-package check: counter.Stats.Hits is atomic (a fact exported by
+// the counter package), so the plain read here fires even though this
+// package never imports sync/atomic.
+package reader
+
+import "example/counter"
+
+func Read(s *counter.Stats) int64 {
+	return s.Hits // want "plain access to example/counter.Stats.Hits"
+}
+
+func ReadSafe(s *counter.Stats) int64 {
+	return s.Snapshot() + s.Local
+}

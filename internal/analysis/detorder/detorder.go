@@ -1,0 +1,200 @@
+// Package detorder flags `for … range` over a map whose body produces
+// ordered output — appending to an outer slice, encoding or writing
+// bytes, appending write-ahead-log records, or sending on a channel —
+// without the iteration order being neutralized afterwards.
+//
+// Go randomizes map iteration order on purpose, so any byte stream,
+// slice or log assembled inside such a loop differs run to run. In this
+// repository that is not a style nit: engine output must be
+// byte-identical to a single-threaded Replay, WAL records must replay
+// to the same sessions, and wire encodings must survive exact round
+// trips. A map-ordered WAL record is a determinism bug that only
+// surfaces on recovery.
+//
+// The analyzer accepts the two idioms that make map iteration safe:
+// collecting into a slice that is passed to a sort function later in
+// the same function (sort.*, slices.Sort*), and effects that are
+// order-free (writing into another map, counting, summing). Genuinely
+// order-free emission — e.g. independent per-session publishes — can be
+// annotated with `//lint:allow-detorder <reason>`.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"leasing/internal/analysis/vet"
+)
+
+// Analyzer is the detorder check.
+var Analyzer = &vet.Analyzer{
+	Name: "detorder",
+	Doc: "flags map iteration that appends to an outer slice (unless the slice " +
+		"is sorted later in the same function), encodes or writes output, " +
+		"appends WAL records, or sends on a channel — ordered output built in " +
+		"randomized map order; exempt truly order-free sites with " +
+		"//lint:allow-detorder <reason>",
+	Run: run,
+}
+
+// emitterCalls are method / function selector names that emit ordered
+// output when called once per map iteration.
+var emitterCalls = map[string]bool{
+	"Encode": true, "Marshal": true, "MarshalJSON": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+	"LogOpen": true, "LogEvents": true, "LogClose": true,
+}
+
+// sortCalls recognize the order-neutralizing calls of the sort and
+// slices packages.
+var sortCalls = map[string]bool{
+	"Sort": true, "SortFunc": true, "SortStableFunc": true, "Stable": true,
+	"Slice": true, "SliceStable": true,
+	"Strings": true, "Ints": true, "Float64s": true,
+}
+
+// isSortCall also accepts the repository's own Sort-prefixed canonical
+// ordering helpers (stream.SortItemLeases, setcover.SortSetLeases, …).
+func isSortCall(name string) bool {
+	return sortCalls[name] || strings.HasPrefix(name, "Sort")
+}
+
+func run(pass *vet.Pass) error {
+	for _, f := range pass.Files {
+		parents := vet.NewParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, parents, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRange(pass *vet.Pass, parents vet.Parents, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"map iteration sends on a channel in randomized order; drain a sorted key list instead")
+		case *ast.CallExpr:
+			if obj := appendTarget(pass, n); obj != nil && obj.Pos() < rng.Pos() {
+				if !sortedLater(pass, parents, rng, obj) {
+					pass.Reportf(n.Pos(),
+						"map iteration appends to %q in randomized order; sort %q afterwards or iterate sorted keys",
+						obj.Name(), obj.Name())
+				}
+				return true
+			}
+			if name, ok := emitterName(n); ok {
+				pass.Reportf(n.Pos(),
+					"map iteration calls %s in randomized order, producing order-dependent output; iterate sorted keys or collect and sort first",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the object of the slice being appended to when
+// call is `append(x, ...)` with x a plain identifier or selector, nil
+// otherwise.
+func appendTarget(pass *vet.Pass, call *ast.CallExpr) types.Object {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	if b, ok := pass.Info.Uses[fun].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	switch arg := call.Args[0].(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[arg]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[arg.Sel]
+	}
+	return nil
+}
+
+// emitterName reports whether call is an ordered-output emitter and
+// names it for the diagnostic.
+func emitterName(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	if !emitterCalls[sel.Sel.Name] {
+		return "", false
+	}
+	if x, ok := sel.X.(*ast.Ident); ok {
+		return x.Name + "." + sel.Sel.Name, true
+	}
+	return sel.Sel.Name, true
+}
+
+// sortedLater reports whether obj is passed to a sort call after the
+// range statement, anywhere later in the enclosing function.
+func sortedLater(pass *vet.Pass, parents vet.Parents, rng *ast.RangeStmt, obj types.Object) bool {
+	fn := parents.EnclosingFunc(rng)
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if !isSortCall(name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if target := rootObject(pass, arg); target == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// rootObject resolves an argument expression to the variable it
+// denotes, looking through unary & and slice expressions.
+func rootObject(pass *vet.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[x]
+		case *ast.SelectorExpr:
+			return pass.Info.Uses[x.Sel]
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package detorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leasing/internal/analysis/detorder"
+	"leasing/internal/analysis/vet/vettest"
+)
+
+func TestDetOrder(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vettest.Run(t, dir, detorder.Analyzer, "example/detorder")
+}

@@ -1,0 +1,104 @@
+// Package detorder is golden-test input for the detorder analyzer:
+// map iteration building ordered output fires, the sanctioned idioms
+// (sort afterwards, map-to-map copies, pure aggregation) do not.
+package detorder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Appending to an outer slice in map order fires.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "map iteration appends to \"out\" in randomized order"
+	}
+	return out
+}
+
+// The same loop followed by a sort of the slice is the sanctioned
+// collect-then-sort idiom and must not fire.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// A repository-style Sort helper also neutralizes the order.
+func SortLeases(ls []string) { sort.Strings(ls) }
+
+func HelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	SortLeases(out)
+	return out
+}
+
+// Copying a map into another map is order-free and must not fire (the
+// engine's shard registry snapshot does exactly this).
+func Snapshot(m map[string]int) map[string]int {
+	reg := make(map[string]int, len(m))
+	for k, v := range m {
+		reg[k] = v
+	}
+	return reg
+}
+
+// Aggregation carries no order and must not fire.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Appending to a slice born inside the loop body is per-iteration
+// state, not ordered output, and must not fire.
+func PerKey(m map[string][]int, f func([]int)) {
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		f(local)
+	}
+}
+
+// Encoding inside map iteration writes bytes in randomized order.
+func Encode(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k, v := range m {
+		if err := enc.Encode(map[string]int{k: v}); err != nil { // want "map iteration calls enc.Encode in randomized order"
+			return err
+		}
+	}
+	return nil
+}
+
+// Printing inside map iteration fires.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration calls fmt.Fprintf in randomized order"
+	}
+}
+
+// Sending on a channel in map order fires.
+func Publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want "map iteration sends on a channel in randomized order"
+	}
+}
+
+// An annotated order-free emission is suppressed.
+func Broadcast(m map[string]chan int, v int) {
+	for _, ch := range m {
+		ch <- v //lint:allow-detorder independent per-subscriber notification; receivers never compare order
+	}
+}

@@ -1,0 +1,120 @@
+// Package seededrand forbids ambient nondeterminism — the global
+// math/rand source, wall-clock reads, and crypto/rand — inside the
+// packages whose output must be a pure function of their inputs.
+//
+// The engine's contract (and the WAL's, and the wire protocol's) is
+// byte-identical re-execution: a tenant's session replayed from its
+// logged spec and events must reproduce the live run exactly. A single
+// time.Now or global rand.Intn on those paths breaks recovery, breaks
+// the Replay parity suite, and breaks any future log-shipping replica.
+// Randomized algorithms are still welcome — through an explicitly
+// seeded *rand.Rand threaded in by the caller, the convention every
+// domain package already follows.
+//
+// Sites that legitimately need wall time (latency measurement, metrics
+// timestamps) opt out with `//lint:allow-wallclock <reason>` on or
+// directly above the flagged line.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"leasing/internal/analysis/vet"
+)
+
+// DeterministicPackages lists the package-path suffixes the analyzer
+// polices: the layers on the logged, replayed, byte-compared path.
+var DeterministicPackages = []string{
+	"internal/stream",
+	"internal/engine",
+	"internal/wal",
+	"internal/workload",
+	"internal/wire",
+}
+
+// seededConstructors are the math/rand selectors that do not touch the
+// global source: they build explicitly seeded generators.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+// wallClockFuncs are the time package selectors that read the wall (or
+// monotonic) clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Analyzer is the seededrand check.
+var Analyzer = &vet.Analyzer{
+	Name: "seededrand",
+	Doc: "forbids the global math/rand source, wall-clock reads (time.Now and " +
+		"friends) and crypto/rand in the deterministic packages " +
+		"(internal/stream, internal/engine, internal/wal, internal/workload, " +
+		"internal/wire); randomness must flow through an explicitly seeded " +
+		"*rand.Rand, and intentional wall-clock sites carry " +
+		"//lint:allow-wallclock <reason>",
+	Directive: "wallclock",
+	Run:       run,
+}
+
+func run(pass *vet.Pass) error {
+	deterministic := false
+	for _, suffix := range DeterministicPackages {
+		if vet.PathHasSuffix(pass.Pkg.Path(), suffix) {
+			deterministic = true
+			break
+		}
+	}
+	if !deterministic {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "crypto/rand" {
+				pass.Reportf(imp.Pos(),
+					"crypto/rand in deterministic package %s: recovery and replay cannot reproduce its output; derive randomness from the session's seeded generator",
+					vet.StripTestVariant(pass.Pkg.Path()))
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global math/rand source (rand.%s) in deterministic package %s: seed-dependent replay requires an explicit *rand.Rand",
+						sel.Sel.Name, vet.StripTestVariant(pass.Pkg.Path()))
+				}
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall clock (time.%s) in deterministic package %s: event time is the only clock on the replayed path; if this site measures real latency, annotate it with //lint:allow-wallclock <reason>",
+						sel.Sel.Name, vet.StripTestVariant(pass.Pkg.Path()))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package seededrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leasing/internal/analysis/seededrand"
+	"leasing/internal/analysis/vet/vettest"
+)
+
+func TestSeededRand(t *testing.T) {
+	vettest.Run(t, testdata(t), seededrand.Analyzer,
+		"example/internal/stream",
+		"example/internal/api",
+	)
+}
+
+func testdata(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

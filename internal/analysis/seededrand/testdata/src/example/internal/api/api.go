@@ -1,0 +1,17 @@
+// Package api is golden-test input for the seededrand analyzer: it is
+// NOT on a deterministic package path, so wall clocks and the global
+// rand source are fine here and nothing may fire.
+package api
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(100)) * time.Millisecond
+}
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,54 @@
+// Package stream is golden-test input for the seededrand analyzer: it
+// sits on a deterministic package path, so ambient nondeterminism must
+// be flagged and the seeded idiom must not be.
+package stream
+
+import (
+	crand "crypto/rand" // want "crypto/rand in deterministic package"
+	mrand "math/rand"
+	rand "math/rand/v2"
+	"time"
+)
+
+// Seeded randomness threaded through an explicit generator is the
+// sanctioned idiom and must not fire.
+func Seeded(seed int64) int {
+	r := mrand.New(mrand.NewSource(seed))
+	r2 := rand.New(rand.NewPCG(uint64(seed), 2))
+	return r.Intn(10) + int(r2.Uint64N(10))
+}
+
+func GlobalRand() int {
+	return mrand.Intn(10) // want "global math/rand source \\(rand\\.Intn\\)"
+}
+
+func GlobalRandV2() uint64 {
+	return rand.Uint64N(10) // want "global math/rand source \\(rand\\.Uint64N\\)"
+}
+
+func WallClock() int64 {
+	return time.Now().UnixNano() // want "wall clock \\(time\\.Now\\)"
+}
+
+// Event time handled as a value type is fine: only clock reads fire.
+func Elapsed(a, b time.Time) time.Duration {
+	return b.Sub(a)
+}
+
+// An annotated site with a reason is suppressed.
+func MeasuredLatency() time.Duration {
+	start := time.Now() //lint:allow-wallclock measures real request latency for metrics, never replayed
+	return time.Since(start) //lint:allow-wallclock measures real request latency for metrics, never replayed
+}
+
+// A bare directive is itself a diagnostic and suppresses nothing.
+func BareDirective() int64 {
+	//lint:allow-wallclock // want "directive requires a reason"
+	return time.Now().UnixNano() // want "wall clock \\(time\\.Now\\)"
+}
+
+// The import diagnostic is the only one for crypto/rand; uses ride on
+// the flagged import.
+func CryptoRead(p []byte) {
+	crand.Read(p)
+}

@@ -1,0 +1,21 @@
+// Package stream is golden-test input for the suite-level directive
+// test: one line violates two analyzers at once, and the wallclock
+// directive must suppress only seededrand — detorder still fires.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// DumpAges emits one line per entry in map order, stamped with the wall
+// clock: a detorder violation and a seededrand violation on the same
+// line. The wallclock directive names only seededrand's directive, so
+// the detorder diagnostic must survive.
+func DumpAges(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		//lint:allow-wallclock metrics timestamp, never replayed
+		fmt.Fprintf(w, "%s=%d@%d\n", k, v, time.Now().Unix()) // want "map iteration calls fmt.Fprintf in randomized order"
+	}
+}

@@ -1,0 +1,116 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// Parents maps every node in a file tree to its parent, supporting the
+// structural-dominance queries the ordering analyzers need.
+type Parents map[ast.Node]ast.Node
+
+// NewParents indexes the parent of every node under root.
+func NewParents(root ast.Node) Parents {
+	p := Parents{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			p[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return p
+}
+
+// Path returns the ancestor chain of n from the root down to n itself.
+func (p Parents) Path(n ast.Node) []ast.Node {
+	var rev []ast.Node
+	for cur := n; cur != nil; cur = p[cur] {
+		rev = append(rev, cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// containing n, or nil.
+func (p Parents) EnclosingFunc(n ast.Node) ast.Node {
+	for cur := p[n]; cur != nil; cur = p[cur] {
+		switch cur.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return cur
+		}
+	}
+	return nil
+}
+
+// Dominators returns the statements that structurally dominate n within
+// its enclosing function, innermost first: for every enclosing block,
+// the statements listed before the one containing n. A statement earlier
+// in a straight-line block always executes before n does (the analyzers
+// run on goto-free code), so "some dominator touches X" is a sound
+// approximation of "X happens before n on this path". The statement
+// chain containing n itself is excluded; enclosing if/for/switch nodes
+// are reported via GuardConditions instead.
+func (p Parents) Dominators(n ast.Node) []ast.Stmt {
+	var doms []ast.Stmt
+	cur := n
+	for {
+		parent := p[cur]
+		if parent == nil {
+			break
+		}
+		if _, done := parent.(*ast.FuncDecl); done {
+			break
+		}
+		if _, done := parent.(*ast.FuncLit); done {
+			break
+		}
+		if block, ok := parent.(*ast.BlockStmt); ok {
+			for _, st := range block.List {
+				if st == cur {
+					break
+				}
+				doms = append(doms, st)
+			}
+		}
+		cur = parent
+	}
+	return doms
+}
+
+// GuardConditions returns the conditions of every if, for and switch
+// statement enclosing n within its function. A guard does not dominate
+// the code after the construct, but it does dominate n while n sits
+// inside its body — which is exactly the "the branch already considered
+// X" evidence the walorder analyzer accepts.
+func (p Parents) GuardConditions(n ast.Node) []ast.Expr {
+	var conds []ast.Expr
+	for cur := p[n]; cur != nil; cur = p[cur] {
+		switch s := cur.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return conds
+		case *ast.IfStmt:
+			if s.Cond != nil {
+				conds = append(conds, s.Cond)
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				conds = append(conds, s.Cond)
+			}
+		case *ast.SwitchStmt:
+			if s.Tag != nil {
+				conds = append(conds, s.Tag)
+			}
+		case *ast.CaseClause:
+			conds = append(conds, s.List...)
+		}
+	}
+	return conds
+}

@@ -1,0 +1,161 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	Deps       []string
+}
+
+// LoadedPackage pairs a typechecked package with its listing entry.
+type LoadedPackage struct {
+	*Package
+	Dir     string
+	DepOnly bool
+	Deps    []string
+}
+
+// GoList runs `go list -deps -export -json` for the patterns in dir and
+// returns the listed packages in dependency order (dependencies first —
+// the order `go list -deps` guarantees).
+func GoList(dir string, patterns ...string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,Export,Standard,DepOnly,GoFiles,Imports,Deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportLookup builds the importer lookup function over a map of import
+// path → export data file.
+func ExportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// NewInfo allocates the full types.Info map set the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// Typecheck parses and typechecks one package from source, resolving
+// imports through imp.
+func Typecheck(path string, files []string, fset *token.FileSet, imp types.Importer) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(StripTestVariant(path), fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Fset:  fset,
+		Files: parsed,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Load lists, parses and typechecks the packages matching patterns in
+// dir, returning the non-dependency, non-standard matches in dependency
+// order, each with DepFacts left nil (the driver fills them in as it
+// runs the analyzers).
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	listed, err := GoList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", ExportLookup(exports))
+	var out []*LoadedPackage
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, joinDir(p.Dir, f))
+		}
+		pkg, err := Typecheck(p.ImportPath, files, fset, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &LoadedPackage{Package: pkg, Dir: p.Dir, Deps: p.Deps})
+	}
+	return out, nil
+}
+
+func joinDir(dir, name string) string {
+	if strings.HasPrefix(name, "/") {
+		return name
+	}
+	return dir + string(os.PathSeparator) + name
+}

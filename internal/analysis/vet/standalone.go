@@ -1,0 +1,77 @@
+package vet
+
+// The standalone driver: `leasevet ./...` without the go command in
+// front. It loads the matched packages through `go list -export`, runs
+// the analyzers in dependency order so facts flow from internal/wire to
+// internal/server in one process, and renders the stable summary the CI
+// lint job diffs.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Result is one standalone run's outcome.
+type Result struct {
+	Diagnostics []Diagnostic
+	// Counts maps analyzer name → finding count, including analyzers
+	// with zero findings so the summary's shape never varies.
+	Counts map[string]int
+	// Packages is how many packages were analyzed.
+	Packages int
+}
+
+// RunStandalone analyzes the packages matching patterns in dir.
+func RunStandalone(dir string, analyzers []*Analyzer, patterns ...string) (*Result, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Counts: map[string]int{}}
+	for _, a := range analyzers {
+		res.Counts[a.Name] = 0
+	}
+	factsByPath := map[string]Facts{}
+	for _, p := range pkgs {
+		p.DepFacts = map[string]Facts{}
+		for _, dep := range p.Deps {
+			if f, ok := factsByPath[dep]; ok {
+				p.DepFacts[dep] = f
+			}
+		}
+		diags, merged, err := RunAnalyzers(p.Package, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		factsByPath[StripTestVariant(p.Path)] = merged
+		res.Diagnostics = append(res.Diagnostics, diags...)
+		res.Packages++
+	}
+	for _, d := range res.Diagnostics {
+		res.Counts[d.Analyzer]++
+	}
+	return res, nil
+}
+
+// Summary renders the stable, diffable per-analyzer finding table: one
+// line per analyzer, sorted by name, identical shape whether or not
+// anything fired — so a CI log diff shows exactly which invariant
+// regressed.
+func (r *Result) Summary() string {
+	names := make([]string, 0, len(r.Counts))
+	width := 0
+	for name := range r.Counts {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "leasevet: %d package(s), %d finding(s)\n", r.Packages, len(r.Diagnostics))
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-*s %d\n", width, name, r.Counts[name])
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package vet
+
+// The `go vet -vettool` protocol. For every package in the build, the
+// go command invokes the tool three ways: `-flags` (report supported
+// flags), `-V=full` (version stamp for build caching) and with a single
+// vet.cfg argument describing one compiled package — its files, the
+// export data of its dependencies, and the .vetx fact files earlier
+// invocations produced for them. The tool must analyze the package,
+// write its own fact file to VetxOutput, and exit non-zero with
+// diagnostics on stderr to fail the vet run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// UnitConfig mirrors the vet.cfg JSON the go command writes. Unknown
+// fields are ignored.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxBundle is the on-disk fact file: package path → fact bundle,
+// carrying the transitive closure so facts reach indirect dependents.
+type vetxBundle map[string]Facts
+
+// RunUnit executes one vet.cfg invocation and returns the diagnostics.
+// Writing the (possibly empty) VetxOutput file is unconditional — the
+// go command treats a missing fact file as a tool failure.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	raw, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("leasevet: read %s: %w", cfgPath, err)
+	}
+	var cfg UnitConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return nil, fmt.Errorf("leasevet: parse %s: %w", cfgPath, err)
+	}
+
+	closure := vetxBundle{}
+	for _, vetx := range cfg.PackageVetx {
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // a dependency ran without producing facts
+		}
+		var dep vetxBundle
+		if err := json.Unmarshal(b, &dep); err != nil {
+			continue
+		}
+		for path, facts := range dep {
+			closure[path] = facts
+		}
+	}
+
+	// Dependency-only invocations without export data (the standard
+	// library) cannot be typechecked from a vet.cfg; they also cannot
+	// hold the repository's invariants. Record an empty fact bundle and
+	// succeed.
+	if cfg.VetxOnly && len(cfg.PackageFile) == 0 {
+		return nil, writeVetx(cfg.VetxOutput, closure)
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+	pkg, err := Typecheck(cfg.ImportPath, cfg.GoFiles, fset, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return nil, writeVetx(cfg.VetxOutput, closure)
+		}
+		return nil, fmt.Errorf("leasevet: %w", err)
+	}
+	pkg.DepFacts = map[string]Facts{}
+	for path, facts := range closure {
+		pkg.DepFacts[path] = facts
+	}
+
+	diags, merged, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	closure[StripTestVariant(cfg.ImportPath)] = merged
+	if err := writeVetx(cfg.VetxOutput, closure); err != nil {
+		return nil, err
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+	return diags, nil
+}
+
+func writeVetx(path string, b vetxBundle) error {
+	if path == "" {
+		return nil
+	}
+	js, err := json.Marshal(b)
+	if err != nil {
+		return fmt.Errorf("leasevet: encode facts: %w", err)
+	}
+	if err := os.WriteFile(path, js, 0o666); err != nil {
+		return fmt.Errorf("leasevet: write facts: %w", err)
+	}
+	return nil
+}

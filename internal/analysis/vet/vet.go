@@ -1,0 +1,283 @@
+// Package vet is the dependency-free core of the leasevet static
+// analysis suite: the analyzer and pass types, the //lint:allow-<name>
+// suppression directives, and the per-package execution engine shared by
+// the standalone driver, the `go vet -vettool` unitchecker mode and the
+// vettest golden-file harness.
+//
+// The shape deliberately mirrors golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run function over a typed Pass, diagnostics carry
+// positions, and cross-package state travels as per-package facts — but
+// it is built entirely on the standard library (go/ast, go/types and the
+// gc export-data importer), so the repository stays free of third-party
+// dependencies. Facts are JSON documents keyed by analyzer and fact
+// name; a package's fact bundle includes the transitive bundles of its
+// dependencies, which is what lets an analyzer checking internal/server
+// see the endpoint table an earlier pass extracted from internal/wire.
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check. Its Run function is invoked once per
+// analyzed package with a fully typechecked Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and summaries.
+	Name string
+	// Doc is the one-paragraph description rendered by `leasevet help`
+	// and gated against docs/LINTING.md.
+	Doc string
+	// Directive is the suppression name: a `//lint:allow-<Directive>
+	// <reason>` comment on (or immediately above) a flagged line
+	// suppresses this analyzer's diagnostics there — and only this
+	// analyzer's. Empty means Name.
+	Directive string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// directive returns the analyzer's suppression name.
+func (a *Analyzer) directive() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Facts is one package's exported fact bundle: analyzer name → fact
+// name → JSON payload. Bundles are merged transitively, so a dependent
+// package's view includes facts from every dependency.
+type Facts map[string]map[string]string
+
+// Package is one typechecked package handed to the analyzers.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// DepFacts maps a dependency's import path to its fact bundle.
+	DepFacts map[string]Facts
+}
+
+// Pass is the per-analyzer view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	pkg      *Package
+	exported Facts
+	diags    *[]Diagnostic
+	dirs     []directiveSite
+}
+
+// Reportf records a diagnostic at pos. Findings in _test.go files are
+// dropped — the invariants leasevet enforces are production-path
+// properties, and tests legitimately use wall clocks and unordered
+// iteration — and findings carrying a matching allow directive on their
+// line (or the line above) are suppressed.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.suppressed(position) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ExportFact publishes a fact of this package under the running
+// analyzer; dependent packages read it back with ImportFact.
+func (p *Pass) ExportFact(name, payload string) {
+	byName := p.exported[p.Analyzer.Name]
+	if byName == nil {
+		byName = map[string]string{}
+		p.exported[p.Analyzer.Name] = byName
+	}
+	byName[name] = payload
+}
+
+// ImportFact reads a fact the running analyzer exported while analyzing
+// the dependency package at path.
+func (p *Pass) ImportFact(path, name string) (string, bool) {
+	bundle, ok := p.pkg.DepFacts[path]
+	if !ok {
+		return "", false
+	}
+	payload, ok := bundle[p.Analyzer.Name][name]
+	return payload, ok
+}
+
+// DepPaths returns the dependency paths with fact bundles, sorted.
+func (p *Pass) DepPaths() []string {
+	paths := make([]string, 0, len(p.pkg.DepFacts))
+	for path := range p.pkg.DepFacts {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// directiveSite is one parsed //lint:allow-<name> comment.
+type directiveSite struct {
+	name   string
+	reason string
+	file   string
+	line   int
+	pos    token.Pos
+}
+
+var directiveRx = regexp.MustCompile(`^//lint:allow-([a-z][a-z0-9-]*)(?:\s+(.*))?$`)
+
+// scanDirectives collects every allow directive in the package.
+func scanDirectives(fset *token.FileSet, files []*ast.File) []directiveSite {
+	var sites []directiveSite
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRx.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				reason := strings.TrimSpace(m[2])
+				// Golden tests pin missing-reason diagnostics with a
+				// trailing `// want …` clause; it is harness metadata,
+				// not a reason.
+				if i := strings.Index(reason, "// want"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				sites = append(sites, directiveSite{
+					name:   m[1],
+					reason: reason,
+					file:   pos.Filename,
+					line:   pos.Line,
+					pos:    c.Pos(),
+				})
+			}
+		}
+	}
+	return sites
+}
+
+// suppressed reports whether a diagnostic at position carries a valid
+// allow directive for the running analyzer: same file, same line or the
+// line directly above, with a non-empty reason.
+func (p *Pass) suppressed(position token.Position) bool {
+	want := p.Analyzer.directive()
+	for _, d := range p.dirs {
+		if d.name != want || d.reason == "" || d.file != position.Filename {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers executes the analyzers over one package and returns the
+// surviving diagnostics plus the package's merged fact bundle (its own
+// exports layered over its dependencies'). Directive hygiene is part of
+// the run: an allow directive naming an analyzer but carrying no reason
+// is itself a diagnostic of that analyzer — an unexplained suppression
+// is as suspect as the pattern it hides.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, Facts, error) {
+	dirs := scanDirectives(pkg.Fset, pkg.Files)
+	merged := Facts{}
+	for _, dep := range pkg.DepFacts {
+		for an, byName := range dep {
+			if merged[an] == nil {
+				merged[an] = map[string]string{}
+			}
+			for name, payload := range byName {
+				merged[an][name] = payload
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			pkg:      pkg,
+			exported: merged,
+			diags:    &diags,
+			dirs:     dirs,
+		}
+		for _, d := range dirs {
+			if d.name == a.directive() && d.reason == "" && !strings.HasSuffix(d.file, "_test.go") {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.pos),
+					Message: fmt.Sprintf(
+						"lint:allow-%s directive requires a reason (//lint:allow-%s <why this site is exempt>)",
+						d.name, d.name),
+				})
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, merged, nil
+}
+
+// PathHasSuffix reports whether an import path ends with the given
+// package path suffix on a path-segment boundary: "internal/engine"
+// matches "leasing/internal/engine" (and any test-variant suffix has
+// been stripped by the caller), but not "internal/engineering".
+func PathHasSuffix(path, suffix string) bool {
+	path = StripTestVariant(path)
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// StripTestVariant removes the " [foo.test]" suffix go vet appends to
+// the import paths of test-build package variants.
+func StripTestVariant(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

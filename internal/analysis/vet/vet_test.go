@@ -1,0 +1,84 @@
+package vet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestPathHasSuffix(t *testing.T) {
+	cases := []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"leasing/internal/engine", "internal/engine", true},
+		{"internal/engine", "internal/engine", true},
+		{"leasing/internal/engine [leasing/internal/engine.test]", "internal/engine", true},
+		{"leasing/internal/engineering", "internal/engine", false},
+		{"leasing/internal/wal", "internal/engine", false},
+	}
+	for _, c := range cases {
+		if got := PathHasSuffix(c.path, c.suffix); got != c.want {
+			t.Errorf("PathHasSuffix(%q, %q) = %v, want %v", c.path, c.suffix, got, c.want)
+		}
+	}
+}
+
+func TestStripTestVariant(t *testing.T) {
+	if got := StripTestVariant("p/q [p/q.test]"); got != "p/q" {
+		t.Errorf("StripTestVariant = %q, want p/q", got)
+	}
+	if got := StripTestVariant("p/q"); got != "p/q" {
+		t.Errorf("StripTestVariant = %q, want p/q", got)
+	}
+}
+
+func TestScanDirectives(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //lint:allow-wallclock measures latency
+	//lint:allow-detorder
+	_ = 2
+	//lint:allow-walorder reason here // want "ignored"
+	_ = 3
+	// not a directive: lint:allow-x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := scanDirectives(fset, []*ast.File{f})
+	if len(sites) != 3 {
+		t.Fatalf("got %d directives, want 3: %+v", len(sites), sites)
+	}
+	if sites[0].name != "wallclock" || sites[0].reason != "measures latency" {
+		t.Errorf("site 0 = %+v", sites[0])
+	}
+	if sites[1].name != "detorder" || sites[1].reason != "" {
+		t.Errorf("site 1 = %+v (bare directive must have empty reason)", sites[1])
+	}
+	if sites[2].name != "walorder" || sites[2].reason != "reason here" {
+		t.Errorf("site 2 = %+v (want clause must be stripped from the reason)", sites[2])
+	}
+}
+
+func TestSummaryShape(t *testing.T) {
+	r := &Result{
+		Counts:   map[string]int{"detorder": 2, "walorder": 0},
+		Packages: 7,
+	}
+	r.Diagnostics = make([]Diagnostic, 2)
+	got := r.Summary()
+	want := "leasevet: 7 package(s), 2 finding(s)\n  detorder 2\n  walorder 0\n"
+	if got != want {
+		t.Errorf("Summary:\n%q\nwant:\n%q", got, want)
+	}
+	if !strings.HasSuffix(got, "\n") {
+		t.Error("summary must end with a newline for stable diffs")
+	}
+}

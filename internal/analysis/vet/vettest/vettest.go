@@ -1,0 +1,215 @@
+// Package vettest is the golden-file test harness for leasevet
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest
+// but built on the standard library only. A test points it at packages
+// under testdata/src; every diagnostic the analyzer reports must be
+// matched by a `// want "regexp"` comment on the flagged line, and
+// every want comment must be matched by a diagnostic — so each golden
+// package pins both the firing and the non-firing behavior of its
+// analyzer.
+package vettest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"leasing/internal/analysis/vet"
+)
+
+// expectation is one `// want` clause: a line that must produce a
+// diagnostic matching rx.
+type expectation struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRx = regexp.MustCompile(`// want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var wantArgRx = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run analyzes the listed packages (paths relative to dir/src, in
+// dependency order — list a fact-producing package before its
+// dependents) and compares diagnostics against the want comments.
+func Run(t *testing.T, dir string, analyzer *vet.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	RunAnalyzers(t, dir, []*vet.Analyzer{analyzer}, pkgPaths...)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one golden tree —
+// used to prove a directive suppresses only the analyzer it names.
+func RunAnalyzers(t *testing.T, dir string, analyzers []*vet.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+
+	type parsedPkg struct {
+		path  string
+		files []*ast.File
+		names []string
+	}
+	var parsed []*parsedPkg
+	imports := map[string]bool{}
+	local := map[string]bool{}
+	for _, p := range pkgPaths {
+		local[p] = true
+	}
+	for _, p := range pkgPaths {
+		src := filepath.Join(dir, "src", filepath.FromSlash(p))
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			t.Fatalf("vettest: %v", err)
+		}
+		pk := &parsedPkg{path: p}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			name := filepath.Join(src, e.Name())
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("vettest: parse %s: %v", name, err)
+			}
+			pk.files = append(pk.files, f)
+			pk.names = append(pk.names, name)
+			for _, imp := range f.Imports {
+				path, _ := strconv.Unquote(imp.Path.Value)
+				if !local[path] {
+					imports[path] = true
+				}
+			}
+		}
+		if len(pk.files) == 0 {
+			t.Fatalf("vettest: no Go files under %s", src)
+		}
+		parsed = append(parsed, pk)
+	}
+
+	// Resolve the non-local imports (the standard library) through the
+	// gc export data `go list -export` produces.
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		var paths []string
+		for p := range imports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := vet.GoList(dir, paths...)
+		if err != nil {
+			t.Fatalf("vettest: %v", err)
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	gc := importer.ForCompiler(fset, "gc", vet.ExportLookup(exports))
+	mem := &memImporter{gc: gc, pkgs: map[string]*types.Package{}}
+
+	var expects []*expectation
+	for _, pk := range parsed {
+		for _, f := range pk.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRx.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range wantArgRx.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("vettest: %s:%d: bad want clause %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						rx, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("vettest: %s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						expects = append(expects, &expectation{
+							file: pos.Filename, line: pos.Line, rx: rx, raw: raw,
+						})
+					}
+				}
+			}
+		}
+	}
+
+	var all []vet.Diagnostic
+	factsByPath := map[string]vet.Facts{}
+	for _, pk := range parsed {
+		info := vet.NewInfo()
+		conf := types.Config{Importer: mem}
+		tpkg, err := conf.Check(pk.path, fset, pk.files, info)
+		if err != nil {
+			t.Fatalf("vettest: typecheck %s: %v", pk.path, err)
+		}
+		mem.pkgs[pk.path] = tpkg
+		pkg := &vet.Package{
+			Path:     pk.path,
+			Fset:     fset,
+			Files:    pk.files,
+			Types:    tpkg,
+			Info:     info,
+			DepFacts: map[string]vet.Facts{},
+		}
+		for path, f := range factsByPath {
+			pkg.DepFacts[path] = f
+		}
+		diags, merged, err := vet.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("vettest: %v", err)
+		}
+		factsByPath[pk.path] = merged
+		all = append(all, diags...)
+	}
+
+	for _, d := range all {
+		if !claim(expects, d) {
+			t.Errorf("vettest: unexpected diagnostic %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("vettest: %s:%d: no diagnostic matched want %q", e.file, e.line, e.raw)
+		}
+	}
+}
+
+// claim matches a diagnostic against the unmatched expectation on its
+// line.
+func claim(expects []*expectation, d vet.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.rx.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// memImporter serves already-typechecked testdata packages from memory
+// and everything else from gc export data.
+type memImporter struct {
+	gc   types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.gc.Import(path)
+}

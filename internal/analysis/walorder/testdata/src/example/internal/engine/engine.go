@@ -1,0 +1,83 @@
+// Package engine is golden-test input for the walorder analyzer: a
+// miniature of the real engine's op/shard shape. Event enqueues must be
+// dominated by WAL evidence, carry nolog: true, or be annotated.
+package engine
+
+type op struct {
+	kind   int
+	tenant string
+	events []int
+	nolog  bool
+}
+
+const (
+	opOpen = iota
+	opEvents
+	opClose
+)
+
+// WAL is the append-only log the admission invariant guards.
+type WAL interface {
+	LogEvents(tenant string, events []int) error
+}
+
+// Config carries the optional WAL.
+type Config struct {
+	WAL WAL
+}
+
+// Engine is the enqueue side.
+type Engine struct {
+	cfg   Config
+	queue chan op
+}
+
+func (e *Engine) send(o op) error {
+	e.queue <- o
+	return nil
+}
+
+// Submit logs before it enqueues: the WAL append dominates the send, so
+// nothing fires.
+func (e *Engine) Submit(tenant string, events []int) error {
+	if err := e.cfg.WAL.LogEvents(tenant, events); err != nil {
+		return err
+	}
+	return e.send(op{kind: opEvents, tenant: tenant, events: events})
+}
+
+// Broken enqueues without any WAL evidence and fires.
+func (e *Engine) Broken(tenant string, events []int) error {
+	return e.send(op{kind: opEvents, tenant: tenant, events: events}) // want "opEvents enqueued without a dominating WAL append"
+}
+
+// NonDurable decides about the WAL in its guard — the nil check is the
+// evidence that logging was considered — so nothing fires.
+func (e *Engine) NonDurable(tenant string, events []int) error {
+	if e.cfg.WAL == nil {
+		return e.send(op{kind: opEvents, tenant: tenant, events: events})
+	}
+	if err := e.cfg.WAL.LogEvents(tenant, events); err != nil {
+		return err
+	}
+	return e.send(op{kind: opEvents, tenant: tenant, events: events})
+}
+
+// Waived carries the explicit in-band nolog marker, so nothing fires.
+func (e *Engine) Waived(tenant string, events []int) error {
+	return e.send(op{kind: opEvents, tenant: tenant, events: events, nolog: true})
+}
+
+// Replay is the annotated recovery-path exception.
+func (e *Engine) Replay(tenant string, events []int) error {
+	//lint:allow-walorder recovery replays events already durable in the WAL
+	return e.send(op{kind: opEvents, tenant: tenant, events: events})
+}
+
+// Open and close ops are logged shard-side and are out of scope.
+func (e *Engine) Lifecycle(tenant string) error {
+	if err := e.send(op{kind: opOpen, tenant: tenant}); err != nil {
+		return err
+	}
+	return e.send(op{kind: opClose, tenant: tenant})
+}

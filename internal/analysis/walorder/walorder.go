@@ -1,0 +1,147 @@
+// Package walorder enforces the engine's log-before-enqueue admission
+// invariant: a batch of events may only be handed to a shard after the
+// write-ahead log has accepted it (or after the code has explicitly
+// established that no WAL is configured). Enqueue-then-log loses
+// acknowledged events on crash — the exact failure the durable-session
+// work exists to rule out.
+//
+// Concretely, inside internal/engine every `op{kind: opEvents, …}`
+// composite literal must either be structurally preceded by WAL
+// evidence — a dominating statement or enclosing guard that touches the
+// `.WAL` handle or calls LogEvents/LogOpen/LogClose — or carry the
+// explicit `nolog: true` waiver field the replay path uses. Open and
+// close ops are logged shard-side during installation and sealing, so
+// only event batches are checked. Recovery-time sites that re-inject
+// already-logged events annotate with `//lint:allow-walorder <reason>`.
+package walorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"leasing/internal/analysis/vet"
+)
+
+// Analyzer is the walorder check.
+var Analyzer = &vet.Analyzer{
+	Name: "walorder",
+	Doc: "requires every op{kind: opEvents} enqueue in internal/engine to be " +
+		"dominated by write-ahead-log evidence (a statement or guard touching " +
+		".WAL or calling LogEvents/LogOpen/LogClose) or to carry nolog: true; " +
+		"replay-path exceptions annotate with //lint:allow-walorder <reason>",
+	Run: run,
+}
+
+// walCalls are the WAL append entry points that count as logging
+// evidence.
+var walCalls = map[string]bool{
+	"LogEvents": true, "LogOpen": true, "LogClose": true,
+}
+
+func run(pass *vet.Pass) error {
+	if !vet.PathHasSuffix(pass.Pkg.Path(), "internal/engine") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := vet.NewParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isEventsOp(pass, lit) {
+				return true
+			}
+			if hasNologWaiver(lit) {
+				return true
+			}
+			if dominatedByWAL(parents, lit) {
+				return true
+			}
+			pass.Reportf(lit.Pos(),
+				"opEvents enqueued without a dominating WAL append: events must be logged before they reach a shard (log-before-enqueue), or the op must carry nolog: true / a //lint:allow-walorder <reason> annotation")
+			return true
+		})
+	}
+	return nil
+}
+
+// isEventsOp reports whether lit is an `op{…}` composite literal whose
+// kind field is the opEvents constant.
+func isEventsOp(pass *vet.Pass, lit *ast.CompositeLit) bool {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "op" {
+		return false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "kind" {
+			continue
+		}
+		if val, ok := kv.Value.(*ast.Ident); ok && val.Name == "opEvents" {
+			return true
+		}
+	}
+	return false
+}
+
+// hasNologWaiver reports whether the literal sets nolog: true — the
+// explicit in-band marker for ops that must bypass the log.
+func hasNologWaiver(lit *ast.CompositeLit) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "nolog" {
+			continue
+		}
+		if val, ok := kv.Value.(*ast.Ident); ok && val.Name == "true" {
+			return true
+		}
+	}
+	return false
+}
+
+// dominatedByWAL reports whether any statement structurally dominating
+// lit, or any enclosing guard condition, touches the WAL: selects a
+// field or method named WAL, or calls one of the Log* append entry
+// points. Dominators execute before the enqueue on every path reaching
+// it, so their WAL touch is the log-append (or the nil-WAL decision)
+// the invariant demands.
+func dominatedByWAL(parents vet.Parents, lit *ast.CompositeLit) bool {
+	for _, stmt := range parents.Dominators(lit) {
+		if mentionsWAL(stmt) {
+			return true
+		}
+	}
+	for _, cond := range parents.GuardConditions(lit) {
+		if mentionsWAL(cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsWAL scans a subtree for WAL evidence.
+func mentionsWAL(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name == "WAL" || walCalls[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

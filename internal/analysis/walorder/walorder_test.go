@@ -1,0 +1,17 @@
+package walorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leasing/internal/analysis/vet/vettest"
+	"leasing/internal/analysis/walorder"
+)
+
+func TestWALOrder(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vettest.Run(t, dir, walorder.Analyzer, "example/internal/engine")
+}

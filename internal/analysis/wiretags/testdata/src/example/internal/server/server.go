@@ -1,0 +1,38 @@
+// Package server is golden-test input for the wiretags analyzer's
+// cross-package check: the handler-registration map is compared against
+// the endpoint fact exported from the wire package, and the forgotten
+// "close" handler is reported.
+package server
+
+import (
+	"net/http"
+
+	"example/internal/wire"
+)
+
+// Server registers one handler per wire endpoint — or should.
+type Server struct {
+	mux *http.ServeMux
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request)   {}
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {}
+
+// New builds the route table. The "close" endpoint declared by
+// wire.Endpoints() has no entry, which the analyzer reports at the map
+// literal.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	handlers := map[string]http.HandlerFunc{ // want "endpoints with no handler registration here: close"
+		"open":   s.handleOpen,
+		"submit": s.handleSubmit,
+	}
+	for _, ep := range wire.Endpoints() {
+		h, ok := handlers[ep.Name]
+		if !ok {
+			panic("no handler for " + ep.Name)
+		}
+		s.mux.HandleFunc(ep.Method+" "+ep.Path, h)
+	}
+	return s
+}

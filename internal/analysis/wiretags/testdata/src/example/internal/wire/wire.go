@@ -1,0 +1,46 @@
+// Package wire is golden-test input for the wiretags analyzer: every
+// exported struct field needs an explicit json tag, and the Endpoints
+// table is exported as a fact for the server-side handler check.
+package wire
+
+// Tagged is fully annotated and must not fire.
+type Tagged struct {
+	Tenant string `json:"tenant"`
+	Count  int64  `json:"count"`
+
+	internal int // unexported fields need no tag
+}
+
+// Untagged is missing tags on both exported fields.
+type Untagged struct { // want "wire struct Untagged has exported fields without explicit json tags: Tenant, Count"
+	Tenant string
+	Count  int64
+}
+
+// Partial tags one field and forgets the other.
+type Partial struct { // want "wire struct Partial has exported fields without explicit json tags: Count"
+	Tenant string `json:"tenant"`
+	Count  int64
+}
+
+// Endpoint is a declaration table row, never serialized; the
+// struct-level directive covers the whole declaration.
+//
+//lint:allow-wiretags route declaration table consumed in-process, never serialized
+type Endpoint struct {
+	Name   string
+	Method string
+	Path   string
+}
+
+// Endpoints declares the service's routes; the Name column is the fact
+// the server package is checked against.
+func Endpoints() []Endpoint {
+	return []Endpoint{
+		{Name: "open", Method: "POST", Path: "/v1/{tenant}/open"},
+		{Name: "submit", Method: "POST", Path: "/v1/{tenant}/submit"},
+		{Name: "close", Method: "POST", Path: "/v1/{tenant}/close"},
+	}
+}
+
+func use(t Tagged) int { return t.internal }

@@ -1,0 +1,239 @@
+// Package wiretags guards the wire protocol's two contracts. Inside
+// internal/wire, every exported struct field must carry an explicit
+// json tag — the wire format is documented field by field, and an
+// untagged field silently couples the protocol to a Go identifier
+// rename. Across the wire/server boundary, every endpoint declared in
+// the wire.Endpoints() table must have a handler registered in
+// internal/server — today that invariant is a runtime panic at server
+// construction; this analyzer moves it to build time, using a fact
+// exported from the wire package.
+//
+// Declaration-only structs that never cross the wire (the Endpoint
+// table rows themselves) opt out with a struct-level
+// `//lint:allow-wiretags <reason>`.
+package wiretags
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"leasing/internal/analysis/vet"
+)
+
+// Analyzer is the wiretags check.
+var Analyzer = &vet.Analyzer{
+	Name: "wiretags",
+	Doc: "requires an explicit json tag on every exported struct field in " +
+		"internal/wire, and a handler registration in internal/server for " +
+		"every endpoint wire.Endpoints() declares; non-wire declaration " +
+		"structs opt out with a struct-level //lint:allow-wiretags <reason>",
+	Run: run,
+}
+
+func run(pass *vet.Pass) error {
+	path := vet.StripTestVariant(pass.Pkg.Path())
+	if vet.PathHasSuffix(path, "internal/wire") {
+		checkTags(pass)
+		exportEndpoints(pass)
+	}
+	if vet.PathHasSuffix(path, "internal/server") {
+		checkHandlers(pass)
+	}
+	return nil
+}
+
+// checkTags reports, once per struct, the exported fields missing an
+// explicit json tag. The diagnostic sits on the type declaration so a
+// single struct-level directive covers the whole declaration.
+func checkTags(pass *vet.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			spec, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := spec.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var missing []string
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					continue // embedded field: its own declaration is checked
+				}
+				tagged := false
+				if field.Tag != nil {
+					raw, _ := unquoteTag(field.Tag.Value)
+					if _, ok := reflect.StructTag(raw).Lookup("json"); ok {
+						tagged = true
+					}
+				}
+				if tagged {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.IsExported() {
+						missing = append(missing, name.Name)
+					}
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(spec.Pos(),
+					"wire struct %s has exported fields without explicit json tags: %s; the wire format must not depend on Go field names",
+					spec.Name.Name, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// unquoteTag strips the surrounding back- or double-quotes of a struct
+// tag literal.
+func unquoteTag(lit string) (string, bool) {
+	if len(lit) >= 2 && (lit[0] == '`' || lit[0] == '"') {
+		return lit[1 : len(lit)-1], true
+	}
+	return lit, false
+}
+
+// exportEndpoints publishes the Name of every wire.Endpoint composite
+// literal as the "endpoints" fact — a sorted JSON array of strings.
+func exportEndpoints(pass *vet.Pass) {
+	var names []string
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isEndpointLit(pass, lit) {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || key.Name != "Name" {
+					continue
+				}
+				if lit, ok := kv.Value.(*ast.BasicLit); ok {
+					if name, err := strconv.Unquote(lit.Value); err == nil && name != "" {
+						names = append(names, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	payload, err := json.Marshal(names)
+	if err != nil {
+		return
+	}
+	pass.ExportFact("endpoints", string(payload))
+}
+
+// isEndpointLit reports whether lit's type is a named type "Endpoint"
+// declared in the current (wire) package.
+func isEndpointLit(pass *vet.Pass, lit *ast.CompositeLit) bool {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Endpoint" && obj.Pkg() == pass.Pkg
+}
+
+// checkHandlers compares the endpoint fact from the wire dependency
+// against the string keys of the server's handler-registration map
+// literals, and reports endpoints with no handler.
+func checkHandlers(pass *vet.Pass) {
+	var endpoints []string
+	for _, dep := range pass.DepPaths() {
+		if !vet.PathHasSuffix(dep, "internal/wire") {
+			continue
+		}
+		if payload, ok := pass.ImportFact(dep, "endpoints"); ok {
+			if err := json.Unmarshal([]byte(payload), &endpoints); err != nil {
+				endpoints = nil
+			}
+		}
+	}
+	if len(endpoints) == 0 {
+		return
+	}
+
+	registered := map[string]bool{}
+	var mapPos ast.Node
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || !isHandlerMap(pass, lit) {
+				return true
+			}
+			if mapPos == nil {
+				mapPos = lit
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.BasicLit); ok {
+					if name, err := strconv.Unquote(key.Value); err == nil {
+						registered[name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if mapPos == nil {
+		return // no registration map in this package (e.g. helper-only file sets)
+	}
+	var missing []string
+	for _, name := range endpoints {
+		if !registered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(mapPos.Pos(),
+			"wire.Endpoints() declares endpoints with no handler registration here: %s; the server would panic at construction",
+			strings.Join(missing, ", "))
+	}
+}
+
+// isHandlerMap reports whether lit is a map[string]F literal where F is
+// a function type taking (http.ResponseWriter, *http.Request) — the
+// handler-registration table shape.
+func isHandlerMap(pass *vet.Pass, lit *ast.CompositeLit) bool {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	if basic, ok := m.Key().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return false
+	}
+	sig, ok := m.Elem().Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 2 {
+		return false
+	}
+	return strings.Contains(sig.Params().At(0).Type().String(), "http.ResponseWriter") &&
+		strings.Contains(sig.Params().At(1).Type().String(), "http.Request")
+}

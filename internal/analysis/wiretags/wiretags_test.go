@@ -1,0 +1,21 @@
+package wiretags_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"leasing/internal/analysis/vet/vettest"
+	"leasing/internal/analysis/wiretags"
+)
+
+func TestWireTags(t *testing.T) {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// wire before server: the endpoint fact flows forward.
+	vettest.Run(t, dir, wiretags.Analyzer,
+		"example/internal/wire",
+		"example/internal/server",
+	)
+}

@@ -210,12 +210,14 @@ func (o *SCLDOnline) FractionalCost() float64 { return o.fracCost }
 // Fallbacks returns how often the cheapest-candidate fallback fired.
 func (o *SCLDOnline) Fallbacks() int { return o.fallbacks }
 
-// Bought returns the leased triples (unordered).
+// Bought returns the leased triples in canonical (set, type, start)
+// order, so snapshots built from it are identical across runs.
 func (o *SCLDOnline) Bought() []setcover.SetLease {
 	out := make([]setcover.SetLease, 0, len(o.bought))
 	for sl := range o.bought {
 		out = append(out, sl)
 	}
+	setcover.SortSetLeases(out)
 	return out
 }
 

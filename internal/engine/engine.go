@@ -379,6 +379,7 @@ func (e *Engine) Restore(sessions []Restored) error {
 			return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
 		}
 		if len(s.Events) > 0 {
+			//lint:allow-walorder recovery replays events already durable in the WAL; re-logging them would duplicate records
 			if err := e.send(e.shardFor(s.Tenant), op{kind: opEvents, tenant: s.Tenant, events: s.Events}); err != nil {
 				return fmt.Errorf("engine: restore %q: %w", s.Tenant, err)
 			}

@@ -215,3 +215,19 @@ type SetLease struct {
 func (sl SetLease) Covers(cfg *lease.Config, t int64) bool {
 	return sl.Start <= t && t < sl.Start+cfg.Length(sl.K)
 }
+
+// SortSetLeases orders triples by (set, type, start), the canonical
+// order for solution output, so slices collected from the bought set
+// are identical across runs.
+func SortSetLeases(ls []SetLease) {
+	sort.Slice(ls, func(i, j int) bool {
+		a, b := ls[i], ls[j]
+		if a.Set != b.Set {
+			return a.Set < b.Set
+		}
+		if a.K != b.K {
+			return a.K < b.K
+		}
+		return a.Start < b.Start
+	})
+}

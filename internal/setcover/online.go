@@ -214,12 +214,14 @@ func (o *Online) FractionalCost() float64 { return o.fracCost }
 // Fallbacks returns how often the buy-cheapest fallback fired.
 func (o *Online) Fallbacks() int { return o.fallbacks }
 
-// Bought returns the leased triples (unordered).
+// Bought returns the leased triples in canonical (set, type, start)
+// order, so snapshots built from it are identical across runs.
 func (o *Online) Bought() []SetLease {
 	out := make([]SetLease, 0, len(o.bought))
 	for sl := range o.bought {
 		out = append(out, sl)
 	}
+	SortSetLeases(out)
 	return out
 }
 

@@ -119,6 +119,8 @@ type HealthResponse struct {
 }
 
 // Endpoint declares one route of the service.
+//
+//lint:allow-wiretags route declaration table consumed in-process by server and docs generators; never serialized onto the wire
 type Endpoint struct {
 	Name     string // short identifier, e.g. "submit"
 	Method   string
