@@ -8,7 +8,11 @@
 // it drives the HTTP lease service instead — against a running
 // cmd/leased daemon (-addr), or against an in-process loopback daemon
 // it starts itself (no -addr) — measuring end-to-end HTTP submit
-// latency. With -verify every tenant's output is additionally checked
+// latency. In remote mode -binary switches submits and results to the
+// compact application/x-lease-binary framing the daemon negotiates per
+// request (JSON stays the default), and -cpuprofile writes a pprof CPU
+// profile of the whole run for before/after comparisons between the
+// two encodings. With -verify every tenant's output is additionally checked
 // byte-identical against a single-threaded Replay (in remote mode the
 // daemon must run with -record). Like leasebench, -json emits a
 // machine-readable report (committed snapshots are named BENCH_*.json;
@@ -44,6 +48,7 @@
 //	leaseload -tenants 64 -events 256 -shards 8 -batch 64 -queue 256 -producers 4
 //	leaseload -verify                        # parity-check tenants vs Replay
 //	leaseload -remote [-addr http://host:8080] [-verify]
+//	leaseload -remote -binary [-cpuprofile cpu.out]  # binary wire framing
 //	leaseload -durable-bench [-out BENCH_PR5.json]   # fsync on/off WAL throughput
 //	leaseload -crash -leased /path/to/leased [-data-dir DIR]
 //	leaseload -ramp -sla-p99 5 [-step-tenants 8] [-step-duration 2s]
@@ -65,7 +70,10 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/pprof"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -130,6 +138,7 @@ type jsonReport struct {
 	Queue           int                   `json:"queue"`
 	Producers       int                   `json:"producers"`
 	Chunk           int                   `json:"chunk"`
+	Encoding        string                `json:"encoding,omitempty"`
 	ElapsedMS       float64               `json:"elapsed_ms"`
 	EventsPerSec    float64               `json:"events_per_sec"`
 	SubmitLatencyUS latencyStats          `json:"submit_latency_us"`
@@ -183,6 +192,7 @@ func run(args []string, w io.Writer) error {
 		seed      = fs.Int64("seed", 2015, "base random seed for workload synthesis")
 		verify    = fs.Bool("verify", false, "after the run, check every tenant byte-identical to a single-threaded Replay")
 		remote    = fs.Bool("remote", false, "drive the HTTP lease service instead of the in-process engine")
+		binaryEnc = fs.Bool("binary", false, "with -remote: submit events and read results over the binary wire framing (application/x-lease-binary) instead of JSON")
 		addr      = fs.String("addr", "", "with -remote: base URL of a running leased daemon (empty starts an in-process loopback daemon)")
 		crash     = fs.Bool("crash", false, "kill-and-recover drill: spawn a durable leased daemon (-leased), SIGKILL it mid-load, restart, resume from the recovered counts and verify every tenant against Replay")
 		leasedBin = fs.String("leased", "", "with -crash: path to a built leased binary")
@@ -191,6 +201,7 @@ func run(args []string, w io.Writer) error {
 		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
 		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
 		arrival   = fs.String("arrival", "constant", "arrival process shaping every tenant's stream: constant, diurnal or bursty (deterministic in -seed)")
+		domainsFl = fs.String("domains", "days,deadline,elements,facility,steiner", "comma-separated domain mix tenants cycle through (any subset; 'days' alone makes the cheapest per-event apply, so the run measures the ingestion path rather than the algorithms)")
 		arrPeriod = fs.Int64("arrival-period", 64, "with -arrival diurnal: oscillation period in steps")
 		zipfSizes = fs.Float64("zipf-sizes", 0, "skew per-tenant event volumes by a Zipf(s) rank-size law (0 = equal volumes); the total volume is preserved")
 		ramp      = fs.Bool("ramp", false, "SLA-driven stepped harness: grow tenant concurrency by -step-tenants per step (up to -tenants) until the submit-latency SLA breaks; reports max sustainable throughput under SLA (in-process engine only)")
@@ -200,6 +211,7 @@ func run(args []string, w io.Writer) error {
 		stepDur   = fs.Duration("step-duration", 2*time.Second, "with -ramp: per-step submission deadline; a step cut off here is reported as unsustainable")
 		gatePath  = fs.String("gate", "", "compare the run against this committed BENCH_*.json snapshot (same tool and mode) and fail on regression beyond -gate-tolerance")
 		gateTol   = fs.Float64("gate-tolerance", 0.15, "with -gate: allowed fractional regression before the gate fails")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file (go tool pprof format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -214,6 +226,9 @@ func run(args []string, w io.Writer) error {
 	}
 	if *addr != "" && !*remote {
 		return fmt.Errorf("-addr requires -remote")
+	}
+	if *binaryEnc && !*remote {
+		return fmt.Errorf("-binary requires -remote")
 	}
 	if *crash && *leasedBin == "" {
 		return fmt.Errorf("-crash requires -leased (a built leased binary)")
@@ -264,6 +279,10 @@ func run(args []string, w io.Writer) error {
 	if _, err := workload.NewArrival(*arrival, 0.5, *arrPeriod); err != nil {
 		return err
 	}
+	kinds, kerr := domainKinds(*domainsFl)
+	if kerr != nil {
+		return kerr
+	}
 	if *addr != "" {
 		// An external daemon's engine configuration is set by the
 		// daemon; local values would misstate the measured setup.
@@ -274,6 +293,21 @@ func run(args []string, w io.Writer) error {
 				return fmt.Errorf("-%s is set by the daemon; it cannot be combined with -addr", name)
 			}
 		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 
 	cfg := leasing.PowerLeaseConfig(3, 4, 0.55)
@@ -291,7 +325,7 @@ func run(args []string, w io.Writer) error {
 	domains := map[string]int{}
 	var total int64
 	for i := range ts {
-		t, err := buildTenant(i, cfg, sim.TrialSeed(*seed, i), sizes[i], *arrival, *arrPeriod)
+		t, err := buildTenant(i, kinds[i%len(kinds)], cfg, sim.TrialSeed(*seed, i), sizes[i], *arrival, *arrPeriod)
 		if err != nil {
 			return fmt.Errorf("tenant %d: %w", i, err)
 		}
@@ -354,6 +388,7 @@ func run(args []string, w io.Writer) error {
 		err = runRemote(&report, ts, remoteParams{
 			addr: *addr, shards: *shards, batch: *batch, queue: *queue,
 			producers: *producers, chunk: *chunk, verify: *verify,
+			binary: *binaryEnc,
 		})
 	default:
 		err = runEngine(&report, ts, engineParams{
@@ -472,6 +507,7 @@ type remoteParams struct {
 	addr                                   string
 	shards, batch, queue, producers, chunk int
 	verify                                 bool
+	binary                                 bool
 }
 
 // runRemote drives the HTTP lease service: against a running daemon at
@@ -500,7 +536,11 @@ func runRemote(report *jsonReport, ts []*tenant, p remoteParams) error {
 		}()
 		addr = "http://" + ln.Addr().String()
 	}
-	cli := leasing.Dial(addr, leasing.RemoteClientOptions{Chunk: p.chunk})
+	report.Encoding = "json"
+	if p.binary {
+		report.Encoding = "binary"
+	}
+	cli := leasing.Dial(addr, leasing.RemoteClientOptions{Chunk: p.chunk, Binary: p.binary})
 	if err := cli.Health(ctx); err != nil {
 		return fmt.Errorf("health check %s: %w", addr, err)
 	}
@@ -997,7 +1037,28 @@ func summarize(res *stats.Reservoir) latencyStats {
 // same event volume. "constant" consumes the rng exactly like the
 // original Bernoulli(0.5) streams, so default traffic is unchanged
 // across committed seeds and BENCH snapshots.
-func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int, arrivalName string, period int64) (*tenant, error) {
+// domainOrder is the full domain cycle, in the order tenants have
+// always been assigned to it; -domains picks a subset.
+var domainOrder = []string{"days", "deadline", "elements", "facility", "steiner"}
+
+// domainKinds parses the -domains list into buildTenant kind indexes.
+func domainKinds(list string) ([]int, error) {
+	var kinds []int
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		k := slices.Index(domainOrder, name)
+		if k < 0 {
+			return nil, fmt.Errorf("-domains: unknown domain %q (choose from %s)", name, strings.Join(domainOrder, ", "))
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("-domains must name at least one domain")
+	}
+	return kinds, nil
+}
+
+func buildTenant(i, kind int, cfg *leasing.LeaseConfig, tseed int64, events int, arrivalName string, period int64) (*tenant, error) {
 	rng := rand.New(rand.NewSource(tseed))
 	horizon := int64(2 * events)
 	arr, err := workload.NewArrival(arrivalName, 0.5, period)
@@ -1005,7 +1066,7 @@ func buildTenant(i int, cfg *leasing.LeaseConfig, tseed int64, events int, arriv
 		return nil, err
 	}
 	types := leasing.WireLeaseTypes(cfg)
-	switch i % 5 {
+	switch kind {
 	case 0:
 		days := workload.ArrivalDays(rng, horizon, arr)
 		return &tenant{
@@ -1294,7 +1355,11 @@ func writeJSON(report any, outPath string, w io.Writer) error {
 }
 
 func printText(w io.Writer, r jsonReport) {
-	fmt.Fprintf(w, "mode:    %s\n", r.Mode)
+	if r.Encoding != "" {
+		fmt.Fprintf(w, "mode:    %s (%s encoding)\n", r.Mode, r.Encoding)
+	} else {
+		fmt.Fprintf(w, "mode:    %s\n", r.Mode)
+	}
 	fmt.Fprintf(w, "tenants: %d (", r.Tenants)
 	first := true
 	for _, d := range []string{"days", "deadline", "elements", "facility", "steiner"} {

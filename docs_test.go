@@ -222,11 +222,13 @@ func TestOperationsDocLinked(t *testing.T) {
 		"-addr", "-shards", "-queue", "-batch", "-record", "-auth", "-drain",
 		"-data-dir", "-fsync", "-compact-every",
 		"SIGTERM", "429", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
-		"BENCH_PR6.json", "/v1/metrics", "/v1/healthz", "API.md",
+		"BENCH_PR6.json", "BENCH_PR7.json", "/v1/metrics", "/v1/healthz", "API.md",
 		"ARCHITECTURE.md", "DURABILITY.md", "Backup", "compact",
 		"Capacity planning", "-ramp", "-sla-p99", "-step-tenants",
 		"-step-duration", "-gate", "-gate-tolerance", "-arrival",
 		"-zipf-sizes", "promtool", "format=prometheus",
+		"Binary framing", "application/x-lease-binary", "-binary",
+		"-domains", "-cpuprofile",
 		"leased_engine_events_total", "leased_wal_appends_total",
 		"leased_http_requests_total",
 	} {

@@ -17,8 +17,10 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
+	"leasing/internal/stream"
 	"leasing/internal/wire"
 )
 
@@ -36,6 +38,13 @@ type Options struct {
 	// MaxRetries caps consecutive no-progress 429 retries before Submit
 	// gives up. Default 20.
 	MaxRetries int
+	// Binary switches the submit and result paths to the binary framing
+	// (wire.ContentTypeBinary): Submit and SubmitNDJSON encode events as
+	// length-prefixed binary frames into pooled buffers, and Result asks
+	// for (and decodes) the binary run encoding. Every other endpoint
+	// stays JSON. The decoded values are identical either way — the
+	// binary encoding is exact — so Binary is purely a throughput knob.
+	Binary bool
 }
 
 // Client talks to one lease service. Create it with New; methods are
@@ -44,6 +53,7 @@ type Options struct {
 type Client struct {
 	base string
 	opts Options
+	bufs sync.Pool // *[]byte, binary encode scratch
 }
 
 // New returns a client for the service at baseURL (e.g.
@@ -153,6 +163,38 @@ func (c *Client) Submit(ctx context.Context, tenant string, evs []wire.Event) (i
 	return total, nil
 }
 
+// submitEvents posts one chunk: a JSON array by default, a binary
+// frame body (magic + one frame) from a pooled buffer under
+// Options.Binary.
+func (c *Client) submitEvents(ctx context.Context, tenant string, evs []wire.Event, resp *wire.SubmitResponse) error {
+	if !c.opts.Binary {
+		return c.doJSON(ctx, http.MethodPost, tenantPath(tenant, "/events"), evs, resp)
+	}
+	payloadp := c.buf()
+	defer c.bufs.Put(payloadp)
+	payload, err := wire.AppendEventsBinaryWire((*payloadp)[:0], evs)
+	if err != nil {
+		return err
+	}
+	*payloadp = payload
+	bodyp := c.buf()
+	defer c.bufs.Put(bodyp)
+	body := append((*bodyp)[:0], wire.BinaryMagic...)
+	body = wire.AppendFrame(body, payload)
+	*bodyp = body
+	return c.do(ctx, http.MethodPost, tenantPath(tenant, "/events"),
+		wire.ContentTypeBinary, bytes.NewReader(body), resp)
+}
+
+// buf takes a pooled encode buffer.
+func (c *Client) buf() *[]byte {
+	bufp, _ := c.bufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	return bufp
+}
+
 func (c *Client) submitChunk(ctx context.Context, tenant string, chunk []wire.Event) (int, error) {
 	done := 0
 	wait := c.opts.RetryWait
@@ -160,7 +202,7 @@ func (c *Client) submitChunk(ctx context.Context, tenant string, chunk []wire.Ev
 	for done < len(chunk) {
 		remaining := chunk[done:]
 		var resp wire.SubmitResponse
-		err := c.doJSON(ctx, http.MethodPost, tenantPath(tenant, "/events"), remaining, &resp)
+		err := c.submitEvents(ctx, tenant, remaining, &resp)
 		if err == nil {
 			done += resp.Accepted
 			if resp.Accepted < len(remaining) {
@@ -199,10 +241,35 @@ func acceptedOf(err error) int {
 	return 0
 }
 
-// SubmitNDJSON streams the events as one application/x-ndjson request,
-// the bulk-ingestion path. Unlike Submit it does not retry: on
+// SubmitNDJSON streams the events as one chunked request — one
+// application/x-ndjson line per event, or under Options.Binary one
+// binary frame per Options.Chunk events (the framed equivalent of the
+// line-per-event stream). Unlike Submit it does not retry: on
 // backpressure the wire error's Accepted count says where to resume.
 func (c *Client) SubmitNDJSON(ctx context.Context, tenant string, evs []wire.Event) (int, error) {
+	var resp wire.SubmitResponse
+	if c.opts.Binary {
+		bodyp := c.buf()
+		defer c.bufs.Put(bodyp)
+		framep := c.buf()
+		defer c.bufs.Put(framep)
+		body := append((*bodyp)[:0], wire.BinaryMagic...)
+		for lo := 0; lo < len(evs); lo += c.opts.Chunk {
+			payload, err := wire.AppendEventsBinaryWire((*framep)[:0], evs[lo:min(lo+c.opts.Chunk, len(evs))])
+			*framep = payload
+			if err != nil {
+				return 0, err
+			}
+			body = wire.AppendFrame(body, payload)
+		}
+		*bodyp = body
+		err := c.do(ctx, http.MethodPost, tenantPath(tenant, "/events"),
+			wire.ContentTypeBinary, bytes.NewReader(body), &resp)
+		if err != nil {
+			return acceptedOf(err), err
+		}
+		return resp.Accepted, nil
+	}
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, ev := range evs {
@@ -210,7 +277,6 @@ func (c *Client) SubmitNDJSON(ctx context.Context, tenant string, evs []wire.Eve
 			return 0, err
 		}
 	}
-	var resp wire.SubmitResponse
 	err := c.do(ctx, http.MethodPost, tenantPath(tenant, "/events"), "application/x-ndjson", &buf, &resp)
 	if err != nil {
 		return acceptedOf(err), err
@@ -254,13 +320,54 @@ func (c *Client) Snapshot(ctx context.Context, tenant string) (wire.Solution, er
 }
 
 // Result reads the tenant's full recorded run (daemon must run with
-// -record).
+// -record). Under Options.Binary it negotiates the binary run encoding
+// via Accept and decodes it; the returned value is identical to the
+// JSON path's — both encodings are exact.
 func (c *Client) Result(ctx context.Context, tenant string) (*wire.Run, error) {
+	if c.opts.Binary {
+		run, err := c.resultBinary(ctx, tenant)
+		if err != nil {
+			return nil, err
+		}
+		return wire.FromStreamRun(run), nil
+	}
 	var resp wire.Run
 	if err := c.doJSON(ctx, http.MethodGet, tenantPath(tenant, "/result"), nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// resultBinary fetches and decodes the binary run encoding.
+func (c *Client) resultBinary(ctx context.Context, tenant string) (*stream.Run, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+tenantPath(tenant, "/result"), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", wire.ContentTypeBinary)
+	if c.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.opts.Token)
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		apiErr := &wire.Error{}
+		if err := json.NewDecoder(resp.Body).Decode(apiErr); err != nil || apiErr.Code == "" {
+			return nil, fmt.Errorf("client: GET result: unexpected status %d", resp.StatusCode)
+		}
+		return nil, apiErr
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentTypeBinary {
+		return nil, fmt.Errorf("client: result: server answered %q to a binary Accept", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeRunBinary(body)
 }
 
 // Metrics samples the engine's counters (admin scope under auth).

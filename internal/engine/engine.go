@@ -292,6 +292,18 @@ func loggable(sh *shard, tenant string) bool {
 // request-handling goroutine. Like SubmitBatch, the engine takes
 // ownership of evs on success.
 func (e *Engine) TrySubmitBatch(tenant string, evs []stream.Event) error {
+	return e.TrySubmitBatchRelease(tenant, evs, nil)
+}
+
+// TrySubmitBatchRelease is TrySubmitBatch with a buffer-recycling hook:
+// on a nil return, release (when non-nil) is called exactly once, after
+// the owning shard has consumed evs — applied, dropped, or drained
+// during Close — so callers that decode into pooled batches know when
+// the batch (and every payload it points into) may be reused. On a
+// non-nil return nothing was enqueued, release is not called, and
+// ownership of evs stays with the caller. release runs on the shard
+// goroutine and must not block.
+func (e *Engine) TrySubmitBatchRelease(tenant string, evs []stream.Event, release func()) error {
 	if len(evs) == 0 {
 		return nil
 	}
@@ -305,7 +317,7 @@ func (e *Engine) TrySubmitBatch(tenant string, evs []stream.Event) error {
 			return ErrClosed
 		}
 		select {
-		case sh.queue <- op{kind: opEvents, tenant: tenant, events: evs}:
+		case sh.queue <- op{kind: opEvents, tenant: tenant, events: evs, release: release}:
 			return nil
 		default:
 			return fmt.Errorf("%w: %q", ErrBackpressure, tenant)
@@ -337,7 +349,7 @@ func (e *Engine) TrySubmitBatch(tenant string, evs []stream.Event) error {
 	// In the narrow window where Close began after the append, the batch
 	// is logged but not applied; recovery replays it, and resuming
 	// clients follow the processed-event count (see SubmitBatch).
-	return e.send(sh, op{kind: opEvents, tenant: tenant, events: evs})
+	return e.send(sh, op{kind: opEvents, tenant: tenant, events: evs, release: release})
 }
 
 // CloseTenant seals one tenant's session: it returns once every event

@@ -1,0 +1,166 @@
+package engine_test
+
+// The release-hook contract of TrySubmitBatchRelease: on a nil return
+// the hook fires exactly once, after the owning shard has consumed the
+// batch — applied, dropped, or drained during Close — and on a non-nil
+// return it never fires (the caller keeps ownership of the batch).
+// internal/server's pooled binary decode path depends on exactly these
+// semantics to recycle event batches safely.
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"leasing/internal/engine"
+	"leasing/internal/stream"
+)
+
+// blockingLeaser parks the shard goroutine inside Observe until
+// released, so a test can deterministically fill the shard queue.
+type blockingLeaser struct {
+	entered chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (l *blockingLeaser) Observe(stream.Event) (stream.Decision, error) {
+	l.once.Do(func() { close(l.entered) })
+	<-l.release
+	return stream.Decision{}, nil
+}
+
+func (l *blockingLeaser) Cost() stream.CostBreakdown { return stream.CostBreakdown{} }
+func (l *blockingLeaser) Snapshot() stream.Solution  { return stream.Solution{} }
+
+func day(t int64) stream.Event { return stream.Event{Time: t, Payload: stream.Day{}} }
+
+// TestReleaseAfterApply: a batch that is applied fires its release
+// exactly once, and a flush is enough to observe it.
+func TestReleaseAfterApply(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 2})
+	defer eng.Close()
+	if err := eng.Open("a", parkingLeaser(t)); err != nil {
+		t.Fatal(err)
+	}
+	var released atomic.Int64
+	for i := 0; i < 5; i++ {
+		if err := eng.TrySubmitBatchRelease("a", []stream.Event{day(int64(i))}, func() { released.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := released.Load(); got != 5 {
+		t.Errorf("released %d times, want 5", got)
+	}
+	if n, err := eng.Events("a"); err != nil || n != 5 {
+		t.Errorf("events = %d, %v; want 5, nil", n, err)
+	}
+}
+
+// TestReleaseAfterDrop: a batch for an unknown tenant is dropped and
+// counted, but its buffers are still released.
+func TestReleaseAfterDrop(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 2})
+	defer eng.Close()
+	var released atomic.Int64
+	if err := eng.TrySubmitBatchRelease("ghost", []stream.Event{day(0), day(1)}, func() { released.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := released.Load(); got != 1 {
+		t.Errorf("released %d times, want 1", got)
+	}
+	if m := eng.Metrics(); m.Dropped != 2 {
+		t.Errorf("dropped = %d, want 2", m.Dropped)
+	}
+}
+
+// TestReleaseAfterCloseDrain: batches still queued when Close begins are
+// drained and released before Close returns.
+func TestReleaseAfterCloseDrain(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1, QueueDepth: 64})
+	if err := eng.Open("a", parkingLeaser(t)); err != nil {
+		t.Fatal(err)
+	}
+	var released atomic.Int64
+	const batches = 20
+	for i := 0; i < batches; i++ {
+		if err := eng.TrySubmitBatchRelease("a", []stream.Event{day(int64(i))}, func() { released.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := released.Load(); got != batches {
+		t.Errorf("released %d times, want %d", got, batches)
+	}
+}
+
+// TestReleaseNotCalledOnBackpressure: a rejected batch was never
+// enqueued, so its release must not fire — the caller still owns it.
+func TestReleaseNotCalledOnBackpressure(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1, QueueDepth: 1, BatchSize: 1})
+	defer eng.Close()
+	lsr := &blockingLeaser{entered: make(chan struct{}), release: make(chan struct{})}
+	defer close(lsr.release)
+	if err := eng.Open("a", lsr); err != nil {
+		t.Fatal(err)
+	}
+	// Park the shard inside Observe, then fill the one queue slot.
+	if err := eng.TrySubmitBatch("a", []stream.Event{day(0)}); err != nil {
+		t.Fatal(err)
+	}
+	<-lsr.entered
+	if err := eng.TrySubmitBatch("a", []stream.Event{day(1)}); err != nil {
+		t.Fatal(err)
+	}
+	var released atomic.Int64
+	err := eng.TrySubmitBatchRelease("a", []stream.Event{day(2)}, func() { released.Add(1) })
+	if !errors.Is(err, engine.ErrBackpressure) {
+		t.Fatalf("got %v, want ErrBackpressure", err)
+	}
+	if got := released.Load(); got != 0 {
+		t.Errorf("release fired %d times on a rejected batch, want 0", got)
+	}
+}
+
+// TestReleaseNotCalledAfterClosed: ErrClosed means nothing was enqueued
+// and the hook never fires.
+func TestReleaseNotCalledAfterClosed(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1})
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var released atomic.Int64
+	err := eng.TrySubmitBatchRelease("a", []stream.Event{day(0)}, func() { released.Add(1) })
+	if !errors.Is(err, engine.ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+	if got := released.Load(); got != 0 {
+		t.Errorf("release fired %d times after Close, want 0", got)
+	}
+}
+
+// TestReleaseEmptyBatch: an empty batch is a no-op nil return with no
+// enqueue; the hook does not fire (there is nothing to hand back).
+func TestReleaseEmptyBatch(t *testing.T) {
+	eng := engine.New(engine.Config{Shards: 1})
+	defer eng.Close()
+	var released atomic.Int64
+	if err := eng.TrySubmitBatchRelease("a", nil, func() { released.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := released.Load(); got != 0 {
+		t.Errorf("release fired %d times for an empty batch, want 0", got)
+	}
+}

@@ -23,13 +23,14 @@ const (
 // Events carries the payload. The queue is strictly FIFO, which is what
 // makes Open a write barrier and Flush a read barrier.
 type op struct {
-	kind   opKind
-	tenant string
-	leaser stream.Leaser
-	events []stream.Event
-	spec   []byte // open spec to WAL-log during install; nil = don't log
-	nolog  bool   // close op: skip WAL logging (Restore replays)
-	done   chan error
+	kind    opKind
+	tenant  string
+	leaser  stream.Leaser
+	events  []stream.Event
+	spec    []byte // open spec to WAL-log during install; nil = don't log
+	nolog   bool   // close op: skip WAL logging (Restore replays)
+	release func() // events op: called once the shard is done with events
+	done    chan error
 }
 
 // sessionState is the immutable read view a shard publishes for a
@@ -143,6 +144,13 @@ func (sh *shard) run(done interface{ Done() }) {
 				o.done <- sh.open(o.tenant, o.leaser, o.spec)
 			case opEvents:
 				sh.apply(o, touched)
+				// The batch is consumed (applied, partially applied on a
+				// session failure, or dropped) — hand its buffers back.
+				// The queue drains fully before opStop, so every enqueued
+				// batch is released exactly once.
+				if o.release != nil {
+					o.release()
+				}
 			case opFlush:
 				// All ops queued before this flush have been applied;
 				// publish before acking so the barrier covers reads.

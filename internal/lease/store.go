@@ -8,10 +8,11 @@ import "sort"
 //
 // The zero value is not usable; construct with NewStore.
 type Store struct {
-	cfg    *Config
-	bought map[Lease]struct{}
-	starts [][]int64 // per type, sorted start times
-	total  float64
+	cfg     *Config
+	bought  map[Lease]struct{}
+	starts  [][]int64 // per type, sorted start times
+	journal []Lease   // purchases in buy order, append-only
+	total   float64
 }
 
 // NewStore returns an empty purchase store over the given configuration.
@@ -30,6 +31,7 @@ func (s *Store) Buy(l Lease) bool {
 		return false
 	}
 	s.bought[l] = struct{}{}
+	s.journal = append(s.journal, l)
 	s.total += s.cfg.Cost(l.K)
 	ss := s.starts[l.K]
 	i := sort.Search(len(ss), func(i int) bool { return ss[i] >= l.Start })
@@ -74,6 +76,13 @@ func (s *Store) TotalCost() float64 { return s.total }
 
 // Count returns the number of distinct leases bought.
 func (s *Store) Count() int { return len(s.bought) }
+
+// BoughtSince returns the leases bought after the first n, in buy
+// order. A caller that remembers Count() between calls reads each new
+// purchase exactly once, without rebuilding (or re-sorting) the full
+// set the way Leases does — the streaming adapters' O(new) diff. The
+// slice aliases the store's journal; callers must not mutate it.
+func (s *Store) BoughtSince(n int) []Lease { return s.journal[n:] }
 
 // Leases returns the bought leases in deterministic order (by type, then
 // start time).

@@ -113,6 +113,10 @@ func (d *Deterministic) TotalCost() float64 { return d.store.TotalCost() }
 // Leases implements Algorithm.
 func (d *Deterministic) Leases() []lease.Lease { return d.store.Leases() }
 
+// BoughtSince exposes the store's purchase journal for the streaming
+// adapter's O(new) decision diff.
+func (d *Deterministic) BoughtSince(n int) []lease.Lease { return d.store.BoughtSince(n) }
+
 // DualTotal returns the accumulated dual objective (the sum of all client
 // dual variables); by weak duality it lower-bounds the offline optimum, and
 // the analysis of Theorem 2.7 gives TotalCost <= K * DualTotal.
@@ -216,6 +220,10 @@ func (r *Randomized) TotalCost() float64 { return r.store.TotalCost() }
 
 // Leases implements Algorithm.
 func (r *Randomized) Leases() []lease.Lease { return r.store.Leases() }
+
+// BoughtSince exposes the store's purchase journal for the streaming
+// adapter's O(new) decision diff.
+func (r *Randomized) BoughtSince(n int) []lease.Lease { return r.store.BoughtSince(n) }
 
 // FractionalCost returns the cost of the fractional solution, the quantity
 // the first half of the analysis bounds by O(log K) * OPT.

@@ -13,15 +13,33 @@ import (
 // purchase set to report incremental decisions.
 type Leaser struct {
 	alg      Algorithm
-	seen     map[lease.Lease]struct{}
+	journal  purchaseJournal          // non-nil: O(new) diff via the store's buy journal
+	cursor   int                      // leases already reported from the journal
+	seen     map[lease.Lease]struct{} // fallback diff for algorithms without a journal
 	lastCost float64
+}
+
+// purchaseJournal is the fast diff path: the built-in algorithms expose
+// their store's append-only purchase journal, so the adapter reads each
+// new lease exactly once instead of rebuilding and sorting the full
+// purchase set per buying demand (which made long streams quadratic).
+// External Algorithm implementations without it fall back to the
+// purchase-set diff.
+type purchaseJournal interface {
+	BoughtSince(n int) []lease.Lease
 }
 
 var _ stream.Leaser = (*Leaser)(nil)
 
 // NewLeaser wraps a parking-permit algorithm as a stream.Leaser.
 func NewLeaser(alg Algorithm) *Leaser {
-	return &Leaser{alg: alg, seen: make(map[lease.Lease]struct{})}
+	l := &Leaser{alg: alg}
+	if j, ok := alg.(purchaseJournal); ok {
+		l.journal = j
+	} else {
+		l.seen = make(map[lease.Lease]struct{})
+	}
+	return l
 }
 
 // Observe implements stream.Leaser. It accepts Day payloads (or nil).
@@ -39,12 +57,20 @@ func (l *Leaser) Observe(ev stream.Event) (stream.Decision, error) {
 	}
 	d := stream.Decision{Cost: l.alg.TotalCost() - l.lastCost}
 	l.lastCost = l.alg.TotalCost()
-	for _, ls := range l.alg.Leases() {
-		if _, ok := l.seen[ls]; ok {
-			continue
+	if l.journal != nil {
+		bought := l.journal.BoughtSince(l.cursor)
+		l.cursor += len(bought)
+		for _, ls := range bought {
+			d.Leases = append(d.Leases, stream.ItemLease{Item: 0, K: ls.K, Start: ls.Start})
 		}
-		l.seen[ls] = struct{}{}
-		d.Leases = append(d.Leases, stream.ItemLease{Item: 0, K: ls.K, Start: ls.Start})
+	} else {
+		for _, ls := range l.alg.Leases() {
+			if _, ok := l.seen[ls]; ok {
+				continue
+			}
+			l.seen[ls] = struct{}{}
+			d.Leases = append(d.Leases, stream.ItemLease{Item: 0, K: ls.K, Start: ls.Start})
+		}
 	}
 	stream.SortItemLeases(d.Leases)
 	return d, nil

@@ -1,0 +1,81 @@
+package server
+
+// End-to-end allocation regression for the binary submit path: one
+// request body, decoded through the pooled readers/frames/batches and
+// pushed through the engine's release-hook submit, must run at
+// (amortized) zero allocations per event once warm. The wire-level
+// codec is pinned to exactly zero in internal/wire; this test bounds
+// everything the server adds on top — pool traffic, the enqueue, the
+// shard's publish — to noise.
+
+import (
+	"bytes"
+	"testing"
+
+	"leasing/internal/engine"
+	"leasing/internal/stream"
+	"leasing/internal/wire"
+)
+
+type nopLeaser struct{}
+
+func (nopLeaser) Observe(stream.Event) (stream.Decision, error) { return stream.Decision{}, nil }
+func (nopLeaser) Cost() stream.CostBreakdown                    { return stream.CostBreakdown{} }
+func (nopLeaser) Snapshot() stream.Solution                     { return stream.Solution{} }
+
+// submitAllocsPerEvent measures steady-state allocations per event of
+// one binary submit body driven through srv.submitBinary and fully
+// consumed by eng (the flush makes every release hook run before the
+// next round, so pooled batches are back for reuse — the steady state a
+// long-lived daemon converges to).
+func submitAllocsPerEvent(t *testing.T, events int) float64 {
+	t.Helper()
+	eng := engine.New(engine.Config{Shards: 1, QueueDepth: 256, BatchSize: 64})
+	t.Cleanup(func() { eng.Close() })
+	if err := eng.Open("t", nopLeaser{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Config{ChunkSize: 256})
+
+	evs := make([]stream.Event, events)
+	for i := range evs {
+		evs[i] = stream.Event{Time: int64(i), Payload: stream.Day{}}
+	}
+	payload, err := wire.AppendEventsBinary(nil, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(wire.BinaryMagic), wire.AppendFrame(nil, payload)...)
+
+	rd := bytes.NewReader(body)
+	round := func() {
+		rd.Reset(body)
+		accepted := 0
+		if err := srv.submitBinary(rd, "t", &accepted); err != nil {
+			t.Fatal(err)
+		}
+		if accepted != events {
+			t.Fatalf("accepted %d of %d", accepted, events)
+		}
+		if err := eng.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		round() // grow the arenas and pools to steady state
+	}
+	return testing.AllocsPerRun(20, round) / float64(events)
+}
+
+// TestSubmitBinaryAllocsPerEvent is the committed budget: the binary
+// submit path must stay under 0.05 allocations per event — i.e. zero
+// per event, with room only for the per-batch publish and per-request
+// flush bookkeeping that amortizes away. A regression (say, a decode
+// that starts boxing payloads again) blows through this by orders of
+// magnitude and fails CI.
+func TestSubmitBinaryAllocsPerEvent(t *testing.T) {
+	const budget = 0.05
+	if got := submitAllocsPerEvent(t, 4096); got > budget {
+		t.Errorf("binary submit allocates %.4f per event, budget %.2f", got, budget)
+	}
+}

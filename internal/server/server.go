@@ -11,12 +11,14 @@ package server
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"leasing/internal/engine"
 	"leasing/internal/stream"
@@ -71,6 +73,34 @@ type Server struct {
 	cfg  Config
 	mux  *http.ServeMux
 	reqs []*endpointCounter // one per declared endpoint, in declaration order
+
+	// Pools of the binary ingestion path: decoded batches live until the
+	// owning shard releases them (engine.TrySubmitBatchRelease), read
+	// buffers and bufio readers only for the request. Warm, the path
+	// decodes at zero allocations per event.
+	batches sync.Pool // *pooledBatch
+	readers sync.Pool // *bufio.Reader
+	frames  sync.Pool // *[]byte, frame payload scratch
+	runs    sync.Pool // *[]byte, binary run response scratch
+}
+
+// pooledBatch is one poolable decode batch. Its release hook is built
+// once, at allocation, so the hot loop hands the shard a prebuilt
+// closure instead of allocating one per batch.
+type pooledBatch struct {
+	wire.EventBatch
+	release func()
+}
+
+// batch takes a pooled decode batch, reset and ready to fill.
+func (s *Server) batch() *pooledBatch {
+	pb, _ := s.batches.Get().(*pooledBatch)
+	if pb == nil {
+		pb = &pooledBatch{}
+		pb.release = func() { s.batches.Put(pb) }
+	}
+	pb.Reset()
+	return pb
 }
 
 // New builds the service handler over eng. The caller keeps ownership
@@ -209,10 +239,13 @@ func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, wire.OpenResponse{Tenant: tenant, Domain: req.Domain})
 }
 
-// handleSubmit ingests events: a JSON array, or with Content-Type
-// application/x-ndjson one event per line, enqueued in ChunkSize chunks
-// while the body streams in. Backpressure fails fast with the accepted
-// count so callers can resume precisely.
+// handleSubmit ingests events: a JSON array by default, one event per
+// line with Content-Type application/x-ndjson, or length-prefixed
+// binary frames with Content-Type application/x-lease-binary — the
+// zero-alloc path, decoding straight into pooled stream.Event batches.
+// All three enqueue in ChunkSize chunks while the body streams in, and
+// backpressure fails fast with the accepted count so callers can resume
+// precisely.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := r.PathValue("tenant")
 	accepted := 0
@@ -228,9 +261,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var err error
-	if mediaType(r) == "application/x-ndjson" {
+	switch mediaType(r) {
+	case "application/x-ndjson":
 		err = s.submitNDJSON(r.Body, push)
-	} else {
+	case wire.ContentTypeBinary:
+		err = s.submitBinary(r.Body, tenant, &accepted)
+	default:
 		err = s.submitArray(r.Body, push)
 	}
 	if err != nil {
@@ -329,6 +365,92 @@ func (s *Server) submitNDJSON(body io.Reader, push func([]stream.Event) error) e
 	return push(chunk)
 }
 
+// submitBinary ingests a binary submit body: the magic, then
+// length-prefixed frames decoded into pooled event batches and enqueued
+// in ChunkSize chunks as they arrive. Each enqueued batch is recycled
+// only when its owning shard releases it, so the arenas the events
+// point into are never reused under a shard still applying them.
+func (s *Server) submitBinary(body io.Reader, tenant string, accepted *int) error {
+	br, _ := s.readers.Get().(*bufio.Reader)
+	if br == nil {
+		br = bufio.NewReaderSize(body, 64*1024)
+	} else {
+		br.Reset(body)
+	}
+	defer s.readers.Put(br)
+
+	var magic [len(wire.BinaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return &badRequestError{"read binary magic: " + err.Error()}
+	}
+	if string(magic[:]) != wire.BinaryMagic {
+		return &badRequestError{fmt.Sprintf("bad binary magic %q", magic[:])}
+	}
+
+	framep, _ := s.frames.Get().(*[]byte)
+	if framep == nil {
+		framep = new([]byte)
+	}
+	defer s.frames.Put(framep)
+
+	seen := 0
+	var last int64
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil // clean end of body between frames
+		}
+		if err != nil {
+			return &badRequestError{"read frame length: " + err.Error()}
+		}
+		if n == 0 || n > wire.MaxFrameBytes {
+			return &badRequestError{fmt.Sprintf("frame of %d bytes out of range", n)}
+		}
+		if uint64(cap(*framep)) < n {
+			*framep = make([]byte, n)
+		}
+		frame := (*framep)[:n]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return &badRequestError{"read frame: " + err.Error()}
+		}
+		var er wire.EventReader
+		if err := er.Init(frame); err != nil {
+			return &badRequestError{err.Error()}
+		}
+		for er.Remaining() > 0 {
+			eb := s.batch()
+			if _, err := er.Next(&eb.EventBatch, s.cfg.ChunkSize); err != nil {
+				s.batches.Put(eb)
+				return &badRequestError{err.Error()}
+			}
+			// Same within-request order check as the JSON paths; prior
+			// chunks may already be enqueued, so the error carries the
+			// accepted count for precise resumption.
+			for _, ev := range eb.Events {
+				if seen > 0 && ev.Time < last {
+					s.batches.Put(eb)
+					return &badRequestError{fmt.Sprintf(
+						"event %d (t=%d) precedes its predecessor (t=%d)", seen, ev.Time, last)}
+				}
+				last = ev.Time
+				seen++
+			}
+			n := len(eb.Events)
+			if n == 0 {
+				s.batches.Put(eb)
+				continue
+			}
+			if err := s.eng.TrySubmitBatchRelease(tenant, eb.Events, eb.release); err != nil {
+				// Nothing was enqueued, so the release hook will not run;
+				// the batch is ours to recycle.
+				s.batches.Put(eb)
+				return err
+			}
+			*accepted += n
+		}
+	}
+}
+
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.Flush(); err != nil {
 		writeEngineError(w, err, 0)
@@ -394,6 +516,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	run, err := s.eng.Result(r.PathValue("tenant"))
 	if err != nil {
 		writeEngineError(w, err, 0)
+		return
+	}
+	// Accept negotiation: the binary run encoding on request, JSON (the
+	// default and documented form) otherwise.
+	if strings.Contains(r.Header.Get("Accept"), wire.ContentTypeBinary) {
+		bufp, _ := s.runs.Get().(*[]byte)
+		if bufp == nil {
+			bufp = new([]byte)
+		}
+		*bufp = wire.AppendRunBinary((*bufp)[:0], run)
+		w.Header().Set("Content-Type", wire.ContentTypeBinary)
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(*bufp)
+		s.runs.Put(bufp)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.FromStreamRun(run))

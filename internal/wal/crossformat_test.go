@@ -1,0 +1,370 @@
+package wal
+
+// Cross-format recovery: version-2 segments carry binary event records
+// (kind 4), version-1 segments carry the JSON-era records, and one
+// directory may hold both — recovery replays them in order, and the
+// first compaction of a JSON-era directory migrates it to the current
+// format. These tests pin all of that, plus torn-tail and corruption
+// handling for the new record kind.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"leasing/internal/metric"
+	"leasing/internal/stream"
+	"leasing/internal/wire"
+)
+
+// mustJSONRecord frames a JSON-era record the way a version-1 build
+// would have written it.
+func mustJSONRecord(t *testing.T, kind byte, payload any) []byte {
+	t.Helper()
+	js, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frameRecord(kind, js)
+}
+
+// writeJSONEraSegment hand-writes segment idx as a version-1 file: the
+// header of this build with the version field rewound, followed by the
+// given record frames.
+func writeJSONEraSegment(t *testing.T, dir string, idx uint64, frames ...[]byte) {
+	t.Helper()
+	hdr := segHeader(0)
+	binary.LittleEndian.PutUint32(hdr[8:12], SegVersionJSON)
+	var buf bytes.Buffer
+	buf.Write(hdr)
+	for _, f := range frames {
+		buf.Write(f)
+	}
+	if err := os.WriteFile(segPath(dir, idx), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jsonEvents converts to the wire encoding the way the JSON-era
+// LogEvents did.
+func jsonEvents(t *testing.T, evs []stream.Event) []wire.Event {
+	t.Helper()
+	out, err := wire.FromStreamEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// segVersion reads the version field of segment idx.
+func segVersion(t *testing.T, dir string, idx uint64) uint32 {
+	t.Helper()
+	b, err := os.ReadFile(segPath(dir, idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < SegHeaderSize {
+		t.Fatalf("segment %d: short header", idx)
+	}
+	return binary.LittleEndian.Uint32(b[8:12])
+}
+
+// recordKinds scans segment idx's whole records and returns their kinds
+// in order.
+func recordKinds(t *testing.T, dir string, idx uint64) []byte {
+	t.Helper()
+	b, err := os.ReadFile(segPath(dir, idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []byte
+	for off := SegHeaderSize; off < len(b); {
+		kind, _, n, err := parseRecord(b[off:])
+		if err != nil {
+			t.Fatalf("segment %d offset %d: %v", idx, off, err)
+		}
+		kinds = append(kinds, kind)
+		off += n
+	}
+	return kinds
+}
+
+// TestBinaryRecordsRecoverExact: the binary events record preserves
+// what JSON cannot — exact float bits (including NaN payloads and
+// signed zero) and the nil-versus-empty clients distinction — across a
+// log round trip.
+func TestBinaryRecordsRecoverExact(t *testing.T) {
+	nan := math.Float64frombits(0x7FF8_0000_DEAD_BEEF)
+	evs := []stream.Event{
+		{Time: 0, Payload: stream.Batch{Clients: []metric.Point{
+			{X: nan, Y: math.Copysign(0, -1)},
+			{X: math.Inf(1), Y: math.SmallestNonzeroFloat64},
+		}}},
+		{Time: 1, Payload: stream.Batch{Clients: nil}},
+		{Time: 2, Payload: stream.Batch{Clients: []metric.Point{}}},
+		{Time: 3, Payload: stream.ElementWindow{Elem: 7, D: -4}},
+	}
+
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if err := l.LogOpen("a", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogEvents("a", evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	got := re.Recover()
+	if len(got) != 1 || len(got[0].Events) != len(evs) {
+		t.Fatalf("recovered %+v", got)
+	}
+	rec := got[0].Events
+	pts := rec[0].Payload.(stream.Batch).Clients
+	if b := math.Float64bits(pts[0].X); b != 0x7FF8_0000_DEAD_BEEF {
+		t.Errorf("NaN payload bits = %#x", b)
+	}
+	if !math.Signbit(pts[0].Y) || pts[0].Y != 0 {
+		t.Errorf("negative zero lost: %v", pts[0].Y)
+	}
+	if !math.IsInf(pts[1].X, 1) || pts[1].Y != math.SmallestNonzeroFloat64 {
+		t.Errorf("point 1 = %+v", pts[1])
+	}
+	if rec[1].Payload.(stream.Batch).Clients != nil {
+		t.Error("nil clients recovered non-nil")
+	}
+	// The canonical encoding folds empty into null, exactly like a JSON
+	// round trip does.
+	if rec[2].Payload.(stream.Batch).Clients != nil {
+		t.Error("empty clients did not canonicalize to nil")
+	}
+	if want := (stream.ElementWindow{Elem: 7, D: -4}); rec[3].Payload != want {
+		t.Errorf("event 3 = %#v", rec[3].Payload)
+	}
+}
+
+// TestMixedVersionSegmentsReplay: a directory whose first segment is a
+// hand-written version-1 file (JSON-era records) and whose tail was
+// appended by this build (version-2, binary records) recovers as one
+// ordered history.
+func TestMixedVersionSegmentsReplay(t *testing.T) {
+	dir := t.TempDir()
+	writeJSONEraSegment(t, dir, 1,
+		mustJSONRecord(t, KindOpen, OpenRecord{Tenant: "a", Spec: json.RawMessage(`{"domain":"parking"}`)}),
+		mustJSONRecord(t, KindEvents, EventsRecord{Tenant: "a", Events: jsonEvents(t, dayEvents(0, 1))}),
+		mustJSONRecord(t, KindOpen, OpenRecord{Tenant: "b", Spec: json.RawMessage(`{"domain":"deadline"}`)}),
+		mustJSONRecord(t, KindEvents, EventsRecord{Tenant: "b", Events: jsonEvents(t, elemEvents(3, 1))}),
+		mustJSONRecord(t, KindClose, CloseRecord{Tenant: "b"}),
+	)
+
+	// A tiny segment cap forces the first append past the JSON-era file
+	// into a fresh version-2 segment, so the directory genuinely mixes
+	// headers rather than appending kind-4 records into the old file.
+	l := mustOpen(t, dir, Options{SegmentBytes: 64})
+	if err := l.LogEvents("a", dayEvents(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.LogEvents("b", dayEvents(9)); err != nil { // closed: dropped
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := segVersion(t, dir, 1); v != SegVersionJSON {
+		t.Fatalf("segment 1 version = %d, want %d", v, SegVersionJSON)
+	}
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) < 2 {
+		t.Fatalf("appends did not rotate: segments %v", idxs)
+	}
+	if v := segVersion(t, dir, idxs[1]); v != SegVersion {
+		t.Fatalf("segment %d version = %d, want %d", idxs[1], v, SegVersion)
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	got := re.Recover()
+	if len(got) != 2 {
+		t.Fatalf("recovered %d sessions, want 2", len(got))
+	}
+	a, b := got[0], got[1]
+	if a.Tenant != "a" || string(a.Spec) != `{"domain":"parking"}` || a.Closed {
+		t.Errorf("session a = %+v", a)
+	}
+	if want := dayEvents(0, 1, 2, 3); fmt.Sprintf("%#v", a.Events) != fmt.Sprintf("%#v", want) {
+		t.Errorf("a events = %#v, want %#v", a.Events, want)
+	}
+	if b.Tenant != "b" || !b.Closed || len(b.Events) != 2 {
+		t.Errorf("session b = %+v", b)
+	}
+}
+
+// TestTornTailBinaryRecord: torn-write handling extends to kind-4
+// records — a CRC-flipped or truncated binary events record at the
+// tail is truncated away, the prefix recovers, and appends resume.
+func TestTornTailBinaryRecord(t *testing.T) {
+	binFrame := func(t *testing.T, tenant string, evs []stream.Event) []byte {
+		t.Helper()
+		payload, err := appendEventsBinaryRecord(nil, tenant, evs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frameRecord(KindEventsBinary, payload)
+	}
+	cases := map[string]func(t *testing.T, dir string){
+		"crc mismatch": func(t *testing.T, dir string) {
+			frame := binFrame(t, "a", dayEvents(7))
+			frame[len(frame)-1] ^= 0xFF
+			appendGarbage(t, dir, frame)
+		},
+		"truncated frame": func(t *testing.T, dir string) {
+			frame := binFrame(t, "a", dayEvents(7))
+			appendGarbage(t, dir, frame[:len(frame)-3])
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{})
+			if err := l.LogOpen("a", []byte(`{}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.LogEvents("a", dayEvents(0, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, dir)
+
+			re := mustOpen(t, dir, Options{})
+			got := re.Recover()
+			if len(got) != 1 || len(got[0].Events) != 2 {
+				t.Fatalf("recovered %+v, want the two-event prefix", got)
+			}
+			if err := re.LogEvents("a", dayEvents(8)); err != nil {
+				t.Fatal(err)
+			}
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+			re2 := mustOpen(t, dir, Options{})
+			defer re2.Close()
+			if got2 := re2.Recover(); len(got2) != 1 || len(got2[0].Events) != 3 {
+				t.Fatalf("after resume recovered %+v", got2)
+			}
+		})
+	}
+}
+
+// TestCorruptBinaryPayloadRefuses: a kind-4 record whose CRC checks out
+// but whose payload does not decode is not a torn write — it is
+// acknowledged data this build cannot replay, and Open must refuse.
+func TestCorruptBinaryPayloadRefuses(t *testing.T) {
+	cases := map[string][]byte{
+		// Tenant length runs past the payload.
+		"bad tenant length": {0xFF, 0xFF, 0x01},
+		// Valid tenant "a", then an event frame with an unknown kind.
+		"bad event kind": {1, 'a', 1, 99, 0},
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l := mustOpen(t, dir, Options{})
+			if err := l.LogOpen("a", []byte(`{}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.LogEvents("a", dayEvents(0)); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// A whole record after the damage makes the damaged record
+			// non-tail, so truncation cannot paper over it.
+			appendGarbage(t, dir, frameRecord(KindEventsBinary, payload))
+			appendGarbage(t, dir, frameRecord(KindClose, []byte(`{"tenant":"a"}`)))
+
+			if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "events record") {
+				t.Fatalf("open over corrupt binary payload: %v", err)
+			}
+		})
+	}
+}
+
+// TestCompactMigratesJSONEra: compacting a directory written entirely
+// by a version-1 build produces a version-2 snapshot whose event
+// records are all binary, and the snapshot replays identically to the
+// JSON-era original.
+func TestCompactMigratesJSONEra(t *testing.T) {
+	dir := t.TempDir()
+	writeJSONEraSegment(t, dir, 1,
+		mustJSONRecord(t, KindOpen, OpenRecord{Tenant: "a", Spec: json.RawMessage(`{"domain":"parking"}`)}),
+		mustJSONRecord(t, KindEvents, EventsRecord{Tenant: "a", Events: jsonEvents(t, dayEvents(0, 1, 2))}),
+		mustJSONRecord(t, KindEvents, EventsRecord{Tenant: "a", Events: jsonEvents(t, elemEvents(5, 2, 8))}),
+		mustJSONRecord(t, KindOpen, OpenRecord{Tenant: "closed", Spec: json.RawMessage(`{}`)}),
+		mustJSONRecord(t, KindClose, CloseRecord{Tenant: "closed"}),
+	)
+
+	l := mustOpen(t, dir, Options{})
+	pre := l.Recover()
+	if len(pre) != 2 {
+		t.Fatalf("JSON-era recovery found %d sessions, want 2", len(pre))
+	}
+	before := fmt.Sprintf("%#v", pre[0])
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compaction leaves the snapshot plus a fresh active tail segment,
+	// both in the current version: the JSON-era file is gone.
+	if len(idxs) != 2 {
+		t.Fatalf("segments after compaction: %v, want snapshot + active tail", idxs)
+	}
+	for _, idx := range idxs {
+		if v := segVersion(t, dir, idx); v != SegVersion {
+			t.Fatalf("segment %d version = %d, want %d", idx, v, SegVersion)
+		}
+	}
+	for i, kind := range recordKinds(t, dir, idxs[0]) {
+		if kind == KindEvents {
+			t.Errorf("snapshot record %d is a JSON-era events record; compaction should have migrated it to kind %d", i, KindEventsBinary)
+		}
+	}
+
+	re := mustOpen(t, dir, Options{})
+	defer re.Close()
+	// The live session survives byte-identically; the closed one is
+	// reclaimed by compaction.
+	got := re.Recover()
+	if len(got) != 1 {
+		t.Fatalf("recovered %d sessions, want 1", len(got))
+	}
+	if after := fmt.Sprintf("%#v", got[0]); after != before {
+		t.Errorf("snapshot session diverged from the JSON-era original:\n after %s\nbefore %s", after, before)
+	}
+	want := append(dayEvents(0, 1, 2), elemEvents(5, 2, 8)...)
+	if fmt.Sprintf("%#v", got[0].Events) != fmt.Sprintf("%#v", want) {
+		t.Errorf("migrated events = %#v, want %#v", got[0].Events, want)
+	}
+}

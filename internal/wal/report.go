@@ -95,11 +95,14 @@ Every segment starts with a %d-byte header:
 | Offset | Size | Field |
 | --- | --- | --- |
 | 0 | 8 | magic %q |
-| 8 | 4 | format version (little-endian uint32; this build writes %d) |
+| 8 | 4 | format version (little-endian uint32; this build writes %d, reads %d and %d) |
 | 12 | 4 | flags (little-endian uint32; bit 0 = compaction snapshot) |
 
 A reader rejects a bad magic or an unknown version outright — a future
-format bump is a clean error, never a misparse. The snapshot flag marks
+format bump is a clean error, never a misparse. Version %d is the
+JSON-era format (kinds 1–3 only); version %d added the binary events
+record (kind %d), and a mixed directory of version-%d and version-%d
+segments replays correctly in order. The snapshot flag marks
 a segment written by compaction: it supersedes every lower-numbered
 segment, so recovery starts at the newest snapshot and deletes anything
 older.
@@ -110,15 +113,20 @@ Records follow the header back to back, each framed as:
 | --- | --- | --- |
 | 0 | 4 | body length (little-endian uint32, 1..%d) |
 | 4 | 4 | CRC-32C (Castagnoli) of the body |
-| 8 | length | body: 1 kind byte + the kind's JSON payload |
+| 8 | length | body: 1 kind byte + the kind's payload (JSON for kinds 1–3, binary for kind 4) |
 
 ## Record types
 
-The payloads reuse the JSON encodings of `+"`internal/wire`"+` — the same
-single source of truth the HTTP protocol speaks — so the log, the wire
-and the recovery replay can never disagree about what an event is.
+The kind 1–3 payloads reuse the JSON encodings of `+"`internal/wire`"+` —
+the same single source of truth the HTTP protocol speaks — and the
+kind-4 payload reuses its binary event encoding (the
+`+"`application/x-lease-binary`"+` frame payload, see docs/API.md), so the
+log, the wire and the recovery replay can never disagree about what an
+event is.
 
-`, SegHeaderSize, SegMagic, SegVersion, MaxRecordBytes)
+`, SegHeaderSize, SegMagic, SegVersion, SegVersion, SegVersionJSON,
+		SegVersionJSON, SegVersion, KindEventsBinary, SegVersionJSON, SegVersion,
+		MaxRecordBytes)
 	for _, rec := range []struct {
 		kind byte
 		name string
@@ -126,7 +134,7 @@ and the recovery replay can never disagree about what an event is.
 		when string
 	}{
 		{KindOpen, "OpenRecord", OpenRecord{}, "appended by the owning shard as it installs the session — after the duplicate check (racing opens log only the winning spec) and before the session is visible to submits, so a tenant's open record always precedes its event records"},
-		{KindEvents, "EventsRecord", EventsRecord{}, "appended before an acknowledged batch is enqueued"},
+		{KindEvents, "EventsRecord", EventsRecord{}, "the JSON-era event batch: replayed from version-1 segments, no longer written (this build appends kind 4 instead)"},
 		{KindClose, "CloseRecord", CloseRecord{}, "appended before a session is sealed"},
 	} {
 		fmt.Fprintf(&b, "### kind %d — `%s`\n\n%s.\n\n| Field | Type | Description |\n| --- | --- | --- |\n", rec.kind, rec.name, rec.when)
@@ -138,6 +146,26 @@ and the recovery replay can never disagree about what an event is.
 		}
 		b.WriteString("\n")
 	}
+
+	fmt.Fprintf(&b, `### kind %d — binary events
+
+Appended before an acknowledged batch is enqueued — the same position
+in the protocol as the JSON-era kind %d, but the body is encoded
+directly from the in-memory events with no JSON round-trip. The payload
+after the kind byte is:
+
+| Field | Type | Description |
+| --- | --- | --- |
+| tenant length | uvarint | byte length of the tenant name |
+| tenant | bytes | the tenant name, UTF-8 |
+| events | bytes | an `+"`application/x-lease-binary`"+` frame payload: uvarint event count, then the events in the wire binary event encoding (docs/API.md has the per-kind layout) |
+
+The event encoding is canonical — it round-trips byte-identically and
+decodes to exactly the values the JSON path would produce (float bits
+preserved, null vs empty client lists preserved) — so replaying a
+kind-%d record rebuilds the same session a kind-%d record would have.
+
+`, KindEventsBinary, KindEvents, KindEventsBinary, KindEvents)
 
 	b.WriteString(`## Recovery semantics
 
@@ -188,7 +216,9 @@ directory from backup instead).
 ## Compaction
 
 Compaction rewrites the whole log as one snapshot segment: per live
-tenant, an open record followed by its consolidated event history.
+tenant, an open record followed by its consolidated event history. The
+snapshot is written in the current segment version with binary event
+records, so the first compaction of a JSON-era directory migrates it.
 Closed sessions are dropped — **close is the retention boundary**, so a
 tenant's history is reclaimed by the first compaction after its close
 (and the tenant no longer survives recovery past that point). The

@@ -56,8 +56,14 @@ import (
 const (
 	// SegMagic opens every segment file.
 	SegMagic = "LEASEWAL"
-	// SegVersion is the current (and only) segment format version.
-	SegVersion = 1
+	// SegVersion is the segment format version this build writes.
+	// Version 2 added the binary events record (KindEventsBinary);
+	// version-1 (JSON-era) segments are still read, so a log written by
+	// an older build recovers unchanged.
+	SegVersion = 2
+	// SegVersionJSON is the JSON-era format version this build still
+	// reads: its segments hold only the JSON record kinds 1..3.
+	SegVersionJSON = 1
 	// SegHeaderSize is the byte size of the segment header.
 	SegHeaderSize = 16
 	// FlagSnapshot marks a compaction snapshot segment: it supersedes
@@ -67,7 +73,8 @@ const (
 
 // Record framing constants. A record is a little-endian uint32 body
 // length, a little-endian uint32 CRC-32C of the body, then the body (one
-// kind byte followed by the kind's JSON payload).
+// kind byte followed by the kind's payload — JSON for kinds 1..3, the
+// binary event framing of internal/wire for kind 4).
 const (
 	// RecHeaderSize is the byte size of the record frame header.
 	RecHeaderSize = 8
@@ -84,6 +91,14 @@ const (
 	KindEvents byte = 2
 	// KindClose frames a CloseRecord.
 	KindClose byte = 3
+	// KindEventsBinary frames an acknowledged event batch in the binary
+	// wire framing instead of JSON: a uvarint tenant length, the tenant
+	// bytes, then the frame payload of wire.AppendEventsBinary (event
+	// count + events). This is what LogEvents writes since segment
+	// version 2 — the append path encodes events straight to these bytes
+	// with no JSON round-trip — while KindEvents records from JSON-era
+	// logs replay identically.
+	KindEventsBinary byte = 4
 )
 
 // OpenRecord is the payload of a KindOpen record, appended once the
@@ -200,6 +215,8 @@ type Log struct {
 	syncs           atomic.Int64
 	compactions     atomic.Int64
 	compactFailures atomic.Int64
+
+	encBufs sync.Pool // *[]byte, binary record encode scratch
 }
 
 // segPath names segment idx inside dir.
@@ -381,8 +398,8 @@ func parseSegHeader(hdr []byte) (uint32, error) {
 	if string(hdr[:8]) != SegMagic {
 		return 0, fmt.Errorf("bad magic %q", hdr[:8])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != SegVersion {
-		return 0, fmt.Errorf("unsupported segment version %d (this build reads version %d)", v, SegVersion)
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != SegVersion && v != SegVersionJSON {
+		return 0, fmt.Errorf("unsupported segment version %d (this build reads versions %d and %d)", v, SegVersionJSON, SegVersion)
 	}
 	return binary.LittleEndian.Uint32(hdr[12:16]), nil
 }
@@ -478,6 +495,20 @@ func (st *scanState) apply(kind byte, payload []byte) error {
 			return fmt.Errorf("events record for %q: %w", r.Tenant, err)
 		}
 		s.Events = append(s.Events, evs...)
+	case KindEventsBinary:
+		tenant, body, err := splitTenantPayload(payload)
+		if err != nil {
+			return fmt.Errorf("binary events record: %w", err)
+		}
+		s, ok := st.byTenant[tenant]
+		if !ok || s.Closed {
+			return nil // dropped live, dropped on recovery
+		}
+		evs, err := wire.DecodeEventsBinary(body)
+		if err != nil {
+			return fmt.Errorf("binary events record for %q: %w", tenant, err)
+		}
+		s.Events = append(s.Events, evs...)
 	case KindClose:
 		var r CloseRecord
 		if err := json.Unmarshal(payload, &r); err != nil {
@@ -569,20 +600,26 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// append frames and writes one record, rotating and group-committing as
-// configured. The record is durable (to the file; to disk under Fsync)
-// when append returns nil — the caller may acknowledge.
+// append marshals payload to JSON and writes it as one record.
 func (l *Log) append(kind byte, payload any) error {
 	js, err := json.Marshal(payload)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	return l.appendRaw(kind, js)
+}
+
+// appendRaw frames and writes one record from already-encoded payload
+// bytes, rotating and group-committing as configured. The record is
+// durable (to the file; to disk under Fsync) when appendRaw returns nil
+// — the caller may acknowledge.
+func (l *Log) appendRaw(kind byte, payload []byte) error {
 	// Enforce the read path's bound before writing: a larger record
 	// would be acknowledged now and rejected as corruption on recovery.
-	if len(js)+1 > MaxRecordBytes {
-		return fmt.Errorf("wal: record body of %d bytes exceeds the %d-byte record limit", len(js)+1, MaxRecordBytes)
+	if len(payload)+1 > MaxRecordBytes {
+		return fmt.Errorf("wal: record body of %d bytes exceeds the %d-byte record limit", len(payload)+1, MaxRecordBytes)
 	}
-	buf := frameRecord(kind, js)
+	buf := frameRecord(kind, payload)
 
 	l.mu.Lock()
 	if l.closed {
@@ -699,13 +736,40 @@ func (l *Log) LogOpen(tenant string, spec []byte) error {
 	return l.append(KindOpen, OpenRecord{Tenant: tenant, Spec: json.RawMessage(spec)})
 }
 
-// LogEvents appends one acknowledged event batch in the wire encoding.
+// LogEvents appends one acknowledged event batch as a binary events
+// record: the events are encoded straight into the binary wire framing
+// (no wire.Event conversion, no JSON marshal) from a pooled buffer —
+// the durable twin of the server's zero-alloc ingestion path.
 func (l *Log) LogEvents(tenant string, evs []stream.Event) error {
-	wevs, err := wire.FromStreamEvents(evs)
+	bufp, _ := l.encBufs.Get().(*[]byte)
+	if bufp == nil {
+		bufp = new([]byte)
+	}
+	defer l.encBufs.Put(bufp)
+	payload, err := appendEventsBinaryRecord((*bufp)[:0], tenant, evs)
+	*bufp = payload
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	return l.append(KindEvents, EventsRecord{Tenant: tenant, Events: wevs})
+	return l.appendRaw(KindEventsBinary, payload)
+}
+
+// appendEventsBinaryRecord appends a KindEventsBinary payload — uvarint
+// tenant length, tenant bytes, then the binary event frame payload.
+func appendEventsBinaryRecord(dst []byte, tenant string, evs []stream.Event) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(len(tenant)))
+	dst = append(dst, tenant...)
+	return wire.AppendEventsBinary(dst, evs)
+}
+
+// splitTenantPayload splits a KindEventsBinary payload into its tenant
+// and event-frame bytes.
+func splitTenantPayload(payload []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || n > uint64(len(payload)-w) {
+		return "", nil, errors.New("bad tenant length")
+	}
+	return string(payload[w : w+int(n)]), payload[w+int(n):], nil
 }
 
 // LogClose appends a session-close record.
@@ -746,20 +810,23 @@ func (l *Log) Compact() error {
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	writeRaw := func(kind byte, body []byte) error {
+		// compactChunk keeps consolidated records far below the limit,
+		// but a single oversized logged record would resurface here.
+		if len(body)+1 > MaxRecordBytes {
+			return fmt.Errorf("wal: record body of %d bytes exceeds the %d-byte record limit", len(body)+1, MaxRecordBytes)
+		}
+		if _, err := f.Write(frameRecord(kind, body)); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		return nil
+	}
 	write := func(kind byte, payload any) error {
 		js, err := json.Marshal(payload)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
-		// compactChunk keeps consolidated records far below the limit,
-		// but a single oversized logged record would resurface here.
-		if len(js)+1 > MaxRecordBytes {
-			return fmt.Errorf("wal: record body of %d bytes exceeds the %d-byte record limit", len(js)+1, MaxRecordBytes)
-		}
-		if _, err := f.Write(frameRecord(kind, js)); err != nil {
-			return fmt.Errorf("wal: %w", err)
-		}
-		return nil
+		return writeRaw(kind, js)
 	}
 	fail := func(err error) error {
 		f.Close()
@@ -776,13 +843,16 @@ func (l *Log) Compact() error {
 		if err := write(KindOpen, OpenRecord{Tenant: s.Tenant, Spec: json.RawMessage(s.Spec)}); err != nil {
 			return fail(err)
 		}
+		// Consolidated histories are rewritten as binary records: a
+		// snapshot of a JSON-era log comes out the other side in the
+		// version-2 encoding (the two replay identically).
 		for lo := 0; lo < len(s.Events); lo += compactChunk {
 			hi := min(lo+compactChunk, len(s.Events))
-			wevs, err := wire.FromStreamEvents(s.Events[lo:hi])
+			body, err := appendEventsBinaryRecord(nil, s.Tenant, s.Events[lo:hi])
 			if err != nil {
 				return fail(fmt.Errorf("wal: %w", err))
 			}
-			if err := write(KindEvents, EventsRecord{Tenant: s.Tenant, Events: wevs}); err != nil {
+			if err := writeRaw(KindEventsBinary, body); err != nil {
 				return fail(err)
 			}
 		}

@@ -566,6 +566,7 @@ func TestDurabilityMarkdown(t *testing.T) {
 	doc := string(DurabilityMarkdown(bench))
 	for _, want := range []string{
 		SegMagic, "CRC-32C", "OpenRecord", "EventsRecord", "CloseRecord",
+		"JSON-era", "binary events", "application/x-lease-binary",
 		"snapshot", "torn", "last whole record",
 		"group commit", "BENCH_PR5.json", "OPERATIONS.md", "ARCHITECTURE.md",
 	} {

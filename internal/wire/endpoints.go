@@ -175,7 +175,11 @@ func Endpoints() []Endpoint {
 			Notes: "The body is either a JSON array of events or, with " +
 				"Content-Type application/x-ndjson, a stream of one JSON event per " +
 				"line (the bulk-ingestion path; events are enqueued in chunks while " +
-				"the body streams in). Events must arrive in non-decreasing time " +
+				"the body streams in). With Content-Type application/x-lease-binary " +
+				"the body is the compact binary framing instead (see the binary " +
+				"framing section) — the same events, decoded on a pooled " +
+				"zero-allocation path; a session may switch encodings freely " +
+				"between requests. Events must arrive in non-decreasing time " +
 				"order per tenant, from one submitter: a regression inside one " +
 				"request fails fast with 400 bad_request, while a regression " +
 				"across separate requests is only seen by the shard as it applies " +
@@ -252,7 +256,10 @@ func Endpoints() []Endpoint {
 			Request: nil, Response: Run{},
 			Errors: []string{CodeUnknownTenant, CodeNotRecording, CodeSessionFailed},
 			Notes: "The run is byte-identical to what a single-threaded Replay of " +
-				"the session's events produces — the service's determinism anchor.",
+				"the session's events produces — the service's determinism anchor. " +
+				"Content-negotiated: JSON by default; Accept: " +
+				"application/x-lease-binary returns the same run in the binary run " +
+				"encoding (see the binary framing section).",
 		},
 		{
 			Name:    "metrics",
@@ -358,6 +365,56 @@ enqueued; clients back off and resume after that offset (the Go client
 does this automatically). 429s are the load signal — sustained 429s mean
 the shards cannot keep up with ingestion, so add shards, deepen queues,
 or slow producers.
+
+## Binary framing
+
+JSON is the default and the source of truth for this document, but the
+hot paths can negotiate the compact binary framing per request:
+
+- submit: ` + "`Content-Type: application/x-lease-binary`" + ` switches the body
+  to binary frames, decoded on a pooled zero-allocation path.
+- result: ` + "`Accept: application/x-lease-binary`" + ` returns the recorded run
+  in the binary run encoding (the response Content-Type echoes it).
+- Everything else — responses, errors, every other endpoint — stays
+  JSON. A session may switch encodings freely between requests; the two
+  decode to identical values, so mixed-encoding histories replay
+  byte-identical to single-encoding ones.
+
+A binary submit body is the magic ` + "`LEB1`" + ` followed by frames, each
+decoded and enqueued as it is read (the NDJSON-equivalent chunked
+path). Integers are varints (zigzag for signed values), lengths plain
+uvarints, floats raw IEEE-754 little-endian bits — so every float
+round-trips exactly, including NaN payloads and negative zero. A frame
+payload is capped at 16 MiB; a larger declared length is rejected as
+corruption before any buffer is sized from it.
+
+| Field | Encoding | Description |
+| --- | --- | --- |
+| magic | 4 bytes ` + "`LEB1`" + ` | opens the body; a JSON array posted with the binary Content-Type fails fast |
+| frame* | uvarint length + payload | one frame per chunk |
+| frame payload | uvarint count + events | the chunk's events, in order |
+
+Each event is a kind byte, a zigzag-varint time, then the kind's
+fields:
+
+| Kind | Byte | Fields after time |
+| --- | --- | --- |
+| ` + "`day`" + ` | 1 | none |
+| ` + "`element`" + ` | 2 | varint elem, varint p |
+| ` + "`window`" + ` | 3 | varint d |
+| ` + "`element_window`" + ` | 4 | varint elem, varint d |
+| ` + "`batch`" + ` | 5 | presence byte (0 = null), then uvarint count and count × (8-byte x bits, 8-byte y bits) |
+| ` + "`connect`" + ` | 6 | varint s, varint u |
+
+The encoding is canonical — encoders apply exactly the normalizations a
+JSON round trip does (an element's zero multiplicity encodes as 1, an
+empty client list as null), so re-encoding a decoded body is
+byte-identical and the binary and JSON paths produce the same values.
+The binary run encoding mirrors the ` + "`Run`" + ` wire type: a version byte,
+then decisions, curve and the final cost breakdown, with nil-vs-empty
+presence bytes preserving the ` + "`null`" + ` vs ` + "`[]`" + ` distinction. The Go
+client speaks the framing with ` + "`RemoteClientOptions{Binary: true}`" + `;
+` + "`leaseload -remote -binary`" + ` load-tests it.
 
 ## Wire types
 

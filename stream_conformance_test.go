@@ -9,6 +9,8 @@ package leasing_test
 // understand. The suite runs entirely against the public API.
 
 import (
+	"bytes"
+	"fmt"
 	"math"
 	"math/rand"
 	"reflect"
@@ -16,6 +18,7 @@ import (
 	"testing"
 
 	"leasing"
+	"leasing/internal/wire"
 )
 
 // conformanceCase builds a fresh Leaser (and anything verification needs)
@@ -324,6 +327,58 @@ func TestLeaserRejectsTimeRegression(t *testing.T) {
 			}
 			if _, err := lsr.Observe(first); err == nil {
 				t.Error("time regression accepted")
+			}
+		})
+	}
+}
+
+// TestLeaserConformanceBinaryRoundTrip locks the binary wire encoding
+// to the conformance streams: every domain's events survive an
+// encode/decode round trip canonically (a re-encode is byte-identical),
+// a fresh leaser replaying the decoded events produces a run
+// byte-identical to one fed the originals, and that run itself survives
+// the binary run encoding the /v1/result binary path uses.
+func TestLeaserConformanceBinaryRoundTrip(t *testing.T) {
+	for _, tc := range conformanceCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			enc, err := wire.AppendEventsBinary(nil, tc.events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := wire.DecodeEventsBinary(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := wire.AppendEventsBinary(nil, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, re) {
+				t.Fatal("re-encoding decoded events is not byte-identical")
+			}
+
+			lsr, _ := tc.fresh(t)
+			want, err := leasing.Replay(lsr, tc.events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lsr2, _ := tc.fresh(t)
+			got, err := leasing.Replay(lsr2, dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%#v", got) != fmt.Sprintf("%#v", want) {
+				t.Errorf("replay over binary-round-tripped events diverged:\n got %#v\nwant %#v", got, want)
+			}
+
+			buf := wire.AppendRunBinary(nil, want)
+			back, err := wire.DecodeRunBinary(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprintf("%#v", back) != fmt.Sprintf("%#v", want) {
+				t.Errorf("run binary round trip diverged:\n got %#v\nwant %#v", back, want)
 			}
 		})
 	}
