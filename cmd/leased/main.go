@@ -16,10 +16,22 @@
 // cmd/leaseload -remote load-tests a running daemon and cmd/leaseload
 // -crash drills kill-and-recover against this binary.
 //
+// With -peers (a comma-separated list of every node's base URL) and
+// -self (this node's URL in that list) the daemon joins a cluster:
+// tenants are placed on nodes by a shared consistent-hash ring,
+// requests for foreign tenants answer 307 to the owner, and every WAL
+// record this node appends is streamed to the tenant's replica — the
+// next node clockwise on the ring — so killing a node fails its
+// tenants over with their full logged history already in place.
+// Cluster mode requires -data-dir (the follower log lives under it);
+// docs/CLUSTER.md documents placement, replication and the failover
+// runbook, and cmd/leaseload -crash -cluster drills it.
+//
 // Usage:
 //
 //	leased [-addr :8080] [-shards 8] [-queue 256] [-batch 64] [-record] [-auth tokens.txt]
 //	       [-data-dir DIR] [-fsync] [-compact-every N]
+//	       [-peers URL,URL,...] [-self URL] [-peer-token TOKEN]
 //
 // The -auth file enables per-tenant token scoping: one "token tenant"
 // pair per line ('#' comments), where tenant "*" is the admin scope.
@@ -37,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -64,6 +77,9 @@ func run(args []string, w io.Writer) error {
 		dataDir  = fs.String("data-dir", "", "write-ahead-log directory enabling durability; sessions are recovered from it on boot (empty disables)")
 		fsync    = fs.Bool("fsync", false, "with -data-dir: fsync the log before acknowledging (group-committed); survives machine crashes, not just process crashes")
 		compact  = fs.Int64("compact-every", 0, "with -data-dir: compact the log after this many appended records (0 disables automatic compaction)")
+		peersCSV = fs.String("peers", "", "comma-separated base URLs of every cluster node (including this one); enables cluster mode and requires -self and -data-dir")
+		self     = fs.String("self", "", "with -peers: this node's base URL exactly as it appears in the peer list")
+		peerTok  = fs.String("peer-token", "", "with -peers: admin bearer token sent with shipped records (required when peers run -auth)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +92,22 @@ func run(args []string, w io.Writer) error {
 	}
 	if *dataDir == "" && (*fsync || *compact > 0) {
 		return fmt.Errorf("-fsync and -compact-every require -data-dir")
+	}
+	var peers []string
+	if *peersCSV != "" {
+		for _, p := range strings.Split(*peersCSV, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self")
+		}
+		if *dataDir == "" {
+			return fmt.Errorf("-peers requires -data-dir (replication ships WAL records)")
+		}
+	} else if *self != "" || *peerTok != "" {
+		return fmt.Errorf("-self and -peer-token require -peers")
 	}
 	tokens, err := loadAuth(*authPath)
 	if err != nil {
@@ -90,7 +122,9 @@ func run(args []string, w io.Writer) error {
 		RecordRuns: *record,
 	}
 	var eng *leasing.Engine
-	var wlog *leasing.DurableLog
+	var wlog, follower *leasing.DurableLog
+	var shipper *leasing.ClusterShipper
+	var replicated *leasing.ReplicatedDurableLog
 	if *dataDir != "" {
 		wlog, err = leasing.OpenDurableLog(*dataDir, leasing.DurableLogOptions{
 			Fsync:        *fsync,
@@ -99,9 +133,37 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// The engine's WAL: the log itself, or — clustered — the log
+		// wrapped with a shipper that streams each appended record to
+		// the tenant's replica. Recovery replays without logging, so a
+		// reboot never re-ships history the replicas already hold.
+		var ewal leasing.EngineWAL = wlog
+		if len(peers) > 0 {
+			follower, err = leasing.OpenDurableLog(filepath.Join(*dataDir, "follower"), leasing.DurableLogOptions{
+				Fsync: *fsync,
+			})
+			if err != nil {
+				wlog.Close()
+				return err
+			}
+			shipper, err = leasing.NewClusterShipper(*self, peers, leasing.ClusterShipperOptions{Token: *peerTok})
+			if err != nil {
+				follower.Close()
+				wlog.Close()
+				return err
+			}
+			replicated = leasing.ReplicateDurableLog(wlog, shipper)
+			ewal = replicated
+		}
 		var recovered int
-		eng, recovered, err = leasing.RecoverEngine(wlog, cfg)
+		eng, recovered, err = leasing.RecoverEngineWAL(wlog, ewal, cfg)
 		if err != nil {
+			if shipper != nil {
+				shipper.Close()
+			}
+			if follower != nil {
+				follower.Close()
+			}
 			wlog.Close()
 			return err
 		}
@@ -112,6 +174,12 @@ func run(args []string, w io.Writer) error {
 	}
 	closeAll := func() {
 		eng.Close()
+		if shipper != nil {
+			shipper.Close()
+		}
+		if follower != nil {
+			follower.Close()
+		}
 		if wlog != nil {
 			wlog.Close()
 		}
@@ -122,6 +190,15 @@ func run(args []string, w io.Writer) error {
 		// scrape alongside the engine families.
 		scfg.WALStats = wlog.Stats
 	}
+	if len(peers) > 0 {
+		scfg.Cluster = &leasing.LeaseClusterConfig{
+			Self:         *self,
+			Peers:        peers,
+			Follower:     follower,
+			WAL:          replicated,
+			ShipperStats: shipper.Stats,
+		}
+	}
 	handler := leasing.Serve(eng, scfg)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -129,8 +206,11 @@ func run(args []string, w io.Writer) error {
 		closeAll()
 		return err
 	}
-	logger.Printf("listening on %s (shards=%d queue=%d batch=%d record=%v auth=%v durable=%v fsync=%v)",
-		ln.Addr(), *shards, *queue, *batch, *record, len(tokens) > 0, *dataDir != "", *fsync)
+	logger.Printf("listening on %s (shards=%d queue=%d batch=%d record=%v auth=%v durable=%v fsync=%v cluster=%d)",
+		ln.Addr(), *shards, *queue, *batch, *record, len(tokens) > 0, *dataDir != "", *fsync, len(peers))
+	if len(peers) > 0 {
+		logger.Printf("cluster mode: self=%s peers=%s", *self, strings.Join(peers, ","))
+	}
 
 	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
@@ -160,6 +240,20 @@ func run(args []string, w io.Writer) error {
 	m := eng.Metrics()
 	logger.Printf("drained: %d sessions, %d events processed, %d dropped, total cost %.2f",
 		m.Sessions, m.Events, m.Dropped, m.Cost)
+	// Clustered drain ordering: the engine has stopped appending, so
+	// closing the shipper flushes every acknowledged record to its
+	// replica before the logs close beneath it.
+	if shipper != nil {
+		shipper.Close()
+		st := shipper.Stats()
+		logger.Printf("shipper closed: %d records in %d batches shipped, %d dropped, failed peers: %v",
+			st.Shipped, st.Batches, st.Dropped, st.FailedPeers)
+	}
+	if follower != nil {
+		if err := follower.Close(); err != nil {
+			return err
+		}
+	}
 	if wlog != nil {
 		st := wlog.Stats()
 		if err := wlog.Close(); err != nil {

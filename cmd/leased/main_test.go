@@ -25,6 +25,21 @@ func TestBadFlags(t *testing.T) {
 	if err := run([]string{"-data-dir", t.TempDir(), "-compact-every", "-1"}, os.Stderr); err == nil {
 		t.Error("negative -compact-every accepted")
 	}
+	if err := run([]string{"-peers", "http://a,http://b", "-data-dir", t.TempDir()}, os.Stderr); err == nil {
+		t.Error("-peers without -self accepted")
+	}
+	if err := run([]string{"-peers", "http://a,http://b", "-self", "http://a"}, os.Stderr); err == nil {
+		t.Error("-peers without -data-dir accepted")
+	}
+	if err := run([]string{"-self", "http://a"}, os.Stderr); err == nil {
+		t.Error("-self without -peers accepted")
+	}
+	if err := run([]string{"-peer-token", "tok"}, os.Stderr); err == nil {
+		t.Error("-peer-token without -peers accepted")
+	}
+	if err := run([]string{"-peers", "http://a,http://b", "-self", "http://c", "-data-dir", t.TempDir()}, os.Stderr); err == nil {
+		t.Error("-self outside the peer list accepted")
+	}
 }
 
 func TestLoadAuth(t *testing.T) {

@@ -28,7 +28,16 @@
 // acknowledged, restarts it, resumes every tenant after the daemon's
 // recovered processed-event count, and verifies every tenant's result
 // byte-identical to a single-threaded Replay of its full logged
-// history.
+// history. With -crash -cluster the drill goes multi-node: -nodes
+// peered daemons share a placement ring and ship WAL records to each
+// tenant's replica, the busiest node is SIGKILLed mid-load, its tenants
+// fail over to their replicas (MarkDown + Activate on the cluster
+// client), ingestion resumes from each new owner's processed count, and
+// every tenant must still verify byte-identical to Replay. With
+// -cluster-bench the tool instead measures how throughput scales with
+// cluster size: the same workload through in-process replicated fleets
+// of 1, 2 and 4 nodes, reported with per-fleet speedup and scaling
+// efficiency (the BENCH_PR8.json format).
 //
 // The synthesized traffic is shaped by pluggable arrival processes
 // (-arrival constant|diurnal|bursty; internal/workload) and optionally
@@ -51,6 +60,8 @@
 //	leaseload -remote -binary [-cpuprofile cpu.out]  # binary wire framing
 //	leaseload -durable-bench [-out BENCH_PR5.json]   # fsync on/off WAL throughput
 //	leaseload -crash -leased /path/to/leased [-data-dir DIR]
+//	leaseload -crash -cluster -leased /path/to/leased [-nodes 3]
+//	leaseload -cluster-bench [-out BENCH_PR8.json]   # 1/2/4-node scaling
 //	leaseload -ramp -sla-p99 5 [-step-tenants 8] [-step-duration 2s]
 //	leaseload -arrival diurnal -zipf-sizes 1.2   # shaped, skewed traffic
 //	leaseload -ramp -json -gate BENCH_PR6.json [-gate-tolerance 0.15]
@@ -197,6 +208,9 @@ func run(args []string, w io.Writer) error {
 		crash     = fs.Bool("crash", false, "kill-and-recover drill: spawn a durable leased daemon (-leased), SIGKILL it mid-load, restart, resume from the recovered counts and verify every tenant against Replay")
 		leasedBin = fs.String("leased", "", "with -crash: path to a built leased binary")
 		dataDir   = fs.String("data-dir", "", "with -crash: WAL directory for the spawned daemon (default: a fresh temp dir, removed afterwards)")
+		clusterFl = fs.Bool("cluster", false, "with -crash: multi-node drill — spawn -nodes peered daemons, SIGKILL the busiest mid-load, fail its tenants over to their replicas and verify every tenant against Replay")
+		nodesFl   = fs.Int("nodes", 3, "with -crash -cluster: cluster size")
+		clBench   = fs.Bool("cluster-bench", false, "scaling benchmark: run the workload through in-process replicated fleets of 1, 2 and 4 nodes and emit the combined JSON report (the BENCH_PR8.json format)")
 		durable   = fs.Bool("durable-bench", false, "run the in-process workload twice through a WAL-backed engine (fsync off, then on) and emit the combined JSON report (the BENCH_PR5.json format)")
 		jsonOut   = fs.Bool("json", false, "emit a machine-readable JSON report")
 		outPath   = fs.String("out", "", "with -json: write the report to this file instead of stdout")
@@ -238,6 +252,25 @@ func run(args []string, w io.Writer) error {
 	}
 	if *crash && (*remote || *durable) {
 		return fmt.Errorf("-crash is its own mode; it cannot be combined with -remote or -durable-bench")
+	}
+	if *clusterFl && !*crash {
+		return fmt.Errorf("-cluster requires -crash")
+	}
+	if *clusterFl && *nodesFl < 2 {
+		return fmt.Errorf("-nodes must be >= 2 (a 1-node cluster has nothing to fail over to)")
+	}
+	if *clusterFl && *dataDir != "" {
+		return fmt.Errorf("-data-dir cannot be combined with -cluster (each node gets its own temp dir)")
+	}
+	if !*clusterFl {
+		explicit := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if explicit["nodes"] {
+			return fmt.Errorf("-nodes requires -cluster")
+		}
+	}
+	if *clBench && (*remote || *crash || *durable || *ramp || *verify) {
+		return fmt.Errorf("-cluster-bench is its own mode; it cannot be combined with -remote, -crash, -durable-bench, -ramp or -verify")
 	}
 	if *durable && *remote {
 		return fmt.Errorf("-durable-bench drives the in-process engine; it cannot be combined with -remote")
@@ -365,6 +398,23 @@ func run(args []string, w io.Writer) error {
 		return gateCheck(combined, *gatePath, *gateTol, w)
 	}
 
+	if *clBench {
+		// Like the durable benchmark, the scaling benchmark is a series
+		// of runs with a combined, always-JSON report (BENCH_PR8.json).
+		combined, err := runClusterBench(report, ts, clusterBenchParams{
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk,
+			fleets: []int{1, 2, 4},
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeJSON(combined, *outPath, w); err != nil {
+			return err
+		}
+		return gateCheck(combined, *gatePath, *gateTol, w)
+	}
+
 	var err error
 	switch {
 	case *ramp:
@@ -375,6 +425,13 @@ func run(args []string, w io.Writer) error {
 			stepTenants: *stepTen, stepDur: *stepDur,
 			slaPct: *slaPct, slaMS: *slaP99,
 			seed: *seed, arrival: *arrival,
+		})
+	case *crash && *clusterFl:
+		report.Mode = "crash-cluster"
+		err = runClusterCrash(&report, ts, clusterCrashParams{
+			leasedBin: *leasedBin, nodes: *nodesFl,
+			shards: *shards, batch: *batch, queue: *queue,
+			producers: *producers, chunk: *chunk,
 		})
 	case *crash:
 		report.Mode = "crash"
@@ -1288,12 +1345,22 @@ func verifyTenant(eng *leasing.Engine, t *tenant) error {
 	return nil
 }
 
+// tenantReader is the read surface verifyRemoteTenant checks — the
+// single-node client and the cluster client both provide it, so the
+// crash drills share one verification.
+type tenantReader interface {
+	Result(context.Context, string) (*wire.Run, error)
+	Cost(context.Context, string) (wire.CostBreakdown, error)
+	Snapshot(context.Context, string) (wire.Solution, error)
+	Close(context.Context, string) (wire.CloseResponse, error)
+}
+
 // verifyRemoteTenant holds the service to the same anchor over the
 // network: the run fetched through the result endpoint must be
 // byte-identical to a single-threaded Replay of a leaser built from the
 // tenant's own wire spec, the cost endpoint must agree exactly, and
 // close must report the session's full event count.
-func verifyRemoteTenant(ctx context.Context, cli *leasing.RemoteClient, t *tenant) error {
+func verifyRemoteTenant(ctx context.Context, cli tenantReader, t *tenant) error {
 	wrun, err := cli.Result(ctx, t.name)
 	if err != nil {
 		return err

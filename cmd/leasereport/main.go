@@ -2,13 +2,15 @@
 // (architecture and the E1..E20 experiment index) and EXPERIMENTS.md
 // (paper-predicted vs measured, one table per experiment) from the
 // experiment registry, docs/API.md (the lease service's endpoint
-// reference) from the protocol declarations in internal/wire, and
+// reference) from the protocol declarations in internal/wire,
 // docs/DURABILITY.md (the write-ahead log format, recovery semantics
 // and runbook) from internal/wal — quantified from the committed
-// BENCH_PR5.json when present. The docs are generated artifacts — they
-// cannot drift from the code, and -check turns that promise into a CI
-// gate by regenerating all four files in memory and failing when the
-// committed bytes differ.
+// BENCH_PR5.json when present — and docs/CLUSTER.md (tenant placement,
+// log-shipping replication and the failover runbook) from
+// internal/cluster, quantified from the committed BENCH_PR8.json. The
+// docs are generated artifacts — they cannot drift from the code, and
+// -check turns that promise into a CI gate by regenerating all five
+// files in memory and failing when the committed bytes differ.
 //
 // Usage:
 //
@@ -23,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"leasing/internal/cluster"
 	"leasing/internal/experiments"
 	"leasing/internal/wal"
 	"leasing/internal/wire"
@@ -61,10 +64,11 @@ func run(args []string) error {
 
 	if *check {
 		// Cheap failures first: read all committed files and compare the
-		// run-free DESIGN.md, docs/API.md and docs/DURABILITY.md before
-		// spending the full experiment sweep on EXPERIMENTS.md.
+		// run-free DESIGN.md, docs/API.md, docs/DURABILITY.md and
+		// docs/CLUSTER.md before spending the full experiment sweep on
+		// EXPERIMENTS.md.
 		committed := map[string][]byte{}
-		for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", apiDocPath, durabilityDocPath} {
+		for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", apiDocPath, durabilityDocPath, clusterDocPath} {
 			got, err := os.ReadFile(filepath.Join(*dir, name))
 			if err != nil {
 				return fmt.Errorf("%s: %w (generate it with: %s)", name, err, regen)
@@ -84,6 +88,13 @@ func run(args []string) error {
 		if err := checkDoc(durabilityDocPath, committed[durabilityDocPath], durability, regen); err != nil {
 			return err
 		}
+		clusterDoc, err := clusterMarkdown(*dir)
+		if err != nil {
+			return err
+		}
+		if err := checkDoc(clusterDocPath, committed[clusterDocPath], clusterDoc, regen); err != nil {
+			return err
+		}
 		record, err := experiments.ExperimentsMarkdown(cfg)
 		if err != nil {
 			return err
@@ -91,8 +102,8 @@ func run(args []string) error {
 		if err := checkDoc("EXPERIMENTS.md", committed["EXPERIMENTS.md"], record, regen); err != nil {
 			return err
 		}
-		fmt.Printf("leasereport: DESIGN.md, EXPERIMENTS.md, %s and %s match the code (%d experiments, %d endpoints)\n",
-			apiDocPath, durabilityDocPath, len(experiments.IDs()), len(wire.Endpoints()))
+		fmt.Printf("leasereport: DESIGN.md, EXPERIMENTS.md, %s, %s and %s match the code (%d experiments, %d endpoints)\n",
+			apiDocPath, durabilityDocPath, clusterDocPath, len(experiments.IDs()), len(wire.Endpoints()))
 		return nil
 	}
 
@@ -104,6 +115,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	clusterDoc, err := clusterMarkdown(*dir)
+	if err != nil {
+		return err
+	}
 	docs := []struct {
 		name string
 		want []byte
@@ -112,6 +127,7 @@ func run(args []string) error {
 		{"EXPERIMENTS.md", record},
 		{apiDocPath, apiMarkdown()},
 		{durabilityDocPath, durability},
+		{clusterDocPath, clusterDoc},
 	}
 	for _, d := range docs {
 		path := filepath.Join(*dir, d.name)
@@ -150,6 +166,22 @@ func durabilityMarkdown(dir string) ([]byte, error) {
 		return nil, err
 	}
 	return append([]byte(experiments.GeneratedHeader), wal.DurabilityMarkdown(bench)...), nil
+}
+
+// clusterDocPath is where the generated cluster reference lives,
+// relative to -dir.
+const clusterDocPath = "docs/CLUSTER.md"
+
+// clusterMarkdown renders docs/CLUSTER.md from internal/cluster,
+// quantifying node-count scaling from the committed BENCH_PR8.json in
+// dir when present (a missing benchmark renders the unquantified
+// fallback, so fresh checkouts and test dirs still generate).
+func clusterMarkdown(dir string) ([]byte, error) {
+	bench, err := cluster.LoadScalingBench(filepath.Join(dir, "BENCH_PR8.json"))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	return append([]byte(experiments.GeneratedHeader), cluster.ClusterMarkdown(bench)...), nil
 }
 
 // checkDoc compares a committed doc against its regenerated bytes; regen

@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"leasing/internal/analysis"
+	"leasing/internal/cluster"
 	"leasing/internal/experiments"
 	"leasing/internal/wal"
 	"leasing/internal/wire"
@@ -57,6 +58,8 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 		"OpenDurableLog", "RecoverEngine",
 		"-json", "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR5.json",
 		"BENCH_PR6.json", "-ramp", "-gate", "Prometheus",
+		"docs/CLUSTER.md", "BENCH_PR8.json", "DialCluster", "-peers",
+		"failover",
 	} {
 		if !strings.Contains(readme, want) {
 			t.Errorf("README.md missing %q", want)
@@ -68,7 +71,7 @@ func TestReadmeMentionsDeliverables(t *testing.T) {
 // generated: a hand-recreated DESIGN.md without the header would silently
 // stop being checked against the registry.
 func TestGeneratedDocsCarryHeader(t *testing.T) {
-	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "docs/API.md", "docs/DURABILITY.md"} {
+	for _, name := range []string{"DESIGN.md", "EXPERIMENTS.md", "docs/API.md", "docs/DURABILITY.md", "docs/CLUSTER.md"} {
 		if !strings.HasPrefix(readDoc(t, name), experiments.GeneratedHeader) {
 			t.Errorf("%s does not start with the cmd/leasereport generated-file header", name)
 		}
@@ -200,6 +203,8 @@ func TestArchitectureDocLinked(t *testing.T) {
 		"cmd/leased", "byte-identical", "backpressure", "429",
 		"OPERATIONS.md", "API.md",
 		"internal/wal", "DURABILITY.md", "write-ahead",
+		"internal/cluster", "CLUSTER.md", "consistent-hash", "failover",
+		"log shipping",
 	} {
 		if !strings.Contains(arch, want) {
 			t.Errorf("docs/ARCHITECTURE.md does not mention %q", want)
@@ -231,6 +236,9 @@ func TestOperationsDocLinked(t *testing.T) {
 		"-domains", "-cpuprofile",
 		"leased_engine_events_total", "leased_wal_appends_total",
 		"leased_http_requests_total",
+		"-peers", "-self", "-peer-token", "BENCH_PR8.json", "CLUSTER.md",
+		"leased_shipper_failed_peers", "-cluster", "-nodes",
+		"-cluster-bench",
 	} {
 		if !strings.Contains(ops, want) {
 			t.Errorf("docs/OPERATIONS.md does not mention %q", want)
@@ -268,6 +276,43 @@ func TestDurabilityDocMatchesWal(t *testing.T) {
 	want := experiments.GeneratedHeader + string(wal.DurabilityMarkdown(bench))
 	if got := readDoc(t, "docs/DURABILITY.md"); got != want {
 		t.Error("docs/DURABILITY.md drifted from internal/wal; regenerate with: go run ./cmd/leasereport -quick")
+	}
+}
+
+// TestClusterDocMatches is the same gate for the cluster reference:
+// the committed docs/CLUSTER.md must be byte-identical to the document
+// regenerated from internal/cluster and the committed BENCH_PR8.json.
+func TestClusterDocMatches(t *testing.T) {
+	bench, err := cluster.LoadScalingBench("BENCH_PR8.json")
+	if err != nil {
+		t.Fatalf("BENCH_PR8.json must be committed alongside docs/CLUSTER.md: %v", err)
+	}
+	want := experiments.GeneratedHeader + string(cluster.ClusterMarkdown(bench))
+	if got := readDoc(t, "docs/CLUSTER.md"); got != want {
+		t.Error("docs/CLUSTER.md drifted from internal/cluster; regenerate with: go run ./cmd/leasereport -quick")
+	}
+}
+
+// TestClusterDocLinked keeps the cluster reference discoverable (linked
+// from the README, the architecture document and the operator guide)
+// and covering the load-bearing pieces: placement, redirects, the
+// log-shipping delivery contract, and the failover runbook.
+func TestClusterDocLinked(t *testing.T) {
+	doc := readDoc(t, "docs/CLUSTER.md")
+	for _, want := range []string{
+		"307", "replica", "follower", "byte-identical", "prefix",
+		"sticky-fail", "MarkDown", "SubmitResume", "BENCH_PR8.json",
+		"OPERATIONS.md", "ARCHITECTURE.md", "DURABILITY.md",
+		"-crash -cluster", "Scaling",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs/CLUSTER.md does not mention %q", want)
+		}
+	}
+	for _, name := range []string{"README.md", "docs/ARCHITECTURE.md", "docs/OPERATIONS.md"} {
+		if !strings.Contains(readDoc(t, name), "CLUSTER.md") {
+			t.Errorf("%s does not link the cluster reference", name)
+		}
 	}
 }
 

@@ -67,6 +67,14 @@ func OpenDurableLog(dir string, opts DurableLogOptions) (*DurableLog, error) {
 // is the caller's to close either way.
 func RecoverEngine(log *DurableLog, cfg EngineConfig) (*Engine, int, error) {
 	cfg.WAL = log
+	return recoverSessions(log, cfg)
+}
+
+// recoverSessions rebuilds log's recovered sessions into a fresh
+// engine built from cfg as-is — cfg.WAL is the caller's choice, which
+// is how RecoverEngineWAL routes a clustered node's appends through
+// its replicated log while recovering from the plain one beneath it.
+func recoverSessions(log *DurableLog, cfg EngineConfig) (*Engine, int, error) {
 	eng := NewEngine(cfg)
 	sessions := log.Recover()
 	restored := make([]RestoredSession, len(sessions))

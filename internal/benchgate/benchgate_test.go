@@ -41,6 +41,14 @@ func TestFromReportSchemas(t *testing.T) {
 			raw:      `{"tool":"leaseload","mode":"ramp","events_per_sec":5000,"ramp":{"max_events_per_sec_under_sla":4800}}`,
 			wantName: "ramp.max_events_per_sec_under_sla", wantValue: 4800, wantHigher: true,
 		},
+		{
+			// BENCH_PR8.json: the top-level figure is the largest fleet's
+			// throughput, so the gate bites on a regression at scale even
+			// when the single-node fleet is unchanged.
+			name:     "cluster-bench",
+			raw:      `{"tool":"leaseload","mode":"cluster-bench","events_per_sec":10500,"scaling_efficiency":0.22,"fleets":[{"nodes":1,"events_per_sec":11800},{"nodes":4,"events_per_sec":10500}]}`,
+			wantName: "events_per_sec", wantValue: 10500, wantHigher: true,
+		},
 	}
 	for _, tc := range cases {
 		m, err := FromReport([]byte(tc.raw))

@@ -1,0 +1,187 @@
+// Package chaos is the fault-injection harness: an http.RoundTripper
+// wrapper that deterministically injects the failure classes a cluster
+// client must survive — refused connections, raw 5xx answers, responses
+// lost after the server already applied the request, and responses cut
+// off mid-body. The schedule is a pure function of the seed, so a test
+// that fails replays exactly.
+//
+// Faults are injected on the client side of the exchange and never
+// corrupt a request that was not sent: a Refuse drops the request
+// before the wire, a DropResponse delivers the request and discards the
+// answer (the ambiguous "did it land?" timeout), a Truncate closes the
+// response body early (a mid-body reset). The server's state therefore
+// always corresponds to some prefix of what a fault-free client would
+// have produced — which is exactly the contract resume-after-accepted
+// recovery is tested against.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Options sets per-request fault probabilities, each in [0,1]. The sum
+// is the overall fault rate; at most one fault fires per request.
+type Options struct {
+	// Seed pins the fault schedule.
+	Seed int64
+	// Refuse is the probability the request never reaches the server
+	// (returned as a transport error, like a refused connection).
+	Refuse float64
+	// Status503 is the probability the request is answered with a raw
+	// 503 — an unstructured proxy-style error, not a wire.Error body —
+	// without reaching the server.
+	Status503 float64
+	// DropResponse is the probability the request is delivered and
+	// applied but its response is discarded as a transport error: the
+	// ambiguous timeout case.
+	DropResponse float64
+	// Truncate is the probability the response body is cut off halfway:
+	// a mid-body connection reset.
+	Truncate float64
+}
+
+// Stats counts injected faults by class.
+type Stats struct {
+	Requests, Refused, Status503, Dropped, Truncated int64
+}
+
+// Transport injects faults in front of a base RoundTripper. Safe for
+// concurrent use; concurrent requests draw from one seeded stream in
+// arrival order, so single-producer tests are fully deterministic.
+type Transport struct {
+	base http.RoundTripper
+	opts Options
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New wraps base (nil means http.DefaultTransport).
+func New(base http.RoundTripper, opts Options) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// errInjected marks every chaos-made transport error.
+type errInjected struct{ class string }
+
+func (e *errInjected) Error() string { return "chaos: injected " + e.class }
+
+// IsInjected reports whether err came from a chaos Transport
+// (url.Error wrapping included).
+func IsInjected(err error) bool {
+	var ie *errInjected
+	return errors.As(err, &ie)
+}
+
+// draw picks this request's fault under the lock.
+func (t *Transport) draw() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	x := t.rng.Float64()
+	for _, f := range []struct {
+		p     float64
+		class string
+	}{
+		{t.opts.Refuse, "refuse"},
+		{t.opts.Status503, "status503"},
+		{t.opts.DropResponse, "drop-response"},
+		{t.opts.Truncate, "truncate"},
+	} {
+		if x < f.p {
+			return f.class
+		}
+		x -= f.p
+	}
+	return ""
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.draw() {
+	case "refuse":
+		t.count(func(s *Stats) { s.Refused++ })
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &errInjected{class: "connection refused"}
+	case "status503":
+		t.count(func(s *Stats) { s.Status503++ })
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return &http.Response{
+			StatusCode: http.StatusServiceUnavailable,
+			Status:     "503 Service Unavailable",
+			Proto:      req.Proto, ProtoMajor: req.ProtoMajor, ProtoMinor: req.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("injected outage\n")),
+			Request: req,
+		}, nil
+	case "drop-response":
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.count(func(s *Stats) { s.Dropped++ })
+		return nil, &errInjected{class: "response dropped after delivery"}
+	case "truncate":
+		resp, err := t.base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		t.count(func(s *Stats) { s.Truncated++ })
+		resp.Body = io.NopCloser(&resetReader{data: body[:len(body)/2]})
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+func (t *Transport) count(f func(*Stats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
+
+// Stats samples the fault counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// resetReader yields its data and then fails like a reset connection
+// instead of reporting a clean EOF.
+type resetReader struct {
+	data []byte
+	off  int
+}
+
+func (r *resetReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, fmt.Errorf("chaos: %w", &errInjected{class: "mid-body reset"})
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}

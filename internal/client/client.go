@@ -33,8 +33,14 @@ type Options struct {
 	// Chunk caps events per submit request. Default 512.
 	Chunk int
 	// RetryWait is the initial backpressure backoff, doubled per
-	// consecutive 429 up to 64x. Default 2ms.
+	// consecutive 429 up to 64x, with seeded jitter (see JitterSeed).
+	// Default 2ms.
 	RetryWait time.Duration
+	// JitterSeed seeds the deterministic backoff jitter. The effective
+	// seed mixes in the tenant name, so concurrent producers spread out
+	// while any given (seed, tenant) pair replays the exact same retry
+	// schedule. Zero is a valid seed.
+	JitterSeed int64
 	// MaxRetries caps consecutive no-progress 429 retries before Submit
 	// gives up. Default 20.
 	MaxRetries int
@@ -197,7 +203,7 @@ func (c *Client) buf() *[]byte {
 
 func (c *Client) submitChunk(ctx context.Context, tenant string, chunk []wire.Event) (int, error) {
 	done := 0
-	wait := c.opts.RetryWait
+	bo := newBackoff(c.opts.RetryWait, tenantSeed(c.opts.JitterSeed, tenant))
 	retries := 0
 	for done < len(chunk) {
 		remaining := chunk[done:]
@@ -217,17 +223,15 @@ func (c *Client) submitChunk(ctx context.Context, tenant string, chunk []wire.Ev
 		}
 		done += apiErr.Accepted
 		if apiErr.Accepted > 0 {
-			retries = 0 // progress resets the budget
+			retries = 0 // progress resets the budget and the backoff
+			bo.reset()
 		} else if retries++; retries > c.opts.MaxRetries {
 			return done, fmt.Errorf("client: submit: %w after %d retries", apiErr, retries-1)
 		}
 		select {
-		case <-time.After(wait):
+		case <-time.After(bo.wait()):
 		case <-ctx.Done():
 			return done, ctx.Err()
-		}
-		if wait < 64*c.opts.RetryWait {
-			wait *= 2
 		}
 	}
 	return done, nil

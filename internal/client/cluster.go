@@ -1,0 +1,264 @@
+package client
+
+// Cluster is the cluster-aware face of the client: it builds the same
+// consistent-hash ring the daemons build from the shared peer list,
+// routes each tenant's requests to its owner, and rides out two kinds
+// of disagreement:
+//
+//   - A stale member list on this client: the daemon answers 307 and
+//     the underlying http.Client re-sends the request — method, body
+//     and bearer token — to the owner.
+//   - A dead owner: the operator (or the crash drill) calls MarkDown,
+//     which removes the node from this client's live ring — tenant
+//     traffic shifts exactly to each tenant's replica, where its
+//     shipped WAL history lives — then Activate, which tells the
+//     survivors to adopt their followed sessions.
+//
+// SubmitResume is the ingestion loop built on top: it submits through
+// failures, re-synchronizing after each one by asking the (possibly
+// new) owner how many events it has processed and resuming exactly
+// there — never skipping and never double-submitting, so the final
+// state is byte-identical to an uninterrupted run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leasing/internal/cluster"
+	"leasing/internal/wire"
+)
+
+// Cluster routes tenant requests across a peer ring. Methods are safe
+// for concurrent use under the same per-tenant submission discipline as
+// Client.
+type Cluster struct {
+	opts  Options
+	peers []string // the full list every node was started with
+
+	mu      sync.RWMutex
+	ring    *cluster.Ring // live ring: full peer list minus marked-down nodes
+	clients map[string]*Client
+}
+
+// NewCluster builds a cluster client over the peer list every node was
+// started with.
+func NewCluster(peers []string, opts Options) (*Cluster, error) {
+	ring, err := cluster.New(peers, 0)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RetryWait <= 0 {
+		opts.RetryWait = 2 * time.Millisecond
+	}
+	if opts.MaxRetries < 1 {
+		opts.MaxRetries = 20
+	}
+	cl := &Cluster{opts: opts, peers: ring.Members(), ring: ring, clients: map[string]*Client{}}
+	for _, p := range ring.Members() {
+		cl.clients[p] = New(p, opts)
+	}
+	return cl, nil
+}
+
+// Nodes lists the live members.
+func (cl *Cluster) Nodes() []string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring.Members()
+}
+
+// Owner reports which live node the cluster places a tenant on.
+func (cl *Cluster) Owner(tenant string) string {
+	cl.mu.RLock()
+	defer cl.mu.RUnlock()
+	return cl.ring.Owner(tenant)
+}
+
+// MarkDown removes a node from the live ring: its tenants' traffic
+// shifts to each tenant's replica. Erroring on the last node keeps a
+// broken drill from looping on an empty ring.
+func (cl *Cluster) MarkDown(node string) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	ring, err := cl.ring.Without(node)
+	if err != nil {
+		return err
+	}
+	cl.ring = ring
+	return nil
+}
+
+// Activate asks every live node to adopt the follower sessions of the
+// marked-down peers — the failover step after MarkDown. The down list
+// scopes adoption: survivors never take over tenants a healthy primary
+// still serves. Activation is idempotent on each node; the sum of
+// adopted sessions is returned.
+func (cl *Cluster) Activate(ctx context.Context) (int, error) {
+	live := cl.Nodes()
+	isLive := make(map[string]bool, len(live))
+	for _, node := range live {
+		isLive[node] = true
+	}
+	req := wire.ActivateRequest{}
+	for _, node := range cl.peers {
+		if !isLive[node] {
+			req.Down = append(req.Down, node)
+		}
+	}
+	total := 0
+	for _, node := range live {
+		var resp wire.ActivateResponse
+		c := cl.clientFor(node)
+		if err := c.doJSON(ctx, "POST", "/v1/replica/activate", req, &resp); err != nil {
+			return total, fmt.Errorf("activate %s: %w", node, err)
+		}
+		total += resp.Activated
+	}
+	return total, nil
+}
+
+// clientFor returns the cached per-node client.
+func (cl *Cluster) clientFor(node string) *Client {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	c, ok := cl.clients[node]
+	if !ok {
+		c = New(node, cl.opts)
+		cl.clients[node] = c
+	}
+	return c
+}
+
+// route picks the client for a tenant's current owner.
+func (cl *Cluster) route(tenant string) *Client {
+	return cl.clientFor(cl.Owner(tenant))
+}
+
+// Open opens a tenant session on its owner.
+func (cl *Cluster) Open(ctx context.Context, tenant string, req wire.OpenRequest) error {
+	return cl.route(tenant).Open(ctx, tenant, req)
+}
+
+// Submit enqueues events on the tenant's owner, with the single-node
+// client's chunking and backpressure-resume behavior.
+func (cl *Cluster) Submit(ctx context.Context, tenant string, evs []wire.Event) (int, error) {
+	return cl.route(tenant).Submit(ctx, tenant, evs)
+}
+
+// Flush blocks until the tenant's owner has processed and published
+// everything submitted before the call.
+func (cl *Cluster) Flush(ctx context.Context, tenant string) error {
+	return cl.route(tenant).Flush(ctx, tenant)
+}
+
+// Close seals the tenant's session on its owner.
+func (cl *Cluster) Close(ctx context.Context, tenant string) (wire.CloseResponse, error) {
+	return cl.route(tenant).Close(ctx, tenant)
+}
+
+// Cost reads the tenant's cost breakdown from its owner.
+func (cl *Cluster) Cost(ctx context.Context, tenant string) (wire.CostBreakdown, error) {
+	return cl.route(tenant).Cost(ctx, tenant)
+}
+
+// Processed reads the tenant's processed-event count from its owner.
+func (cl *Cluster) Processed(ctx context.Context, tenant string) (int64, error) {
+	return cl.route(tenant).Processed(ctx, tenant)
+}
+
+// Snapshot reads the tenant's solution snapshot from its owner.
+func (cl *Cluster) Snapshot(ctx context.Context, tenant string) (wire.Solution, error) {
+	return cl.route(tenant).Snapshot(ctx, tenant)
+}
+
+// Result reads the tenant's recorded run from its owner.
+func (cl *Cluster) Result(ctx context.Context, tenant string) (*wire.Run, error) {
+	return cl.route(tenant).Result(ctx, tenant)
+}
+
+// retryable reports whether a SubmitResume failure is worth a resync:
+// transport errors, unexpected statuses and a shutting-down daemon are;
+// a structured rejection of the request itself is not.
+func retryable(err error) bool {
+	var apiErr *wire.Error
+	if !errors.As(err, &apiErr) {
+		return true // transport-level: connection refused/reset, raw 5xx, ...
+	}
+	switch apiErr.Code {
+	case wire.CodeShuttingDown, wire.CodeBackpressure, wire.CodeStorageFailed:
+		// storage_failed is terminal on the node that reported it, but a
+		// failover can move the tenant to a healthy one mid-loop.
+		return true
+	}
+	return false
+}
+
+// SubmitResume submits the tenant's full event history from offset
+// `from`, resuming across failures and failovers. After any retryable
+// error it re-synchronizes — Flush on the current owner, then read its
+// processed count — and continues from exactly that offset; events the
+// old owner accepted and shipped are never re-sent, events it lost are.
+// The retry budget counts consecutive attempts without forward
+// progress.
+func (cl *Cluster) SubmitResume(ctx context.Context, tenant string, evs []wire.Event, from int) (int, error) {
+	bo := newBackoff(cl.opts.RetryWait, tenantSeed(cl.opts.JitterSeed, tenant))
+	retries := 0
+	offset := from
+	for offset < len(evs) {
+		n, err := cl.route(tenant).Submit(ctx, tenant, evs[offset:])
+		offset += n
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return offset, ctx.Err()
+		}
+		if !retryable(err) {
+			return offset, err
+		}
+		if n > 0 {
+			retries = 0
+			bo.reset()
+		}
+		// Resync before the next submit — and never submit on a stale
+		// offset: a failed request may still have been applied (a dropped
+		// response), so re-sending without a fresh processed count would
+		// duplicate events. The sync itself retries on the same terms
+		// (the owner may be mid-failover).
+		for {
+			if retries++; retries > cl.opts.MaxRetries {
+				return offset, fmt.Errorf("client: submit %q: %w after %d resumes", tenant, err, retries-1)
+			}
+			select {
+			case <-time.After(bo.wait()):
+			case <-ctx.Done():
+				return offset, ctx.Err()
+			}
+			synced, rerr := cl.resync(ctx, tenant)
+			if rerr == nil {
+				// Below the local offset: a failover lost the old owner's
+				// unshipped suffix — re-send it. Above: a submit landed
+				// whose response was lost — skip what the owner holds.
+				offset = int(synced)
+				break
+			}
+			if !retryable(rerr) {
+				return offset, rerr
+			}
+			err = rerr
+		}
+	}
+	return offset, nil
+}
+
+// resync flushes the tenant's owner and reads its processed count.
+func (cl *Cluster) resync(ctx context.Context, tenant string) (int64, error) {
+	c := cl.route(tenant)
+	if err := c.Flush(ctx, tenant); err != nil {
+		return 0, err
+	}
+	return c.Processed(ctx, tenant)
+}

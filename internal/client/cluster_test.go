@@ -1,0 +1,328 @@
+package client_test
+
+// Cluster client integration tests against real in-process nodes: each
+// node is an engine + server with cluster mode on, wired with follower
+// logs and a replicated WAL exactly as cmd/leased wires them. The tests
+// prove the PR's two headline invariants:
+//
+//   - Failover: killing a node and activating its tenants' replicas
+//     yields state byte-identical to an uninterrupted single-node run
+//     of the same history.
+//   - Fault tolerance: under injected connection failures, raw 5xx,
+//     dropped responses and mid-body resets — and even with a stale
+//     client routing everything through one node, so every request
+//     rides a 307 — resumed ingestion converges to that same
+//     byte-identical state.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"leasing/internal/chaos"
+	"leasing/internal/client"
+	"leasing/internal/cluster"
+	"leasing/internal/engine"
+	"leasing/internal/server"
+	"leasing/internal/wal"
+	"leasing/internal/wire"
+)
+
+// node is one in-process cluster member.
+type node struct {
+	url     string
+	ts      *httptest.Server
+	eng     *engine.Engine
+	sh      *cluster.Shipper
+	own     *wal.Log
+	follow  *wal.Log
+	stopped bool
+}
+
+// kill simulates a crash: stop serving and drop the engine. The node's
+// logs stay on disk, as they would after a SIGKILL.
+func (n *node) kill() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	n.ts.CloseClientConnections()
+	n.ts.Close()
+	n.eng.Close()
+}
+
+// startNodes brings up an n-node cluster with log-shipping replication.
+// Listeners are created first so every node (and its shipper) knows the
+// full peer URL list before serving.
+func startNodes(t *testing.T, n int) []*node {
+	t.Helper()
+	nodes := make([]*node, n)
+	urls := make([]string, n)
+	for i := range nodes {
+		ts := httptest.NewUnstartedServer(http.NotFoundHandler())
+		nodes[i] = &node{ts: ts, url: "http://" + ts.Listener.Addr().String()}
+		urls[i] = nodes[i].url
+	}
+	for i, nd := range nodes {
+		var err error
+		nd.follow, err = wal.Open(t.TempDir(), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.own, err = wal.Open(t.TempDir(), wal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd.sh, err = cluster.NewShipper(nd.url, urls, cluster.ShipperOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rl := cluster.NewReplicatedLog(nd.own, nd.sh)
+		nd.eng = engine.New(engine.Config{Shards: 2, RecordRuns: true, WAL: rl})
+		srv := server.New(nd.eng, server.Config{Cluster: &server.ClusterConfig{
+			Self: nd.url, Peers: urls, Follower: nd.follow, WAL: rl,
+		}})
+		nd.ts.Config.Handler = srv
+		nd.ts.Start()
+		i := i
+		t.Cleanup(func() {
+			nodes[i].kill()
+			nd.sh.Close()
+			nd.own.Close()
+			nd.follow.Close()
+		})
+	}
+	return nodes
+}
+
+// parkingSpec is the session spec every test tenant opens with.
+func parkingSpec() wire.OpenRequest {
+	return wire.OpenRequest{
+		Domain: wire.DomainParking,
+		Types:  []wire.LeaseType{{Length: 1, Cost: 1}, {Length: 4, Cost: 2.5}, {Length: 16, Cost: 6}},
+	}
+}
+
+// history builds tenant i's deterministic event stream: day events at a
+// per-tenant cadence, so tenants diverge without randomness.
+func history(i, n int) []wire.Event {
+	out := make([]wire.Event, n)
+	day := int64(0)
+	for j := range out {
+		day += int64(1 + (i+j)%3)
+		out[j] = wire.Event{Time: day, Kind: wire.KindDay}
+	}
+	return out
+}
+
+// referenceRun replays a tenant's full history on a fresh single-node
+// service and returns the marshaled run — the byte-identity baseline.
+func referenceRun(t *testing.T, tenant string, evs []wire.Event) []byte {
+	t.Helper()
+	eng := engine.New(engine.Config{Shards: 2, RecordRuns: true})
+	defer eng.Close()
+	ts := httptest.NewServer(server.New(eng, server.Config{}))
+	defer ts.Close()
+	c := client.New(ts.URL, client.Options{})
+	ctx := context.Background()
+	if err := c.Open(ctx, tenant, parkingSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, tenant, evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(ctx, tenant); err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Result(ctx, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustMarshal(t, run)
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestClusterFailoverByteIdentity is the in-process kill-one-node
+// drill: load tenants across three nodes, flush replication, kill one
+// node, fail its tenants over, resume the second half of every history,
+// and require each tenant's final recorded run to be byte-identical to
+// an uninterrupted single-node replay.
+func TestClusterFailoverByteIdentity(t *testing.T) {
+	nodes := startNodes(t, 3)
+	peers := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	cl, err := client.NewCluster(peers, client.Options{RetryWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	const tenants = 9
+	const perTenant = 40
+	names := make([]string, tenants)
+	full := make([][]wire.Event, tenants)
+	for i := range names {
+		names[i] = "tenant-" + string(rune('a'+i))
+		full[i] = history(i, perTenant)
+		if err := cl.Open(ctx, names[i], parkingSpec()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.SubmitResume(ctx, names[i], full[i][:perTenant/2], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tn := range names {
+		if err := cl.Flush(ctx, tn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Replication barrier, then the crash.
+	for _, nd := range nodes {
+		nd.sh.Flush()
+	}
+	victim := nodes[0]
+	doomed := 0
+	for _, tn := range names {
+		if cl.Owner(tn) == victim.url {
+			doomed++
+		}
+	}
+	if doomed == 0 {
+		t.Fatal("no tenant placed on the victim; widen the tenant set")
+	}
+	victim.kill()
+
+	if err := cl.MarkDown(victim.url); err != nil {
+		t.Fatal(err)
+	}
+	activated, err := cl.Activate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if activated != doomed {
+		t.Fatalf("activated %d sessions, want the victim's %d", activated, doomed)
+	}
+
+	// Resume every tenant's second half and verify byte identity.
+	for i, tn := range names {
+		if _, err := cl.SubmitResume(ctx, tn, full[i], perTenant/2); err != nil {
+			t.Fatalf("%s: resume after failover: %v", tn, err)
+		}
+		if err := cl.Flush(ctx, tn); err != nil {
+			t.Fatal(err)
+		}
+		processed, err := cl.Processed(ctx, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if processed != perTenant {
+			t.Fatalf("%s: processed %d, want %d", tn, processed, perTenant)
+		}
+		run, err := cl.Result(ctx, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mustMarshal(t, run), referenceRun(t, tn, full[i]); string(got) != string(want) {
+			t.Fatalf("%s: post-failover run diverged from reference\n got %s\nwant %s", tn, got, want)
+		}
+	}
+}
+
+// TestClusterChaosByteIdentity drives ingestion through a fault
+// injector — refused connections, raw 503s, responses dropped after
+// delivery, mid-body resets — with a deliberately stale client whose
+// ring holds a single node, so nearly every request also crosses a 307
+// redirect. The resumed histories must still land byte-identical to
+// fault-free single-node replays.
+func TestClusterChaosByteIdentity(t *testing.T) {
+	nodes := startNodes(t, 2)
+	peers := []string{nodes[0].url, nodes[1].url}
+	ctx := context.Background()
+
+	faults := chaos.New(nil, chaos.Options{
+		Seed:         41,
+		Refuse:       0.06,
+		Status503:    0.06,
+		DropResponse: 0.06,
+		Truncate:     0.06,
+	})
+	// The stale client knows only node 0: every request for a tenant
+	// owned by node 1 is answered 307 and re-sent by the http.Client.
+	stale, err := client.NewCluster(peers[:1], client.Options{
+		HTTPClient: &http.Client{Transport: faults},
+		Chunk:      5,
+		RetryWait:  time.Millisecond,
+		MaxRetries: 200,
+		JitterSeed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := client.NewCluster(peers, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const tenants = 6
+	const perTenant = 60
+	redirected := 0
+	for i := 0; i < tenants; i++ {
+		tn := "chaos-" + string(rune('a'+i))
+		evs := history(i, perTenant)
+		// Open cleanly: the drill under test is ingestion resume.
+		if err := clean.Open(ctx, tn, parkingSpec()); err != nil {
+			t.Fatal(err)
+		}
+		if clean.Owner(tn) == nodes[1].url {
+			redirected++
+		}
+		if _, err := stale.SubmitResume(ctx, tn, evs, 0); err != nil {
+			t.Fatalf("%s: submit under chaos: %v", tn, err)
+		}
+		if err := clean.Flush(ctx, tn); err != nil {
+			t.Fatal(err)
+		}
+		processed, err := clean.Processed(ctx, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if processed != perTenant {
+			t.Fatalf("%s: processed %d, want %d (lost or duplicated events)", tn, processed, perTenant)
+		}
+		run, err := clean.Result(ctx, tn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mustMarshal(t, run), referenceRun(t, tn, evs); string(got) != string(want) {
+			t.Fatalf("%s: chaotic run diverged from reference\n got %s\nwant %s", tn, got, want)
+		}
+	}
+	if redirected == 0 {
+		t.Fatal("every tenant landed on the stale client's one node; no redirect was exercised")
+	}
+	st := faults.Stats()
+	if st.Refused == 0 || st.Status503 == 0 || st.Dropped == 0 || st.Truncated == 0 {
+		t.Fatalf("fault injector idle: %+v (raise the event count)", st)
+	}
+}
+
+// TestClusterMarkDownLastNode: the live ring refuses to go empty.
+func TestClusterMarkDownLastNode(t *testing.T) {
+	cl, err := client.NewCluster([]string{"http://solo.invalid"}, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MarkDown("http://solo.invalid"); err == nil {
+		t.Fatal("MarkDown removed the last node")
+	}
+}

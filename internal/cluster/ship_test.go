@@ -1,0 +1,326 @@
+package cluster
+
+// Shipper and ReplicatedLog tests against an in-process follower: the
+// ingest handler here mirrors the daemon's replicate endpoint (parse
+// the binary framing, AppendRecord each record) so the tests can also
+// exercise partial-apply resumption and ambiguous transport failures.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"leasing/internal/stream"
+	"leasing/internal/wal"
+	"leasing/internal/wire"
+)
+
+// follower is an httptest node accepting shipped records into a real
+// follower log, with fault hooks for the failure-mode tests.
+type follower struct {
+	t   *testing.T
+	dir string
+	log *wal.Log
+	srv *httptest.Server
+
+	mu sync.Mutex
+	// failAfter, when >= 0, makes the next request apply that many
+	// records and then answer a structured storage_failed error.
+	failAfter int
+	// abort, when set, makes the next request drop the connection after
+	// applying one record — an ambiguous failure.
+	abort bool
+}
+
+func newFollower(t *testing.T) *follower {
+	t.Helper()
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &follower{t: t, dir: dir, log: log, failAfter: -1}
+	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
+	t.Cleanup(func() {
+		f.srv.Close()
+		f.log.Close()
+	})
+	return f
+}
+
+func (f *follower) handle(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	failAfter, abort := f.failAfter, f.abort
+	f.failAfter, f.abort = -1, false
+	f.mu.Unlock()
+
+	br := bufio.NewReader(r.Body)
+	var magic [len(wire.BinaryMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != wire.BinaryMagic {
+		http.Error(w, "bad magic", http.StatusBadRequest)
+		return
+	}
+	applied := 0
+	for {
+		if failAfter >= 0 && applied == failAfter {
+			w.WriteHeader(http.StatusInsufficientStorage)
+			json.NewEncoder(w).Encode(wire.Error{
+				Code: wire.CodeStorageFailed, Message: "injected", Accepted: applied,
+			})
+			return
+		}
+		if abort && applied == 1 {
+			panic(http.ErrAbortHandler) // connection dies mid-request
+		}
+		n, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil || len(frame) < 2 {
+			http.Error(w, "short frame", http.StatusBadRequest)
+			return
+		}
+		if err := f.log.AppendRecord(frame[0], frame[1:]); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		applied++
+	}
+	json.NewEncoder(w).Encode(wire.ReplicateResponse{Applied: applied})
+}
+
+// sessions rescans the follower log.
+func (f *follower) sessions() []wal.Session {
+	f.t.Helper()
+	got, err := f.log.Rescan()
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return got
+}
+
+// newPair wires a primary ReplicatedLog to a follower over a two-node
+// ring, returning both plus the primary's data directory.
+func newPair(t *testing.T, opts ShipperOptions) (*ReplicatedLog, *follower, string) {
+	t.Helper()
+	f := newFollower(t)
+	self := "http://primary.invalid"
+	sh, err := NewShipper(self, []string{self, f.srv.URL}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	log, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sh.Close()
+		log.Close()
+	})
+	return NewReplicatedLog(log, sh), f, dir
+}
+
+func shipEvents(times ...int64) []stream.Event {
+	out := make([]stream.Event, len(times))
+	for i, ts := range times {
+		out[i] = stream.Event{Time: ts, Payload: stream.Day{}}
+	}
+	return out
+}
+
+// TestReplicatedLogFollowerByteIdentity: a history written through a
+// ReplicatedLog leaves the follower's segment files byte-identical to
+// the primary's — replication really is the local append stream.
+func TestReplicatedLogFollowerByteIdentity(t *testing.T) {
+	rl, f, dir := newPair(t, ShipperOptions{})
+	tenants := []string{"acme", "globex", "initech"}
+	for _, tn := range tenants {
+		if err := rl.LogOpen(tn, []byte(fmt.Sprintf(`{"tenant":%q}`, tn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := int64(0); round < 5; round++ {
+		for _, tn := range tenants {
+			if err := rl.LogEvents(tn, shipEvents(round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rl.LogClose("globex"); err != nil {
+		t.Fatal(err)
+	}
+	rl.sh.Flush()
+
+	if st := rl.sh.Stats(); st.Shipped != 19 || st.Dropped != 0 || len(st.FailedPeers) != 0 {
+		t.Fatalf("stats = %+v, want 19 shipped, none dropped", st)
+	}
+	pb, err := os.ReadFile(filepath.Join(dir, segName(t, dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(f.dir, segName(t, f.dir)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pb) != string(fb) {
+		t.Fatalf("segment bytes diverged: primary %d bytes, follower %d bytes", len(pb), len(fb))
+	}
+}
+
+// segName returns the single segment file in dir.
+func segName(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	for _, e := range ents {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".wal" {
+			continue
+		}
+		if name != "" {
+			t.Fatalf("multiple segments in %s", dir)
+		}
+		name = e.Name()
+	}
+	if name == "" {
+		t.Fatalf("no segment in %s", dir)
+	}
+	return name
+}
+
+// TestShipperResumesAfterAppliedCount: a batch answered with a
+// structured error resumes exactly after the follower's applied count —
+// no record is lost or double-applied.
+func TestShipperResumesAfterAppliedCount(t *testing.T) {
+	rl, f, _ := newPair(t, ShipperOptions{BatchRecords: 64, RetryWait: time.Millisecond})
+	if err := rl.LogOpen("acme", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	rl.sh.Flush() // open lands alone so the fault hits a known batch
+
+	f.mu.Lock()
+	f.failAfter = 3 // next request dies after three records
+	f.mu.Unlock()
+	for day := int64(0); day < 10; day++ {
+		if err := rl.LogEvents("acme", shipEvents(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rl.sh.Flush()
+
+	got := f.sessions()
+	if len(got) != 1 || len(got[0].Events) != 10 {
+		t.Fatalf("follower sessions after partial-apply retry: %+v", got)
+	}
+	for i, ev := range got[0].Events {
+		if ev.Time != int64(i) {
+			t.Fatalf("event %d has time %d: records lost or duplicated", i, ev.Time)
+		}
+	}
+	if st := rl.sh.Stats(); st.Shipped != 11 || len(st.FailedPeers) != 0 {
+		t.Fatalf("stats = %+v, want 11 shipped and a healthy peer", st)
+	}
+}
+
+// TestShipperAmbiguousFailureFailsPeer: a dropped connection mid-batch
+// may have applied a prefix the primary cannot see, so the peer is
+// failed outright and later records are dropped — the follower stays a
+// clean prefix instead of gaining duplicates.
+func TestShipperAmbiguousFailureFailsPeer(t *testing.T) {
+	rl, f, _ := newPair(t, ShipperOptions{BatchRecords: 64, RetryWait: time.Millisecond})
+	if err := rl.LogOpen("acme", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	rl.sh.Flush()
+
+	f.mu.Lock()
+	f.abort = true
+	f.mu.Unlock()
+	for day := int64(0); day < 6; day++ {
+		if err := rl.LogEvents("acme", shipEvents(day)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rl.sh.Flush()
+	if err := rl.LogEvents("acme", shipEvents(6)); err != nil { // post-failure: dropped
+		t.Fatal(err)
+	}
+	rl.sh.Flush()
+
+	st := rl.sh.Stats()
+	if len(st.FailedPeers) != 1 || st.FailedPeers[0] != f.srv.URL {
+		t.Fatalf("stats = %+v, want the peer failed", st)
+	}
+	if st.Dropped == 0 {
+		t.Fatalf("stats = %+v, want dropped records counted", st)
+	}
+	// The follower holds a strict prefix: the open plus at most the
+	// records applied before the abort, in order and without gaps.
+	got := f.sessions()
+	if len(got) != 1 {
+		t.Fatalf("follower sessions: %+v", got)
+	}
+	for i, ev := range got[0].Events {
+		if ev.Time != int64(i) {
+			t.Fatalf("follower history is not a prefix: event %d has time %d", i, ev.Time)
+		}
+	}
+}
+
+// TestShipperSingleNodeNoop: a one-member ring has nowhere to ship;
+// everything is a local append.
+func TestShipperSingleNodeNoop(t *testing.T) {
+	self := "http://solo.invalid"
+	sh, err := NewShipper(self, []string{self}, ShipperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	log, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	rl := NewReplicatedLog(log, sh)
+	if err := rl.LogOpen("acme", []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.LogEvents("acme", shipEvents(0)); err != nil {
+		t.Fatal(err)
+	}
+	sh.Flush()
+	if st := sh.Stats(); st.Shipped != 0 || st.Dropped != 0 {
+		t.Fatalf("single-node stats = %+v", st)
+	}
+	got, err := log.Rescan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Events) != 1 {
+		t.Fatalf("local log: %+v", got)
+	}
+}
+
+// TestShipperRejectsStrangerSelf mirrors the server's config check.
+func TestShipperRejectsStrangerSelf(t *testing.T) {
+	if _, err := NewShipper("http://x.invalid", []string{"http://a.invalid", "http://b.invalid"}, ShipperOptions{}); err == nil {
+		t.Fatal("NewShipper accepted a self outside the peer list")
+	}
+}

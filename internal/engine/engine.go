@@ -449,6 +449,14 @@ func (e *Engine) Close() error {
 	return nil
 }
 
+// Has reports whether the tenant has a session on this engine — open,
+// failed or sealed. It reads the shard's published registry, so a
+// session is visible once its open has been applied (OpenSpec returns
+// only then).
+func (e *Engine) Has(tenant string) bool {
+	return e.shardFor(tenant).lookup(tenant) != nil
+}
+
 // session looks a tenant up in its shard's published registry.
 func (e *Engine) session(tenant string) (*session, error) {
 	s := e.shardFor(tenant).lookup(tenant)

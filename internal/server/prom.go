@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"leasing/internal/cluster"
 	"leasing/internal/engine"
 	"leasing/internal/promtext"
 	"leasing/internal/wal"
@@ -69,9 +70,10 @@ func (s *Server) endpointSamples() []endpointSample {
 
 // prometheusFamilies assembles the full exposition: engine families
 // from the wire mapping, WAL families when a stats hook is configured,
-// and the HTTP per-endpoint counters. Pure in its inputs so the golden
-// test can pin the output byte for byte.
-func prometheusFamilies(m engine.Metrics, ws *wal.Stats, eps []endpointSample) []promtext.Family {
+// shipper families when the node replicates, and the HTTP per-endpoint
+// counters. Pure in its inputs so the golden test can pin the output
+// byte for byte.
+func prometheusFamilies(m engine.Metrics, ws *wal.Stats, ss *cluster.ShipperStats, eps []endpointSample) []promtext.Family {
 	fams := wire.FromEngineMetrics(m).PrometheusFamilies()
 	if ws != nil {
 		fams = append(fams,
@@ -104,6 +106,30 @@ func prometheusFamilies(m engine.Metrics, ws *wal.Stats, eps []endpointSample) [
 				Name: "leased_wal_segment_bytes", Type: promtext.TypeGauge,
 				Help:    "Active write-ahead-log segment size in bytes.",
 				Samples: []promtext.Sample{{Value: float64(ws.SegmentBytes)}},
+			},
+		)
+	}
+	if ss != nil {
+		fams = append(fams,
+			promtext.Family{
+				Name: "leased_shipper_shipped_total", Type: promtext.TypeCounter,
+				Help:    "WAL records acknowledged by replica peers.",
+				Samples: []promtext.Sample{{Value: float64(ss.Shipped)}},
+			},
+			promtext.Family{
+				Name: "leased_shipper_batches_total", Type: promtext.TypeCounter,
+				Help:    "Replicate requests that succeeded.",
+				Samples: []promtext.Sample{{Value: float64(ss.Batches)}},
+			},
+			promtext.Family{
+				Name: "leased_shipper_dropped_total", Type: promtext.TypeCounter,
+				Help:    "Records discarded because their peer had failed.",
+				Samples: []promtext.Sample{{Value: float64(ss.Dropped)}},
+			},
+			promtext.Family{
+				Name: "leased_shipper_failed_peers", Type: promtext.TypeGauge,
+				Help:    "Peers replication has given up on; non-zero pages.",
+				Samples: []promtext.Sample{{Value: float64(len(ss.FailedPeers))}},
 			},
 		)
 	}
@@ -158,7 +184,12 @@ func (s *Server) serveMetricsText(w http.ResponseWriter) {
 		st := s.cfg.WALStats()
 		ws = &st
 	}
-	text, err := promtext.Encode(prometheusFamilies(s.eng.Metrics(), ws, s.endpointSamples()))
+	var ss *cluster.ShipperStats
+	if s.cluster != nil && s.cluster.cfg.ShipperStats != nil {
+		st := s.cluster.cfg.ShipperStats()
+		ss = &st
+	}
+	text, err := promtext.Encode(prometheusFamilies(s.eng.Metrics(), ws, ss, s.endpointSamples()))
 	if err != nil {
 		// Unreachable for the families built here; surfacing it beats a
 		// silent half-scrape if a future family regresses.

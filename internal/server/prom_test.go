@@ -22,6 +22,7 @@ import (
 	"strings"
 	"testing"
 
+	"leasing/internal/cluster"
 	"leasing/internal/engine"
 	"leasing/internal/promtext"
 	"leasing/internal/wal"
@@ -30,8 +31,9 @@ import (
 var update = flag.Bool("update", false, "rewrite testdata golden files")
 
 // goldenInputs is a fixed sample of every exposition input: a two-shard
-// engine snapshot, WAL counters, and per-endpoint HTTP counters.
-func goldenInputs() (engine.Metrics, *wal.Stats, []endpointSample) {
+// engine snapshot, WAL counters, shipper counters, and per-endpoint
+// HTTP counters.
+func goldenInputs() (engine.Metrics, *wal.Stats, *cluster.ShipperStats, []endpointSample) {
 	m := engine.Metrics{
 		Shards: []engine.ShardMetrics{
 			{Shard: 0, Sessions: 2, Events: 9000, Batches: 120, Dropped: 1, QueueDepth: 3, Cost: 7611.25},
@@ -45,19 +47,20 @@ func goldenInputs() (engine.Metrics, *wal.Stats, []endpointSample) {
 		Cost:       11958.953594820541,
 	}
 	ws := &wal.Stats{Appends: 14761, Syncs: 310, Compactions: 2, CompactionFailures: 0, Segment: 4, SegmentBytes: 65536}
+	ss := &cluster.ShipperStats{Shipped: 14761, Batches: 73, Dropped: 5, FailedPeers: []string{"http://node3:8080"}}
 	eps := []endpointSample{
 		{name: "open", requests: 3, failed: 0},
 		{name: "submit", requests: 250, failed: 12},
 		{name: "metrics", requests: 40, failed: 0},
 	}
-	return m, ws, eps
+	return m, ws, ss, eps
 }
 
-// TestPrometheusGolden pins the full exposition — engine, WAL, and HTTP
-// families — against the committed golden file.
+// TestPrometheusGolden pins the full exposition — engine, WAL, shipper,
+// and HTTP families — against the committed golden file.
 func TestPrometheusGolden(t *testing.T) {
-	m, ws, eps := goldenInputs()
-	text, err := promtext.Encode(prometheusFamilies(m, ws, eps))
+	m, ws, ss, eps := goldenInputs()
+	text, err := promtext.Encode(prometheusFamilies(m, ws, ss, eps))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,8 +83,8 @@ func TestPrometheusGolden(t *testing.T) {
 // families that produced it, so the golden bytes are also semantically
 // well formed (names, types, help, label sets).
 func TestPrometheusRoundTrip(t *testing.T) {
-	m, ws, eps := goldenInputs()
-	fams := prometheusFamilies(m, ws, eps)
+	m, ws, ss, eps := goldenInputs()
+	fams := prometheusFamilies(m, ws, ss, eps)
 	text, err := promtext.Encode(fams)
 	if err != nil {
 		t.Fatal(err)
@@ -100,16 +103,20 @@ func TestPrometheusRoundTrip(t *testing.T) {
 	}
 }
 
-// TestPrometheusOmitsWALWithoutHook: a non-durable daemon has no WAL, so
-// its scrape must not report frozen leased_wal_* zeros.
+// TestPrometheusOmitsWALWithoutHook: a non-durable daemon has no WAL
+// and an unclustered one no shipper, so its scrape must not report
+// frozen leased_wal_* or leased_shipper_* zeros.
 func TestPrometheusOmitsWALWithoutHook(t *testing.T) {
-	m, _, eps := goldenInputs()
-	text, err := promtext.Encode(prometheusFamilies(m, nil, eps))
+	m, _, _, eps := goldenInputs()
+	text, err := promtext.Encode(prometheusFamilies(m, nil, nil, eps))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(string(text), "leased_wal_") {
 		t.Fatalf("WAL families present without a stats hook:\n%s", text)
+	}
+	if strings.Contains(string(text), "leased_shipper_") {
+		t.Fatalf("shipper families present without a stats hook:\n%s", text)
 	}
 }
 

@@ -46,6 +46,11 @@ type Config struct {
 	// the Prometheus exposition of the metrics endpoint includes the
 	// leased_wal_* families (cmd/leased wires it when run durable).
 	WALStats func() wal.Stats
+	// Cluster enables cluster mode (see cluster.go): placement
+	// redirects, the replication ingest endpoint and failover
+	// activation. Nil serves single-node; the replication endpoints then
+	// answer not_clustered.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -69,10 +74,11 @@ const AdminScope = "*"
 // it serves the endpoints declared by wire.Endpoints over the engine it
 // fronts.
 type Server struct {
-	eng  *engine.Engine
-	cfg  Config
-	mux  *http.ServeMux
-	reqs []*endpointCounter // one per declared endpoint, in declaration order
+	eng     *engine.Engine
+	cfg     Config
+	cluster *clusterState // nil when not clustered
+	mux     *http.ServeMux
+	reqs    []*endpointCounter // one per declared endpoint, in declaration order
 
 	// Pools of the binary ingestion path: decoded batches live until the
 	// owning shard releases them (engine.TrySubmitBatchRelease), read
@@ -105,20 +111,30 @@ func (s *Server) batch() *pooledBatch {
 
 // New builds the service handler over eng. The caller keeps ownership
 // of the engine: close it after the HTTP server has shut down, so
-// queued work drains exactly once.
+// queued work drains exactly once. An invalid Config.Cluster (bad peer
+// list, self not a peer, no follower log) panics — it is a startup
+// wiring error, and cmd/leased validates its flags before reaching
+// here.
 func New(eng *engine.Engine, cfg Config) *Server {
 	s := &Server{eng: eng, cfg: cfg.withDefaults(), mux: http.NewServeMux()}
+	cl, err := newClusterState(cfg.Cluster)
+	if err != nil {
+		panic(err.Error())
+	}
+	s.cluster = cl
 	handlers := map[string]http.HandlerFunc{
-		"open":     s.handleOpen,
-		"submit":   s.handleSubmit,
-		"flush":    s.handleFlush,
-		"close":    s.handleClose,
-		"cost":     s.handleCost,
-		"events":   s.handleEvents,
-		"snapshot": s.handleSnapshot,
-		"result":   s.handleResult,
-		"metrics":  s.handleMetrics,
-		"health":   s.handleHealth,
+		"open":      s.handleOpen,
+		"submit":    s.handleSubmit,
+		"flush":     s.handleFlush,
+		"close":     s.handleClose,
+		"cost":      s.handleCost,
+		"events":    s.handleEvents,
+		"snapshot":  s.handleSnapshot,
+		"result":    s.handleResult,
+		"replicate": s.handleReplicate,
+		"activate":  s.handleActivate,
+		"metrics":   s.handleMetrics,
+		"health":    s.handleHealth,
 	}
 	// The route table is the wire declaration itself, so the served
 	// surface cannot drift from the documented one.
@@ -126,6 +142,10 @@ func New(eng *engine.Engine, cfg Config) *Server {
 		h, ok := handlers[ep.Name]
 		if !ok {
 			panic(fmt.Sprintf("server: endpoint %q declared in wire but not implemented", ep.Name))
+		}
+		if strings.Contains(ep.Path, "{tenant}") {
+			// Tenant-scoped endpoints route by placement in cluster mode.
+			h = s.redirected(h)
 		}
 		c := &endpointCounter{name: ep.Name}
 		s.reqs = append(s.reqs, c)

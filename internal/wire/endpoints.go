@@ -57,6 +57,9 @@ const (
 	CodeStorageFailed = "storage_failed"
 	// CodeShuttingDown: the daemon is draining for shutdown.
 	CodeShuttingDown = "shutting_down"
+	// CodeNotClustered: a replication endpoint was called on a daemon
+	// running without -peers.
+	CodeNotClustered = "not_clustered"
 )
 
 // HTTPStatus maps an error code to its HTTP status.
@@ -70,7 +73,7 @@ func HTTPStatus(code string) int {
 		return http.StatusForbidden
 	case CodeUnknownTenant:
 		return http.StatusNotFound
-	case CodeDuplicateTenant, CodeTenantClosed, CodeNotRecording:
+	case CodeDuplicateTenant, CodeTenantClosed, CodeNotRecording, CodeNotClustered:
 		return http.StatusConflict
 	case CodeBackpressure:
 		return http.StatusTooManyRequests
@@ -116,6 +119,21 @@ type EventsResponse struct {
 // HealthResponse is the liveness probe body.
 type HealthResponse struct {
 	Status string `json:"status" doc:"always \"ok\" while the daemon accepts work"`
+}
+
+// ReplicateResponse acknowledges applied replication records.
+type ReplicateResponse struct {
+	Applied int `json:"applied" doc:"write-ahead-log records appended to the follower log by this request"`
+}
+
+// ActivateRequest scopes a failover activation.
+type ActivateRequest struct {
+	Down []string `json:"down,omitempty" doc:"peer base URLs that are down; only follower sessions whose ring owner is in this list are adopted. Empty (or an empty body) adopts every follower session not already active locally"`
+}
+
+// ActivateResponse reports a completed failover activation.
+type ActivateResponse struct {
+	Activated int `json:"activated" doc:"follower sessions recovered into the serving engine; sessions already active count zero (activation is idempotent)"`
 }
 
 // Endpoint declares one route of the service.
@@ -262,6 +280,47 @@ func Endpoints() []Endpoint {
 				"encoding (see the binary framing section).",
 		},
 		{
+			Name:    "replicate",
+			Method:  http.MethodPost,
+			Path:    "/v1/replica/records",
+			Auth:    AuthAdmin,
+			Summary: "Apply shipped write-ahead-log records to this node's follower log.",
+			Request: nil, Response: ReplicateResponse{},
+			Errors: []string{CodeBadRequest, CodeNotClustered, CodeStorageFailed, CodeShuttingDown},
+			Notes: "The log-shipping ingest half of cluster replication (leased " +
+				"-peers; see docs/CLUSTER.md). The body is the binary framing: the " +
+				"magic followed by one frame per record, each frame payload a " +
+				"record-kind byte and the record's encoded payload — exactly the " +
+				"bytes the primary appended to its own write-ahead log. Records " +
+				"are applied in body order; a tenant's records must be shipped in " +
+				"the order the primary acknowledged them. Application is atomic " +
+				"per record, not per body: on a mid-body failure the error " +
+				"reports how many records were applied, and because re-applied " +
+				"records replay idempotently through recovery's last-write-wins " +
+				"session state, a primary may safely re-ship from its last " +
+				"acknowledged offset.",
+		},
+		{
+			Name:    "activate",
+			Method:  http.MethodPost,
+			Path:    "/v1/replica/activate",
+			Auth:    AuthAdmin,
+			Summary: "Recover this node's follower sessions into its serving engine.",
+			Request: ActivateRequest{}, Response: ActivateResponse{},
+			Errors: []string{CodeBadRequest, CodeNotClustered, CodeStorageFailed, CodeShuttingDown},
+			Notes: "The failover half of cluster replication: follower-log sessions " +
+				"whose ring owner is in the request's down list (every session, " +
+				"when the list is empty) and which are not already active locally " +
+				"are rebuilt from their shipped spec and event history — the same " +
+				"deterministic replay as crash recovery — and begin serving reads " +
+				"and accepting events on this node. Scoping to down owners keeps a " +
+				"survivor from adopting tenants a healthy primary still serves. " +
+				"Before a session is activated its history is copied into this " +
+				"node's own write-ahead log, so the adopted tenant survives a " +
+				"later crash of the adopting node too. Activation is idempotent; " +
+				"already-active tenants are skipped.",
+		},
+		{
 			Name:    "metrics",
 			Method:  http.MethodGet,
 			Path:    "/v1/metrics",
@@ -350,6 +409,7 @@ in [OPERATIONS.md](OPERATIONS.md).
 		{CodeSessionFailed, "the tenant's algorithm rejected an event (e.g. a cross-request time regression); the session is sealed at its pre-failure state"},
 		{CodeStorageFailed, "the durable daemon's write-ahead-log append failed; the operation was not applied"},
 		{CodeShuttingDown, "the daemon is draining for shutdown"},
+		{CodeNotClustered, "a replication endpoint was called on a daemon running without -peers"},
 	} {
 		fmt.Fprintf(&b, "| `%s` | %d | %s |\n", c.code, HTTPStatus(c.code), c.meaning)
 	}

@@ -250,7 +250,7 @@ func TestEndpointsDeclared(t *testing.T) {
 		CodeBadRequest, CodeUnauthorized, CodeForbidden, CodeUnknownTenant,
 		CodeDuplicateTenant, CodeTenantClosed, CodeBackpressure,
 		CodeNotRecording, CodeSessionFailed, CodeStorageFailed,
-		CodeShuttingDown,
+		CodeShuttingDown, CodeNotClustered,
 	} {
 		codes[c] = true
 	}
