@@ -216,6 +216,18 @@ func BenchmarkE20StochasticDemand(b *testing.B) {
 	benchExperiment(b, "E20", "pred_ratio", "ratio@last")
 }
 
+// BenchmarkE21ReusablePool regenerates the reusable-resource pool sweep
+// (online allocator vs the offline per-unit oracle).
+func BenchmarkE21ReusablePool(b *testing.B) {
+	benchExperiment(b, "E21", "mean_ratio", "ratio@last")
+}
+
+// BenchmarkE22ReusablePredictions regenerates the learning-augmented
+// consistency/robustness study for the reusable pool.
+func BenchmarkE22ReusablePredictions(b *testing.B) {
+	benchExperiment(b, "E22", "pred_ratio", "ratio@last")
+}
+
 // BenchmarkSetCoverLeaserArrive micro-benchmarks one demand of the
 // Chapter 3 randomized algorithm (fraction updates + rounding) on a
 // 32-element, delta=3 instance.

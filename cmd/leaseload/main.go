@@ -1096,7 +1096,7 @@ func summarize(res *stats.Reservoir) latencyStats {
 // across committed seeds and BENCH snapshots.
 // domainOrder is the full domain cycle, in the order tenants have
 // always been assigned to it; -domains picks a subset.
-var domainOrder = []string{"days", "deadline", "elements", "facility", "steiner"}
+var domainOrder = []string{"days", "deadline", "elements", "facility", "steiner", "reusable"}
 
 // domainKinds parses the -domains list into buildTenant kind indexes.
 func domainKinds(list string) ([]int, error) {
@@ -1247,6 +1247,33 @@ func buildTenant(i, kind int, cfg *leasing.LeaseConfig, tseed int64, events int,
 					Costs:   facCosts,
 					Batches: wireBatches(batches),
 				},
+			},
+		}, nil
+
+	case 5:
+		// Reusable-resource pool: demand steps gated by the arrival
+		// process, usage durations uniform in [1, 8], capacity sized so
+		// both grants and whole-pool-busy rejections occur.
+		const capacity = 4
+		days := workload.ArrivalDays(rng, horizon, arr)
+		reqs := make([]leasing.ReusableRequest, len(days))
+		for j, d := range days {
+			reqs[j] = leasing.ReusableRequest{T: d, Dur: 1 + int64(rng.Intn(8))}
+		}
+		inst, err := leasing.NewReusableInstance(cfg, capacity, reqs)
+		if err != nil {
+			return nil, err
+		}
+		return &tenant{
+			name:   fmt.Sprintf("t%04d-reusable", i),
+			domain: "reusable",
+			events: leasing.UseEvents(reqs),
+			fresh: func() (leasing.Leaser, error) {
+				return leasing.NewReusableStream(inst)
+			},
+			spec: leasing.RemoteOpenRequest{
+				Domain: wire.DomainReusable, Types: types,
+				Reusable: &wire.ReusableSpec{Capacity: capacity},
 			},
 		}, nil
 
@@ -1429,7 +1456,7 @@ func printText(w io.Writer, r jsonReport) {
 	}
 	fmt.Fprintf(w, "tenants: %d (", r.Tenants)
 	first := true
-	for _, d := range []string{"days", "deadline", "elements", "facility", "steiner"} {
+	for _, d := range domainOrder {
 		if n, ok := r.Domains[d]; ok {
 			if !first {
 				fmt.Fprint(w, ", ")

@@ -36,13 +36,30 @@
 //     deadline. NewDeadlineLeaser is Θ(K + d_max/l_min)-competitive;
 //     NewSCLDLeaser handles set cover leasing with deadlines.
 //
+// # Reusable resources
+//
+// NewReusableStream extends the framework to reusable capacity: a pool
+// of C units where a granted request occupies one unit for its usage
+// duration and then returns it. Admission is strict first-fit — the
+// lowest-indexed free unit serves, and a request finding the whole pool
+// busy is rejected — so the grant sequence each unit sees is independent
+// of lease state, and the per-unit parking-permit primal-dual rule
+// provisions each unit K-competitively against ReusableOffline, the
+// oracle that prices the identical grant sequence with exact per-unit
+// lease planning. NewPredictiveReusableStream is the learning-augmented
+// variant: given a believed per-step demand probability, uncovered
+// grants buy the lease minimizing cost per expected served request.
+// VerifyReusable checks any snapshot for exclusive unit occupation,
+// lease-covered grants, and rejections only under a full pool.
+//
 // # The unified streaming API
 //
 // The thesis presents all of these as one framework — demands arrive
 // online, the algorithm buys item-lease triples (i, k, t) — and the
 // package exposes that framework directly: every online algorithm is
 // constructible as a Leaser (NewParkingStream, NewSetCoverStream,
-// NewFacilityStream, NewDeadlineStream, NewSCLDStream, NewSteinerStream)
+// NewFacilityStream, NewDeadlineStream, NewSCLDStream, NewSteinerStream,
+// NewReusableStream)
 // whose Observe consumes Events (a timestamp plus a domain payload) and
 // returns Decisions (triples bought, assignments made, incremental cost).
 // Cost reports the cumulative lease/service breakdown and Snapshot the
@@ -97,12 +114,13 @@
 //
 // # Experiments
 //
-// RunExperiment regenerates any of the twenty experiments E1..E20 indexed
-// in DESIGN.md: the core experiments cover the thesis' theorems, lower
-// bounds, tight examples and ablations, while E17..E20 exercise the
+// RunExperiment regenerates any of the twenty-two experiments E1..E22
+// indexed in DESIGN.md: the core experiments cover the thesis' theorems,
+// lower bounds, tight examples and ablations, while E17..E22 exercise the
 // extensions the thesis leaves open (Steiner tree leasing, vertex and
-// edge cover leasing, capacitated facility leasing, and stochastic
-// demand). EXPERIMENTS.md
+// edge cover leasing, capacitated facility leasing, stochastic demand,
+// and the reusable-resource pool with its learning-augmented
+// provisioning rule). EXPERIMENTS.md
 // records paper-predicted versus measured results; both documents are
 // generated from the experiment registry by cmd/leasereport, whose -check
 // mode fails when they drift from the code. The cmd/leasebench tool prints

@@ -399,3 +399,63 @@ func Example_unifiedStream() {
 	// Output:
 	// events 7, leases bought 5, cost $6.50
 }
+
+// Example_reusableStream allocates a pool of two reusable capacity
+// units online: each granted request occupies the lowest-indexed free
+// unit for its duration and returns it, a request with both units busy
+// is rejected, and uncovered grants buy leases with the per-unit
+// parking-permit rule. The verifier checks the snapshot against the
+// instance, and the offline oracle prices the same grant sequence with
+// exact per-unit lease planning.
+func Example_reusableStream() {
+	cfg, err := leasing.NewLeaseConfig(
+		leasing.LeaseType{Length: 1, Cost: 1},
+		leasing.LeaseType{Length: 4, Cost: 2.5},
+		leasing.LeaseType{Length: 16, Cost: 6},
+	)
+	if err != nil {
+		fmt.Println("config:", err)
+		return
+	}
+	reqs := []leasing.ReusableRequest{
+		{T: 0, Dur: 3}, {T: 1, Dur: 4}, {T: 2, Dur: 2},
+		{T: 6, Dur: 1}, {T: 7, Dur: 5},
+	}
+	inst, err := leasing.NewReusableInstance(cfg, 2, reqs)
+	if err != nil {
+		fmt.Println("instance:", err)
+		return
+	}
+	lsr, err := leasing.NewReusableStream(inst)
+	if err != nil {
+		fmt.Println("stream:", err)
+		return
+	}
+	run, err := leasing.Replay(lsr, leasing.UseEvents(reqs))
+	if err != nil {
+		fmt.Println("replay:", err)
+		return
+	}
+	sol := lsr.Snapshot()
+	if err := leasing.VerifyReusable(inst, sol); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	granted, rejected := 0, 0
+	for _, a := range leasing.SolutionUnitAssignments(sol) {
+		if a.Unit < 0 {
+			rejected++
+		} else {
+			granted++
+		}
+	}
+	opt, _, err := leasing.ReusableOffline(inst)
+	if err != nil {
+		fmt.Println("offline:", err)
+		return
+	}
+	fmt.Printf("granted %d, rejected %d, online $%.2f, offline $%.2f\n",
+		granted, rejected, run.Total(), opt)
+	// Output:
+	// granted 4, rejected 1, online $4.00, offline $4.00
+}

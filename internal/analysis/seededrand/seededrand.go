@@ -32,6 +32,7 @@ var DeterministicPackages = []string{
 	"internal/wal",
 	"internal/workload",
 	"internal/wire",
+	"internal/reusable",
 }
 
 // seededConstructors are the math/rand selectors that do not touch the
@@ -55,8 +56,8 @@ var Analyzer = &vet.Analyzer{
 	Doc: "forbids the global math/rand source, wall-clock reads (time.Now and " +
 		"friends) and crypto/rand in the deterministic packages " +
 		"(internal/stream, internal/engine, internal/wal, internal/workload, " +
-		"internal/wire); randomness must flow through an explicitly seeded " +
-		"*rand.Rand, and intentional wall-clock sites carry " +
+		"internal/wire, internal/reusable); randomness must flow through an " +
+		"explicitly seeded *rand.Rand, and intentional wall-clock sites carry " +
 		"//lint:allow-wallclock <reason>",
 	Directive: "wallclock",
 	Run:       run,

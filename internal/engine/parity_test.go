@@ -4,7 +4,7 @@ package engine_test
 // recorded output must be byte-identical to a single-threaded Replay of
 // that tenant's events — for ANY shard count and ANY batch size, and no
 // matter how submission is chunked or interleaved with other tenants.
-// The tenant cases mirror the public conformance suite: all seven domain
+// The tenant cases mirror the public conformance suite: all eight domain
 // leasers, built deterministically so a fresh construction replays the
 // same decisions.
 
@@ -175,6 +175,25 @@ func tenantCases(t *testing.T) []tenantCase {
 		events: leasing.ConnectEvents(reqs),
 		fresh: func() (stream.Leaser, error) {
 			return leasing.NewSteinerStream(stInst)
+		},
+	})
+
+	ruRng := rand.New(rand.NewSource(13))
+	var ruReqs []leasing.ReusableRequest
+	for tm := int64(0); tm < 160; tm++ {
+		if ruRng.Float64() < 0.45 {
+			ruReqs = append(ruReqs, leasing.ReusableRequest{T: tm, Dur: int64(ruRng.Intn(10))})
+		}
+	}
+	ruInst, err := leasing.NewReusableInstance(cfg, 2, ruReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, tenantCase{
+		name:   "reusable",
+		events: leasing.UseEvents(ruReqs),
+		fresh: func() (stream.Leaser, error) {
+			return leasing.NewReusableStream(ruInst)
 		},
 	})
 

@@ -63,6 +63,7 @@ var registry = buildRegistry(
 	facilityExperiments(),
 	deadlineExperiments(),
 	extensionExperiments(),
+	reusableExperiments(),
 )
 
 // buildRegistry merges the per-file groups into one E1..EN sequence; it

@@ -51,8 +51,8 @@ func TestRunByID(t *testing.T) {
 
 func TestIDsAndList(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Errorf("got %d experiments, want 20", len(ids))
+	if len(ids) != 22 {
+		t.Errorf("got %d experiments, want 22", len(ids))
 	}
 	seen := map[string]bool{}
 	for _, id := range ids {

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"leasing/internal/lease"
+	"leasing/internal/reusable"
+	"leasing/internal/sim"
+	"leasing/internal/stats"
+	"leasing/internal/stream"
+)
+
+// reusableExperiments declares the reusable-resource experiments E21-E22:
+// the pool allocator of internal/reusable measured against its offline
+// oracle, worst-case and learning-augmented.
+func reusableExperiments() []Info {
+	return []Info{
+		{ID: "E21", Paper: "Sec 6 outlook (reusable resources)", Chapter: "outlook", Predicted: "within K of the offline per-unit optimum at every capacity",
+			Summary: "reusable-resource pool: online ratio vs offline oracle", Run: e21ReusablePool},
+		{ID: "E22", Paper: "Sec 6 outlook (learning-augmented)", Chapter: "outlook", Predicted: "accurate prior beats worst-case provisioning; wrong prior stays feasible but loses the advantage",
+			Summary: "reusable-resource predictions: consistency vs robustness", Run: e22ReusablePredictions},
+	}
+}
+
+// reusableRequests draws a request stream: arrivals Bernoulli(p) per
+// step, usage durations uniform in [0, maxDur].
+func reusableRequests(rng *rand.Rand, horizon int64, p float64, maxDur int) []reusable.Request {
+	var reqs []reusable.Request
+	for tm := int64(0); tm < horizon; tm++ {
+		if rng.Float64() < p {
+			reqs = append(reqs, reusable.Request{T: tm, Dur: int64(rng.Intn(maxDur + 1))})
+		}
+	}
+	return reqs
+}
+
+// reusableTrial replays one online allocator over the instance's events,
+// verifies the snapshot against the instance, and returns the online and
+// offline-oracle costs. A non-positive prediction selects the worst-case
+// per-unit rule.
+func reusableTrial(inst *reusable.Instance, prediction float64) (float64, float64, error) {
+	alg, err := reusable.NewOnline(inst.Config(), inst.Capacity(), reusable.Options{Prediction: prediction})
+	if err != nil {
+		return 0, 0, err
+	}
+	lsr := reusable.NewLeaser(alg)
+	run, err := stream.Replay(lsr, reusable.Events(inst.Requests()))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := reusable.Verify(inst, lsr.Snapshot()); err != nil {
+		return 0, 0, err
+	}
+	baseline, _, err := reusable.Offline(inst)
+	if err != nil {
+		return 0, 0, err
+	}
+	return run.Total(), baseline, nil
+}
+
+// e21ReusablePool sweeps pool capacity and demand intensity: the online
+// allocator (first-fit admission + per-unit primal-dual provisioning)
+// against the offline oracle that prices the identical grant sequence
+// with exact per-unit lease planning. First-fit admission makes the two
+// grant sequences equal, so the per-unit K-competitiveness composes
+// pool-wide and every ratio must stay within K.
+func e21ReusablePool(cfg Config) (*sim.Table, error) {
+	type point struct {
+		capacity int
+		p        float64
+		k        int
+	}
+	points := []point{
+		{1, 0.3, 2}, {2, 0.3, 2}, {2, 0.6, 3}, {4, 0.6, 3}, {4, 0.9, 3},
+	}
+	trials := 8
+	horizon := int64(256)
+	maxDur := 8
+	if cfg.Quick {
+		points = []point{{2, 0.5, 2}}
+		trials = 2
+		horizon = 48
+	}
+	tb := &sim.Table{
+		Title:   "E21 reusable-resource pool (outlook): online vs offline oracle",
+		Columns: []string{"capacity", "arrival_p", "K", "trials", "mean_ratio", "max_ratio", "K_bound"},
+		Note:    "first-fit admission pins online and offline to the same per-unit grant sequences, so the per-unit parking-permit guarantee composes: every ratio stays within K",
+	}
+	for _, pt := range points {
+		lcfg := lease.PowerConfig(pt.k, 4, 0.5)
+		s, err := sim.RatiosWorkers(trials, cfg.Seed+int64(pt.capacity*100)+int64(pt.p*10), cfg.Workers, func(rng *rand.Rand) (float64, float64, error) {
+			reqs := reusableRequests(rng, horizon, pt.p, maxDur)
+			if len(reqs) == 0 {
+				return 0, 0, nil
+			}
+			inst, err := reusable.NewInstance(lcfg, pt.capacity, reqs)
+			if err != nil {
+				return 0, 0, err
+			}
+			return reusableTrial(inst, 0)
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.MustAddRow(sim.D(pt.capacity), sim.F(pt.p), sim.D(pt.k), sim.D(s.N), sim.F(s.Mean), sim.F(s.Max), sim.D(pt.k))
+	}
+	return tb, nil
+}
+
+// e22ReusablePredictions is the learning-augmented study: the predictive
+// per-unit rule (provision for the believed per-step demand probability)
+// against the worst-case rule, both normalized by the offline oracle.
+// Consistency: an accurate prior should provision long leases early on
+// dense streams and beat the worst-case ratio. Robustness: a wrong prior
+// never breaks feasibility — admission is policy-independent — it only
+// pays more.
+func e22ReusablePredictions(cfg Config) (*sim.Table, error) {
+	ps := []float64{0.1, 0.4, 0.8}
+	trials := 8
+	horizon := int64(256)
+	capacity := 3
+	maxDur := 6
+	if cfg.Quick {
+		ps = []float64{0.4}
+		trials = 2
+		horizon = 48
+		capacity = 2
+	}
+	lcfg := lease.PowerConfig(3, 4, 0.5)
+	tb := &sim.Table{
+		Title:   "E22 reusable-resource predictions (outlook): consistency vs robustness",
+		Columns: []string{"stream", "true_p", "believed_p", "capacity", "trials", "pred_ratio", "det_ratio"},
+		Note:    "an accurate prior beats worst-case provisioning; a mispredicted prior keeps the same grants (admission is policy-independent) and only pays a provisioning premium",
+	}
+	row := func(streamName string, trueP, believedP float64) error {
+		var pred, det stats.Accumulator
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*37 + int64(trueP*1000) + int64(believedP*11)))
+			reqs := reusableRequests(rng, horizon, trueP, maxDur)
+			if len(reqs) == 0 {
+				continue
+			}
+			inst, err := reusable.NewInstance(lcfg, capacity, reqs)
+			if err != nil {
+				return err
+			}
+			pCost, baseline, err := reusableTrial(inst, believedP)
+			if err != nil {
+				return err
+			}
+			dCost, _, err := reusableTrial(inst, 0)
+			if err != nil {
+				return err
+			}
+			if baseline <= 0 {
+				continue
+			}
+			pred.Add(pCost / baseline)
+			det.Add(dCost / baseline)
+		}
+		tb.MustAddRow(streamName, sim.F(trueP), sim.F(believedP), sim.D(capacity), sim.D(pred.N()), sim.F(pred.Mean()), sim.F(det.Mean()))
+		return nil
+	}
+	for _, p := range ps {
+		if err := row("bernoulli", p, p); err != nil {
+			return nil, err
+		}
+	}
+	// Misprediction rows: dense reality with a sparse prior and vice versa.
+	if err := row("bernoulli", 0.8, 0.1); err != nil {
+		return nil, err
+	}
+	if err := row("bernoulli", 0.1, 0.8); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

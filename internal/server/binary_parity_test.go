@@ -1,6 +1,6 @@
 package server_test
 
-// Binary-path twin of the remote parity anchor: the same seven domain
+// Binary-path twin of the remote parity anchor: the same eight domain
 // sessions, driven over the negotiated binary framing
 // (wire.ContentTypeBinary), must land byte-identical to single-threaded
 // Replay — and a session fed through a mix of JSON and binary requests
@@ -58,7 +58,7 @@ func replayWant(t *testing.T, tc remoteCase) (spec, facade string) {
 	return fmt.Sprintf("%#v", specWant), fmt.Sprintf("%#v", facadeWant)
 }
 
-// TestRemoteParityBinary drives all seven domains through the binary
+// TestRemoteParityBinary drives all eight domains through the binary
 // submit framing — alternating the array-equivalent single-frame path
 // (Submit) and the chunked multi-frame path (SubmitNDJSON) — and holds
 // each binary-negotiated Result to byte-identity with Replay.

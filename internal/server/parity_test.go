@@ -237,10 +237,53 @@ func remoteCases(t *testing.T) []remoteCase {
 		fresh:  func() (stream.Leaser, error) { return leasing.NewSteinerStream(stInst) },
 	})
 
+	ruRng := rand.New(rand.NewSource(14))
+	var ruReqs []leasing.ReusableRequest
+	for tm := int64(0); tm < 100; tm++ {
+		if ruRng.Float64() < 0.5 {
+			ruReqs = append(ruReqs, leasing.ReusableRequest{T: tm, Dur: int64(ruRng.Intn(9))})
+		}
+	}
+	ruInst, err := leasing.NewReusableInstance(cfg, 3, ruReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases = append(cases, remoteCase{
+		name: "reusable",
+		spec: wire.OpenRequest{
+			Domain: wire.DomainReusable, Types: types,
+			Reusable: &wire.ReusableSpec{Capacity: 3},
+		},
+		events: leasing.UseEvents(ruReqs),
+		fresh:  func() (stream.Leaser, error) { return leasing.NewReusableStream(ruInst) },
+	})
+
 	return cases
 }
 
-// TestRemoteParityWithReplay drives all seven domain leasers through
+// TestRemoteCasesCoverAllWireDomains is the suite's completeness gate:
+// every domain registered in wire.Domains must appear as a remote case
+// (so the parity, binary-parity and recovery harnesses all exercise
+// it), and no case may name a domain the wire layer does not register.
+// Registering a ninth domain without extending remoteCases fails here,
+// not silently.
+func TestRemoteCasesCoverAllWireDomains(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, tc := range remoteCases(t) {
+		covered[tc.spec.Domain] = true
+	}
+	for _, d := range wire.Domains() {
+		if !covered[d] {
+			t.Errorf("wire domain %q has no remote case; parity, binary-parity and recovery suites are not exercising it", d)
+		}
+		delete(covered, d)
+	}
+	for d := range covered {
+		t.Errorf("remote case domain %q is not registered in wire.Domains", d)
+	}
+}
+
+// TestRemoteParityWithReplay drives all eight domain leasers through
 // the HTTP service via the real client and holds each remote Result to
 // byte-identity with single-threaded Replays of (a) a leaser rebuilt
 // from the session's own wire spec and (b) a facade-built leaser.

@@ -146,7 +146,7 @@ func verifyRecovered(t *testing.T, eng *engine.Engine, tc remoteCase, events []s
 }
 
 // TestRecoveryParityAllDomains sweeps shard/batch/fsync configurations:
-// all seven domain leasers are logged under one engine shape, recovered
+// all eight domain leasers are logged under one engine shape, recovered
 // under a different one, and every tenant must match a Replay of its
 // full logged history. Segment rotation is forced small so recovery
 // also crosses segment boundaries.

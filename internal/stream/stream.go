@@ -77,12 +77,20 @@ type Connect struct {
 	S, T int
 }
 
+// Use is the reusable-resource payload: a request arriving at the event's
+// step that, if accepted, occupies one capacity unit for Dur steps and
+// then returns it to the pool. Dur values below 1 are treated as 1.
+type Use struct {
+	Dur int64
+}
+
 func (Day) payload()           {}
 func (Element) payload()       {}
 func (Window) payload()        {}
 func (ElementWindow) payload() {}
 func (Batch) payload()         {}
 func (Connect) payload()       {}
+func (Use) payload()           {}
 
 // ItemLease is the triple (i, k, t) of the thesis' infrastructure leasing
 // set: item Item leased with type K from Start. The item index is

@@ -30,7 +30,7 @@ package wire
 //
 // and each event is
 //
-//	byte kind (1..6)
+//	byte kind (1..7)
 //	varint time (zigzag)
 //	kind fields:
 //	  day            -
@@ -40,6 +40,7 @@ package wire
 //	  batch          byte presence (0 = null), then uvarint count and
 //	                 count * (8-byte LE x bits, 8-byte LE y bits)
 //	  connect        varint s, varint u
+//	  use            varint dur (encoder writes max(dur, 1))
 //
 // A recorded run (Accept: application/x-lease-binary on result) is
 //
@@ -85,6 +86,7 @@ const (
 	binElementWindow
 	binBatch
 	binConnect
+	binUse
 )
 
 // runVersion is the leading byte of the binary run encoding.
@@ -131,6 +133,10 @@ func AppendEventBinary(dst []byte, ev stream.Event) ([]byte, error) {
 		dst = binary.AppendVarint(dst, ev.Time)
 		dst = binary.AppendVarint(dst, int64(p.S))
 		dst = binary.AppendVarint(dst, int64(p.T))
+	case stream.Use:
+		dst = append(dst, binUse)
+		dst = binary.AppendVarint(dst, ev.Time)
+		dst = binary.AppendVarint(dst, max(p.Dur, 1))
 	default:
 		return dst, fmt.Errorf("wire: unsupported payload %T", ev.Payload)
 	}
@@ -203,6 +209,10 @@ func AppendEventBinaryWire(dst []byte, ev Event) ([]byte, error) {
 		dst = binary.AppendVarint(dst, ev.Time)
 		dst = binary.AppendVarint(dst, int64(ev.S))
 		dst = binary.AppendVarint(dst, int64(ev.U))
+	case KindUse:
+		dst = append(dst, binUse)
+		dst = binary.AppendVarint(dst, ev.Time)
+		dst = binary.AppendVarint(dst, max(ev.Dur, 1))
 	default:
 		return dst, fmt.Errorf("wire: unknown event kind %q", ev.Kind)
 	}
@@ -254,6 +264,7 @@ var (
 	protoElementWindow stream.Payload = stream.ElementWindow{}
 	protoBatch         stream.Payload = stream.Batch{}
 	protoConnect       stream.Payload = stream.Connect{}
+	protoUse           stream.Payload = stream.Use{}
 )
 
 // emptyClients is the shared non-nil empty client list (the decode of
@@ -299,6 +310,7 @@ type EventBatch struct {
 	ewins arena[stream.ElementWindow]
 	bats  arena[stream.Batch]
 	conns arena[stream.Connect]
+	uses  arena[stream.Use]
 }
 
 // Reset empties the batch for reuse, keeping every buffer and box.
@@ -309,6 +321,7 @@ func (b *EventBatch) Reset() {
 	b.ewins.reset()
 	b.bats.reset()
 	b.conns.reset()
+	b.uses.reset()
 }
 
 // decodeEvent decodes one event from the front of data into the batch
@@ -385,6 +398,15 @@ func (b *EventBatch) decodeEvent(data []byte) (int, error) {
 		}
 		off += n
 		p.S, p.T = int(s), int(u)
+		ev.Payload = box
+	case binUse:
+		p, box := b.uses.take(protoUse)
+		dur, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return 0, binErrf("bad usage duration")
+		}
+		off += n
+		p.Dur = dur
 		ev.Payload = box
 	default:
 		return 0, binErrf("unknown event kind %d", kind)
@@ -529,6 +551,8 @@ func reboxEvent(ev stream.Event) stream.Event {
 		ev.Payload = stream.Batch{Clients: cs}
 	case stream.Connect:
 		ev.Payload = stream.Connect{S: p.S, T: p.T}
+	case stream.Use:
+		ev.Payload = stream.Use{Dur: p.Dur}
 	}
 	return ev
 }

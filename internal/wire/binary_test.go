@@ -24,6 +24,8 @@ func canonicalEvents() []stream.Event {
 		{Time: 7, Payload: stream.Batch{Clients: []metric.Point{{X: 1.5, Y: -2.25}, {X: 0.1, Y: 0.2}}}},
 		{Time: 8, Payload: stream.Batch{}},
 		{Time: 9, Payload: stream.Connect{S: 3, T: 11}},
+		{Time: 10, Payload: stream.Use{Dur: 5}},
+		{Time: 11, Payload: stream.Use{Dur: 1}},
 		{Time: -12, Payload: stream.Window{D: -3}},
 	}
 }
@@ -115,6 +117,7 @@ func TestBinaryCanonicalization(t *testing.T) {
 		{Time: 1, Payload: stream.Element{Elem: 3, P: 0}},
 		{Time: 2, Payload: stream.Batch{Clients: []metric.Point{}}},
 		{Time: 3, Payload: nil},
+		{Time: 4, Payload: stream.Use{Dur: 0}},
 	}
 	payload, err := AppendEventsBinary(nil, events)
 	if err != nil {
@@ -206,6 +209,7 @@ func TestBinaryCorruptFrames(t *testing.T) {
 		"truncated event":            good[:len(good)-1],
 		"truncated time":             {1, binDay, 0x80},
 		"bad presence byte":          {1, binBatch, 0, 7},
+		"truncated use duration":     {1, binUse, 0, 0x80},
 		"client count exceeds frame": {1, binBatch, 0, 1, 0xff, 0xff, 0x03},
 		"trailing bytes":             append(append([]byte{}, good...), 0),
 		"truncated clients":          {1, binBatch, 0, 1, 2, 0, 0, 0, 0, 0, 0, 0, 0},
@@ -296,8 +300,17 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(one)
+	use, err := AppendEventsBinary(nil, []stream.Event{
+		{Time: 2, Payload: stream.Use{Dur: 3}},
+		{Time: 4, Payload: stream.Use{Dur: math.MaxInt64}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(use)
 	f.Add([]byte{})
 	f.Add([]byte{1, binBatch, 0, 1, 0xff})
+	f.Add([]byte{1, binUse, 0, 0x80})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		evs, err := DecodeEventsBinary(data)
 		if err != nil {
@@ -347,12 +360,72 @@ func jsonRepresentable(evs []stream.Event) bool {
 	return true
 }
 
+// FuzzBinaryUseDuration drives the usage-duration decoder across the
+// full int64 range — zero, negative, MaxInt64, and overlapping returns
+// inside one frame: the encoder must clamp every duration to >= 1, the
+// round trip must be a byte fixed point, and the binary path must agree
+// with the JSON wire path event for event.
+func FuzzBinaryUseDuration(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0))
+	f.Add(int64(1), int64(1), int64(math.MaxInt64))
+	f.Add(int64(5), int64(-3), int64(7))            // negative duration
+	f.Add(int64(9), int64(math.MaxInt64), int64(2)) // saturating usage, then overlap
+	f.Add(int64(-4), int64(6), int64(6))            // overlapping identical returns
+	f.Fuzz(func(t *testing.T, tm, durA, durB int64) {
+		events := []stream.Event{
+			{Time: tm, Payload: stream.Use{Dur: durA}},
+			{Time: tm, Payload: stream.Use{Dur: durB}},
+		}
+		payload, err := AppendEventsBinary(nil, events)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := DecodeEventsBinary(payload)
+		if err != nil {
+			t.Fatalf("decode of encoder output: %v", err)
+		}
+		for i, want := range []int64{durA, durB} {
+			if want < 1 {
+				want = 1
+			}
+			if got := back[i].Payload.(stream.Use); got.Dur != want {
+				t.Errorf("event %d: duration %d decoded as %d, want clamp to %d",
+					i, events[i].Payload.(stream.Use).Dur, got.Dur, want)
+			}
+		}
+		reenc, err := AppendEventsBinary(nil, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, payload) {
+			t.Errorf("re-encode not byte-identical:\n first  %x\n second %x", payload, reenc)
+		}
+		if got, want := fmt.Sprintf("%#v", jsonRoundTrip(t, back)), fmt.Sprintf("%#v", back); got != want {
+			t.Errorf("binary and JSON paths diverged:\n json   %s\n binary %s", got, want)
+		}
+	})
+}
+
 // FuzzBinaryRunRoundTrip: the run decoder must never panic, and
 // anything it accepts must re-encode to a fixed point.
 func FuzzBinaryRunRoundTrip(f *testing.F) {
 	f.Add(AppendRunBinary(nil, &stream.Run{
 		Decisions: []stream.Decision{{Cost: 1}},
 		Curve:     []stream.CurvePoint{{Time: 0, Cost: 1}},
+	}))
+	// A reusable-domain run shape: a pool grant (unit 0, covering type 2)
+	// followed by a whole-pool-busy rejection verdict (-1, -1).
+	f.Add(AppendRunBinary(nil, &stream.Run{
+		Decisions: []stream.Decision{
+			{
+				Leases:      []stream.ItemLease{{Item: 0, K: 2, Start: 4}},
+				Assignments: []stream.Assignment{{Item: 0, K: 2, Cost: 0}},
+				Cost:        5,
+			},
+			{Assignments: []stream.Assignment{{Item: -1, K: -1, Cost: 0}}},
+		},
+		Curve: []stream.CurvePoint{{Time: 4, Cost: 5}, {Time: 5, Cost: 5}},
+		Final: stream.CostBreakdown{Lease: 5},
 	}))
 	f.Add([]byte{runVersion, 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -18,6 +18,7 @@ import (
 	"leasing/internal/lease"
 	"leasing/internal/metric"
 	"leasing/internal/parking"
+	"leasing/internal/reusable"
 	"leasing/internal/setcover"
 	"leasing/internal/steiner"
 	"leasing/internal/stream"
@@ -48,6 +49,9 @@ const (
 	// DomainSteiner is the Steiner-tree-leasing algorithm consuming
 	// connect events; requires the Steiner spec.
 	DomainSteiner = "steiner"
+	// DomainReusable is the reusable-resource pool allocator consuming
+	// use events; requires the Reusable spec.
+	DomainReusable = "reusable"
 )
 
 // Domains lists every accepted OpenRequest.Domain value.
@@ -55,6 +59,7 @@ func Domains() []string {
 	return []string{
 		DomainParking, DomainParkingRand, DomainDeadline,
 		DomainSetCover, DomainSCLD, DomainFacility, DomainSteiner,
+		DomainReusable,
 	}
 }
 
@@ -123,18 +128,25 @@ type SteinerSpec struct {
 	Requests []ConnectRequest `json:"requests" doc:"the demand stream, sorted by arrival step"`
 }
 
+// ReusableSpec is the instance data of a reusable session.
+type ReusableSpec struct {
+	Capacity   int     `json:"capacity" doc:"pool size C: capacity units available for concurrent usages (>= 1)"`
+	Prediction float64 `json:"prediction,omitempty" doc:"believed per-step demand probability in (0, 1] for the learning-augmented provisioning rule; 0 selects the worst-case primal-dual rule"`
+}
+
 // OpenRequest opens one tenant session: the algorithm family, the lease
 // configuration, and (for the instance-based domains) the instance data.
 // Build constructs the session's Leaser deterministically from this
 // spec, so two builds of the same spec replay identically.
 type OpenRequest struct {
-	Domain   string        `json:"domain" doc:"algorithm family: parking, parking-rand, deadline, setcover, scld, facility or steiner"`
+	Domain   string        `json:"domain" doc:"algorithm family: parking, parking-rand, deadline, setcover, scld, facility, steiner or reusable"`
 	Types    []LeaseType   `json:"types" doc:"the lease configuration, shortest type first"`
 	Seed     int64         `json:"seed,omitempty" doc:"seed of the randomized algorithms (parking-rand, setcover, scld); ignored otherwise"`
 	SetCover *SetCoverSpec `json:"setcover,omitempty" doc:"instance data, required when domain is setcover"`
 	SCLD     *SCLDSpec     `json:"scld,omitempty" doc:"instance data, required when domain is scld"`
 	Facility *FacilitySpec `json:"facility,omitempty" doc:"instance data, required when domain is facility"`
 	Steiner  *SteinerSpec  `json:"steiner,omitempty" doc:"instance data, required when domain is steiner"`
+	Reusable *ReusableSpec `json:"reusable,omitempty" doc:"instance data, required when domain is reusable"`
 }
 
 // ConfigTypes converts a validated lease configuration into its spec
@@ -296,6 +308,17 @@ func (r *OpenRequest) Build() (stream.Leaser, error) {
 			return nil, err
 		}
 		return steiner.NewLeaser(alg), nil
+
+	case DomainReusable:
+		sp := r.Reusable
+		if sp == nil {
+			return nil, fmt.Errorf("wire: domain %s requires the reusable spec", r.Domain)
+		}
+		alg, err := reusable.NewOnline(cfg, sp.Capacity, reusable.Options{Prediction: sp.Prediction})
+		if err != nil {
+			return nil, err
+		}
+		return reusable.NewLeaser(alg), nil
 
 	default:
 		return nil, fmt.Errorf("wire: unknown domain %q (want one of %v)", r.Domain, Domains())

@@ -33,6 +33,7 @@ const (
 	KindElementWindow = "element_window"
 	KindBatch         = "batch"
 	KindConnect       = "connect"
+	KindUse           = "use"
 )
 
 // Point is a planar location (the metric space of facility leasing).
@@ -46,7 +47,7 @@ type Point struct {
 // must be submitted in non-decreasing time order.
 type Event struct {
 	Time int64  `json:"time" doc:"arrival step of the demand (non-decreasing per tenant)"`
-	Kind string `json:"kind" doc:"payload kind: day, element, window, element_window, batch or connect"`
+	Kind string `json:"kind" doc:"payload kind: day, element, window, element_window, batch, connect or use"`
 	// Element fields.
 	Elem int `json:"elem,omitempty" doc:"element index (kinds element and element_window)"`
 	P    int `json:"p,omitempty" doc:"cover multiplicity (kind element; defaults to 1)"`
@@ -57,6 +58,8 @@ type Event struct {
 	// Connect fields.
 	S int `json:"s,omitempty" doc:"first terminal (kind connect)"`
 	U int `json:"u,omitempty" doc:"second terminal (kind connect)"`
+	// Use fields.
+	Dur int64 `json:"dur,omitempty" doc:"usage duration in steps (kind use; defaults to 1)"`
 }
 
 // FromStreamEvent converts an in-process event to its wire form.
@@ -83,6 +86,9 @@ func FromStreamEvent(ev stream.Event) (Event, error) {
 	case stream.Connect:
 		out.Kind = KindConnect
 		out.S, out.U = p.S, p.T
+	case stream.Use:
+		out.Kind = KindUse
+		out.Dur = p.Dur
 	default:
 		return Event{}, fmt.Errorf("wire: unsupported payload %T", ev.Payload)
 	}
@@ -129,6 +135,12 @@ func (e Event) Stream() (stream.Event, error) {
 		out.Payload = stream.Batch{Clients: clients}
 	case KindConnect:
 		out.Payload = stream.Connect{S: e.S, T: e.U}
+	case KindUse:
+		dur := e.Dur
+		if dur == 0 {
+			dur = 1
+		}
+		out.Payload = stream.Use{Dur: dur}
 	default:
 		return stream.Event{}, fmt.Errorf("wire: unknown event kind %q", e.Kind)
 	}

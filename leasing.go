@@ -55,7 +55,7 @@ func (cfg ExperimentConfig) internal() experiments.Config {
 	return experiments.Config{Quick: cfg.Quick, Seed: cfg.Seed, Workers: cfg.Workers}
 }
 
-// RunExperiment regenerates one thesis experiment (IDs E1..E20; see
+// RunExperiment regenerates one thesis experiment (IDs E1..E22; see
 // DESIGN.md for the index) and prints its table to w.
 func RunExperiment(id string, cfg ExperimentConfig, w io.Writer) error {
 	tb, err := experiments.Run(id, cfg.internal())

@@ -204,7 +204,7 @@ func TestSCLDFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 20 {
+	if len(ids) != 22 {
 		t.Fatalf("got %d experiment ids", len(ids))
 	}
 	var buf bytes.Buffer

@@ -1,0 +1,94 @@
+package leasing
+
+import (
+	"leasing/internal/reusable"
+)
+
+// ReusableRequest is one reusable-resource demand: it arrives at T and,
+// if granted, occupies one capacity unit over [T, T+Dur) before the unit
+// returns to the pool. Durations below 1 are treated as 1.
+type ReusableRequest = reusable.Request
+
+// ReusableInstance couples a lease configuration with a pool capacity
+// and a request stream; ReusableOffline and VerifyReusable are defined
+// against it.
+type ReusableInstance = reusable.Instance
+
+// NewReusableInstance validates and builds a reusable-resource instance.
+// The configuration must be in the interval model, capacity at least 1,
+// and requests sorted by arrival.
+func NewReusableInstance(cfg *LeaseConfig, capacity int, requests []ReusableRequest) (*ReusableInstance, error) {
+	return reusable.NewInstance(cfg, capacity, requests)
+}
+
+// NewReusableStream builds the greedy first-fit reusable-resource
+// allocator as a unified Leaser consuming Use events: each granted
+// request occupies one of C units for its duration, provisioning
+// uncovered grants with the per-unit parking-permit primal-dual rule
+// (K-competitive per unit against ReusableOffline's baseline).
+func NewReusableStream(inst *ReusableInstance) (Leaser, error) {
+	alg, err := reusable.NewOnline(inst.Config(), inst.Capacity(), reusable.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return reusable.NewLeaser(alg), nil
+}
+
+// NewPredictiveReusableStream is the learning-augmented variant: with
+// believed per-step demand probability p in (0, 1], uncovered grants buy
+// the lease minimizing cost per expected served request — the pool-wide
+// generalization of the predictive parking-permit rule (experiment E22
+// measures the consistency/robustness trade-off).
+func NewPredictiveReusableStream(inst *ReusableInstance, p float64) (Leaser, error) {
+	alg, err := reusable.NewOnline(inst.Config(), inst.Capacity(), reusable.Options{Prediction: p})
+	if err != nil {
+		return nil, err
+	}
+	return reusable.NewLeaser(alg), nil
+}
+
+// ReusableOffline is the offline feasibility oracle: the same first-fit
+// admission as the online allocator, with each unit's leases chosen by
+// the exact laminar DP over that unit's grant instants. It returns the
+// total provisioning cost and the lease set in canonical order.
+func ReusableOffline(inst *ReusableInstance) (float64, []ItemLease, error) {
+	return reusable.Offline(inst)
+}
+
+// VerifyReusable checks a reusable-resource solution against the
+// instance: one assignment per request in arrival order, exclusive unit
+// occupation (never more than C concurrent usages), every grant covered
+// by a lease of the reported type on its serving unit, and rejections
+// only when the whole pool was busy.
+func VerifyReusable(inst *ReusableInstance, sol Solution) error {
+	return reusable.Verify(inst, sol)
+}
+
+// UseEvent builds a reusable-resource demand arriving at t that occupies
+// one capacity unit for dur steps when granted.
+func UseEvent(t, dur int64) Event {
+	return Event{Time: t, Payload: UsePayload{Dur: dur}}
+}
+
+// UseEvents converts a sorted request stream into events.
+func UseEvents(reqs []ReusableRequest) []Event { return reusable.Events(reqs) }
+
+// SolutionUnitAssignments projects a snapshot's assignments onto the
+// reusable domain's per-request verdicts: Unit is the serving capacity
+// unit (-1 for a rejection) and K the lease type the grant was served
+// under.
+func SolutionUnitAssignments(sol Solution) []UnitAssignment {
+	out := make([]UnitAssignment, len(sol.Assignments))
+	for i, a := range sol.Assignments {
+		out[i] = UnitAssignment{Unit: a.Item, K: a.K}
+	}
+	return out
+}
+
+// UnitAssignment is one reusable-resource verdict: the request (in
+// arrival order) was served by capacity unit Unit under lease type K, or
+// rejected when Unit is -1.
+type UnitAssignment struct {
+	Unit int
+	K    int
+}

@@ -50,6 +50,9 @@ type BatchPayload = stream.Batch
 // ConnectPayload is a Steiner-tree-leasing request (terminals S, T).
 type ConnectPayload = stream.Connect
 
+// UsePayload is a reusable-resource demand (usage duration Dur).
+type UsePayload = stream.Use
+
 // Decision is a Leaser's response to one Event: the item-lease triples
 // newly bought, the assignments newly made, and the incremental cost.
 type Decision = stream.Decision

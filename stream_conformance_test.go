@@ -25,12 +25,30 @@ import (
 // per call, so replays are independent.
 type conformanceCase struct {
 	name string
+	// domain is the wire.Domain* this case exercises; the meta-test
+	// below fails when a registered wire domain has no case here.
+	domain string
+	// seed derives the case's random source: every randomized
+	// construction draws from freshRand(seed), never from the global
+	// generator, so replays are deterministic per case by construction.
+	seed int64
 	// events is the demand stream fed to every fresh leaser.
 	events []leasing.Event
 	// wrongPayload is an event of a type the leaser must reject.
 	wrongPayload leasing.Event
-	// fresh constructs a new leaser and a snapshot verifier.
-	fresh func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error)
+	// fresh constructs a new leaser and a snapshot verifier; rng is a
+	// fresh source seeded with the case's seed.
+	fresh func(t *testing.T, rng *rand.Rand) (leasing.Leaser, func(leasing.Solution) error)
+}
+
+// freshRand is the suite's only random-source constructor: one seeded
+// source per leaser construction, the same determinism rule the
+// seededrand analyzer enforces on the non-test packages.
+func freshRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// build constructs a fresh leaser and verifier from the case's own seed.
+func (tc conformanceCase) build(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+	return tc.fresh(t, freshRand(tc.seed))
 }
 
 func conformanceConfig(t *testing.T) *leasing.LeaseConfig {
@@ -53,9 +71,10 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	days := []int64{0, 1, 2, 3, 9, 17, 33}
 	parking := conformanceCase{
 		name:         "parking",
+		domain:       wire.DomainParking,
 		events:       leasing.DayEvents(days),
 		wrongPayload: leasing.ConnectEvent(40, 0, 1),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
 			alg, err := leasing.NewDeterministicParkingPermit(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -71,10 +90,12 @@ func conformanceCases(t *testing.T) []conformanceCase {
 
 	parkingRand := conformanceCase{
 		name:         "parking-randomized",
+		domain:       wire.DomainParkingRand,
+		seed:         11,
 		events:       leasing.DayEvents(days),
 		wrongPayload: leasing.ElementEvent(40, 0, 1),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
-			alg, err := leasing.NewRandomizedParkingPermit(cfg, rand.New(rand.NewSource(11)))
+		fresh: func(t *testing.T, rng *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
+			alg, err := leasing.NewRandomizedParkingPermit(cfg, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -101,10 +122,12 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	}
 	setcover := conformanceCase{
 		name:         "setcover",
+		domain:       wire.DomainSetCover,
+		seed:         7,
 		events:       leasing.ElementEvents(scArrivals),
 		wrongPayload: leasing.DayEvent(40),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
-			lsr, err := leasing.NewSetCoverStream(scInst, rand.New(rand.NewSource(7)))
+		fresh: func(t *testing.T, rng *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewSetCoverStream(scInst, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -130,9 +153,10 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	}
 	facility := conformanceCase{
 		name:         "facility",
+		domain:       wire.DomainFacility,
 		events:       leasing.BatchEvents(batches),
 		wrongPayload: leasing.WindowEvent(40, 2),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
 			lsr, err := leasing.NewFacilityStream(facInst)
 			if err != nil {
 				t.Fatal(err)
@@ -159,9 +183,10 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	}
 	deadline := conformanceCase{
 		name:         "deadline",
+		domain:       wire.DomainDeadline,
 		events:       leasing.WindowEvents(dlClients),
 		wrongPayload: leasing.BatchEvent(40),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
 			lsr, err := leasing.NewDeadlineStream(cfg)
 			if err != nil {
 				t.Fatal(err)
@@ -183,10 +208,12 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	}
 	scld := conformanceCase{
 		name:         "scld",
+		domain:       wire.DomainSCLD,
+		seed:         3,
 		events:       leasing.ElementWindowEvents(scldArrivals),
 		wrongPayload: leasing.DayEvent(40),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
-			lsr, err := leasing.NewSCLDStream(scldInst, rand.New(rand.NewSource(3)))
+		fresh: func(t *testing.T, rng *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewSCLDStream(scldInst, rng)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -210,9 +237,10 @@ func conformanceCases(t *testing.T) []conformanceCase {
 	}
 	steiner := conformanceCase{
 		name:         "steiner",
+		domain:       wire.DomainSteiner,
 		events:       leasing.ConnectEvents(reqs),
 		wrongPayload: leasing.ElementWindowEvent(40, 0, 1),
-		fresh: func(t *testing.T) (leasing.Leaser, func(leasing.Solution) error) {
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
 			lsr, err := leasing.NewSteinerStream(stInst)
 			if err != nil {
 				t.Fatal(err)
@@ -223,7 +251,46 @@ func conformanceCases(t *testing.T) []conformanceCase {
 		},
 	}
 
-	return []conformanceCase{parking, parkingRand, setcover, facility, deadline, scld, steiner}
+	useReqs := []leasing.ReusableRequest{
+		{T: 0, Dur: 3}, {T: 1, Dur: 2}, {T: 2, Dur: 1}, {T: 5, Dur: 4},
+		{T: 9, Dur: 0}, {T: 18, Dur: 2}, {T: 33, Dur: 1},
+	}
+	ruInst, err := leasing.NewReusableInstance(cfg, 2, useReqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reusable := conformanceCase{
+		name:         "reusable",
+		domain:       wire.DomainReusable,
+		events:       leasing.UseEvents(useReqs),
+		wrongPayload: leasing.DayEvent(40),
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewReusableStream(ruInst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifyReusable(ruInst, sol)
+			}
+		},
+	}
+	reusablePred := conformanceCase{
+		name:         "reusable-predictive",
+		domain:       wire.DomainReusable,
+		events:       leasing.UseEvents(useReqs),
+		wrongPayload: leasing.ConnectEvent(40, 0, 1),
+		fresh: func(t *testing.T, _ *rand.Rand) (leasing.Leaser, func(leasing.Solution) error) {
+			lsr, err := leasing.NewPredictiveReusableStream(ruInst, 0.6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return lsr, func(sol leasing.Solution) error {
+				return leasing.VerifyReusable(ruInst, sol)
+			}
+		},
+	}
+
+	return []conformanceCase{parking, parkingRand, setcover, facility, deadline, scld, steiner, reusable, reusablePred}
 }
 
 // TestLeaserConformance asserts the protocol contract for every domain.
@@ -231,7 +298,7 @@ func TestLeaserConformance(t *testing.T) {
 	for _, tc := range conformanceCases(t) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			lsr, verify := tc.fresh(t)
+			lsr, verify := tc.build(t)
 			run, err := leasing.Replay(lsr, tc.events)
 			if err != nil {
 				t.Fatal(err)
@@ -286,7 +353,7 @@ func TestLeaserConformance(t *testing.T) {
 
 			// Replays are deterministic: a fresh leaser over the same events
 			// yields the identical decision stream.
-			lsr2, _ := tc.fresh(t)
+			lsr2, _ := tc.build(t)
 			run2, err := leasing.Replay(lsr2, tc.events)
 			if err != nil {
 				t.Fatal(err)
@@ -299,7 +366,7 @@ func TestLeaserConformance(t *testing.T) {
 			}
 
 			// Unsupported payloads are rejected without state damage.
-			lsr3, _ := tc.fresh(t)
+			lsr3, _ := tc.build(t)
 			if _, err := lsr3.Observe(tc.wrongPayload); err == nil {
 				t.Error("unsupported payload accepted")
 			}
@@ -316,7 +383,7 @@ func TestLeaserRejectsTimeRegression(t *testing.T) {
 			continue
 		}
 		t.Run(tc.name, func(t *testing.T) {
-			lsr, _ := tc.fresh(t)
+			lsr, _ := tc.build(t)
 			last := tc.events[len(tc.events)-1]
 			if _, err := lsr.Observe(last); err != nil {
 				t.Fatalf("priming event: %v", err)
@@ -358,12 +425,12 @@ func TestLeaserConformanceBinaryRoundTrip(t *testing.T) {
 				t.Fatal("re-encoding decoded events is not byte-identical")
 			}
 
-			lsr, _ := tc.fresh(t)
+			lsr, _ := tc.build(t)
 			want, err := leasing.Replay(lsr, tc.events)
 			if err != nil {
 				t.Fatal(err)
 			}
-			lsr2, _ := tc.fresh(t)
+			lsr2, _ := tc.build(t)
 			got, err := leasing.Replay(lsr2, dec)
 			if err != nil {
 				t.Fatal(err)
@@ -381,5 +448,105 @@ func TestLeaserConformanceBinaryRoundTrip(t *testing.T) {
 				t.Errorf("run binary round trip diverged:\n got %#v\nwant %#v", back, want)
 			}
 		})
+	}
+}
+
+// TestConformanceCasesCoverAllWireDomains is the meta-test of the
+// conformance suite: every domain registered on the wire must be
+// exercised by at least one case above, and no case may claim a domain
+// the wire does not register. A ninth domain added to wire.Domains()
+// without a conformance case fails here, not silently.
+func TestConformanceCasesCoverAllWireDomains(t *testing.T) {
+	registered := map[string]bool{}
+	for _, d := range wire.Domains() {
+		registered[d] = true
+	}
+	covered := map[string]bool{}
+	for _, tc := range conformanceCases(t) {
+		if tc.domain == "" {
+			t.Errorf("case %q declares no wire domain", tc.name)
+			continue
+		}
+		if !registered[tc.domain] {
+			t.Errorf("case %q claims unregistered domain %q", tc.name, tc.domain)
+		}
+		covered[tc.domain] = true
+	}
+	for _, d := range wire.Domains() {
+		if !covered[d] {
+			t.Errorf("wire domain %q has no conformance case", d)
+		}
+	}
+}
+
+// TestReusableCapacityConservation is the suite's property test:
+// model-checked against a brute-force occupancy simulator over small
+// random streams, the reusable allocator must (1) keep units in use at
+// or below C at every event time, (2) return exactly one unit when a
+// usage completes — equivalently, admission matches the simulator's
+// free-unit count exactly — and (3) produce a snapshot the feasibility
+// oracle accepts. Streams are generated from per-trial seeded sources.
+func TestReusableCapacityConservation(t *testing.T) {
+	cfg := conformanceConfig(t)
+	for trial := 0; trial < 60; trial++ {
+		rng := freshRand(1000 + int64(trial))
+		capacity := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(30)
+		reqs := make([]leasing.ReusableRequest, 0, n)
+		tm := int64(rng.Intn(4))
+		for len(reqs) < n {
+			reqs = append(reqs, leasing.ReusableRequest{T: tm, Dur: int64(rng.Intn(7))})
+			tm += int64(rng.Intn(3))
+		}
+		inst, err := leasing.NewReusableInstance(cfg, capacity, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsr, err := leasing.NewReusableStream(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Brute-force simulator: the multiset of end times of active
+		// usages. A usage [t, t+dur) is active at t' iff end > t'.
+		var active []int64
+		for i, r := range reqs {
+			now := r.T
+			kept := active[:0]
+			for _, end := range active {
+				if end > now {
+					kept = append(kept, end)
+				}
+			}
+			active = kept
+			wantAccept := len(active) < capacity
+
+			d, err := lsr.Observe(leasing.UseEvent(r.T, r.Dur))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Assignments) != 1 {
+				t.Fatalf("trial %d request %d: %d assignments", trial, i, len(d.Assignments))
+			}
+			gotAccept := d.Assignments[0].Item >= 0
+			if gotAccept != wantAccept {
+				t.Fatalf("trial %d request %d at t=%d: leaser accept=%v, simulator free units=%d/%d",
+					trial, i, r.T, gotAccept, capacity-len(active), capacity)
+			}
+			if gotAccept {
+				dur := r.Dur
+				if dur < 1 {
+					dur = 1
+				}
+				active = append(active, r.T+dur)
+			}
+			if len(active) > capacity {
+				t.Fatalf("trial %d request %d: %d units in use exceeds capacity %d",
+					trial, i, len(active), capacity)
+			}
+		}
+		if err := leasing.VerifyReusable(inst, lsr.Snapshot()); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
 	}
 }
